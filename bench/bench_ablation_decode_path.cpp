@@ -1,0 +1,88 @@
+// Ablation A3 (§4.3): the practical row-local-first decode path. Compares,
+// at equal lost-symbol counts, patterns the row-local phase can absorb
+// (failures spread over rows, <= m per row) against patterns that force the
+// global upstairs pass (failures stacked beyond row capacity), in both
+// schedule cost (Mult_XORs) and measured MB/s.
+//
+// Expected: row-local repair is several times cheaper per lost symbol — the
+// reason §4.3 recovers locally whenever possible.
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace stair;
+using namespace stair::bench;
+
+namespace {
+
+constexpr std::size_t kStripeBytes = 32u << 20;
+
+struct Probe {
+  std::string label;
+  std::vector<bool> mask;
+};
+
+void run(const StairCode& code, const Probe& probe, TablePrinter& table) {
+  const StairConfig& cfg = code.config();
+  auto schedule = code.build_decode_schedule(probe.mask);
+  if (!schedule) {
+    table.add_row({probe.label, "-", "-", "-"});
+    return;
+  }
+  const std::size_t symbol = symbol_size_for_stripe(kStripeBytes, cfg.n, cfg.r);
+  StripeBuffer stripe = make_encoded_stripe(code, symbol);
+  Workspace ws;
+  const double mbps = measure_mbps(
+      [&] { code.execute(*schedule, stripe.view(), &ws); }, symbol * cfg.n * cfg.r);
+  std::size_t losses = 0;
+  for (bool b : probe.mask) losses += b;
+  table.add_row({probe.label, std::to_string(losses),
+                 std::to_string(schedule->mult_xor_count()), format_sig(mbps, 4)});
+}
+
+}  // namespace
+
+int main() {
+  const StairConfig cfg{.n = 16, .r = 16, .m = 2, .e = {1, 1, 2}};
+  const StairCode code(cfg);
+  std::cout << "=== Ablation: row-local repair (§4.3) vs the global upstairs pass ===\n"
+            << cfg.to_string() << ", 32 MB stripes\n\n";
+
+  TablePrinter table("decode cost by failure placement");
+  table.set_header({"pattern", "lost symbols", "Mult_XORs", "MB/s"});
+
+  // 4 sectors over 4 distinct rows, one per row: all row-local.
+  Probe spread{"4 sectors, 1 per row (row-local)", std::vector<bool>(cfg.n * cfg.r, false)};
+  for (std::size_t i = 0; i < 4; ++i) spread.mask[i * cfg.n + (i % 4)] = true;
+  run(code, spread, table);
+
+  // 4 sectors as 2-per-row over 2 rows: still row-local (m = 2).
+  Probe pairs{"4 sectors, 2 per row (row-local)", std::vector<bool>(cfg.n * cfg.r, false)};
+  for (std::size_t i = 0; i < 2; ++i) {
+    pairs.mask[i * cfg.n + 0] = true;
+    pairs.mask[i * cfg.n + 5] = true;
+  }
+  run(code, pairs, table);
+
+  // Same count packed into one row across 4 chunks (> m per row): the fit
+  // is exactly e = (1,1,2) with a deferred chunk, forcing the upstairs pass.
+  Probe stacked{"4 sectors in one row (global)", std::vector<bool>(cfg.n * cfg.r, false)};
+  for (std::size_t j : {2, 5, 7, 9}) stacked.mask[15 * cfg.n + j] = true;
+  run(code, stacked, table);
+
+  // Worst case: both parity chunks dead + the full stair.
+  Probe worst{"m chunks + full stair (worst case)", std::vector<bool>(cfg.n * cfg.r, false)};
+  for (std::size_t d = 0; d < cfg.m; ++d)
+    for (std::size_t i = 0; i < cfg.r; ++i) worst.mask[i * cfg.n + d] = true;
+  for (std::size_t l = 0; l < cfg.m_prime(); ++l)
+    for (std::size_t q = 0; q < cfg.e[l]; ++q)
+      worst.mask[(cfg.r - 1 - q) * cfg.n + cfg.m + l] = true;
+  run(code, worst, table);
+
+  table.print(std::cout);
+
+  std::cout << "Shape check: equal-loss row-local patterns decode with far fewer\n"
+               "Mult_XORs and far higher MB/s than patterns forcing the global pass.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation A2 (§6.2): Galois-field word-size cost. Measures the Mult_XOR
+// region kernel at w = 4/8/16/32 plus plain XOR — the reason SD codes, which
+// are forced onto w = 16 once n*r > 255 (e.g. n = r = 16), lose throughput
+// that STAIR keeps by staying on w = 8.
+//
+// Expected: w = 8 (SSSE3 pshufb) fastest among multiplying kernels; w = 16/32
+// split-table kernels noticeably slower; XOR fastest overall.
+
+#include <benchmark/benchmark.h>
+
+#include "gf/region.h"
+#include "util/buffer.h"
+#include "util/rng.h"
+
+using namespace stair;
+
+namespace {
+
+constexpr std::size_t kRegion = 1u << 20;  // 1 MiB regions
+
+void BM_MultXor(benchmark::State& state) {
+  const int w = static_cast<int>(state.range(0));
+  const auto& f = gf::field(w);
+  AlignedBuffer src(kRegion), dst(kRegion);
+  Rng rng(1);
+  rng.fill(src.span());
+  rng.fill(dst.span());
+  const std::uint32_t a = 0x53 & f.max_element() ? (0x53 & f.max_element()) : 3;
+  for (auto _ : state) {
+    gf::mult_xor_region(f, a, src.span(), dst.span());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kRegion);
+  state.counters["simd_w8"] = gf::has_simd_w8() ? 1 : 0;
+}
+
+void BM_Xor(benchmark::State& state) {
+  AlignedBuffer src(kRegion), dst(kRegion);
+  Rng rng(2);
+  rng.fill(src.span());
+  rng.fill(dst.span());
+  for (auto _ : state) {
+    gf::xor_region(src.span(), dst.span());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kRegion);
+}
+
+}  // namespace
+
+BENCHMARK(BM_MultXor)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_Xor);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Ablation A1 (§5.3): what parity reuse is worth. Measures encode throughput
+// of the standard (no-reuse) method against upstairs/downstairs (reuse),
+// the automatic selection, and the zero-input-skipping optimized schedule,
+// at n = 16, r = 16, m = 2 over several coverage vectors.
+//
+// Expected: reuse methods beat standard whenever their Mult_XOR count is
+// lower (tracking Figure 9); zero-skip shaves a further slice off upstairs.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+using namespace stair;
+using namespace stair::bench;
+
+namespace {
+
+constexpr std::size_t kSymbol = 32 * 1024;  // ~8 MB stripes
+
+const std::vector<std::vector<std::size_t>> kCoverages{{4}, {2, 2}, {1, 1, 2}, {1, 1, 1, 1}};
+
+StairCode make_code(int e_index) {
+  return StairCode({.n = 16, .r = 16, .m = 2, .e = kCoverages[e_index]});
+}
+
+void report(benchmark::State& state, const StairCode& code, std::size_t mult_xors) {
+  const std::size_t stripe_bytes = kSymbol * code.config().n * code.config().r;
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * stripe_bytes);
+  state.counters["mult_xors"] = static_cast<double>(mult_xors);
+}
+
+void BM_EncodeMethod(benchmark::State& state, EncodingMethod method) {
+  const StairCode code = make_code(static_cast<int>(state.range(0)));
+  StripeBuffer stripe = make_encoded_stripe(code, kSymbol);
+  Workspace ws;
+  for (auto _ : state) code.encode(stripe.view(), method, &ws);
+  report(state, code, code.mult_xor_count(method));
+}
+
+void BM_EncodeZeroSkip(benchmark::State& state) {
+  const StairCode code = make_code(static_cast<int>(state.range(0)));
+  std::vector<bool> zeros(code.layout().total_symbols(), false);
+  for (std::uint32_t g : code.layout().outside_global_ids()) zeros[g] = true;
+  const Schedule trimmed = code.encoding_schedule(EncodingMethod::kUpstairs).optimized(zeros);
+  StripeBuffer stripe = make_encoded_stripe(code, kSymbol);
+  Workspace ws;
+  for (auto _ : state) code.execute(trimmed, stripe.view(), &ws);
+  report(state, code, trimmed.mult_xor_count());
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_EncodeMethod, standard, EncodingMethod::kStandard)
+    ->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_EncodeMethod, upstairs, EncodingMethod::kUpstairs)
+    ->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_EncodeMethod, downstairs, EncodingMethod::kDownstairs)
+    ->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_EncodeMethod, auto_selected, EncodingMethod::kAuto)
+    ->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EncodeZeroSkip)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+// Figure 9: Mult_XORs per stripe of the three encoding methods (standard,
+// upstairs, downstairs) for every e with s = 4, at n = 8, m = 2 and
+// r in {8, 16, 24, 32}.
+//
+// Expected shape (§5.3): upstairs/downstairs far below standard in most
+// configurations; upstairs cost grows with e_max, downstairs with m'; small
+// m' favours downstairs, large m' upstairs.
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace stair;
+using namespace stair::bench;
+
+int main() {
+  const std::size_t n = 8, m = 2, s = 4;
+  std::cout << "=== Figure 9: encoding complexity (Mult_XORs per stripe), n=" << n
+            << " m=" << m << " s=" << s << " ===\n\n";
+
+  for (std::size_t r : {8, 16, 24, 32}) {
+    TablePrinter table("r = " + std::to_string(r));
+    table.set_header({"e", "standard", "upstairs", "downstairs", "chosen"});
+    for (const auto& e : enumerate_coverage_vectors(s, s, s)) {
+      const StairConfig cfg{.n = n, .r = r, .m = m, .e = e};
+      const StairCode code(cfg);
+      const EncodingCosts costs = analyze_costs(code);
+      const char* chosen = costs.best == EncodingMethod::kStandard ? "standard"
+                           : costs.best == EncodingMethod::kUpstairs ? "upstairs"
+                                                                     : "downstairs";
+      table.add_row({e_label(e), std::to_string(costs.standard),
+                     std::to_string(costs.upstairs), std::to_string(costs.downstairs),
+                     chosen});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "Shape check: for e=(4) (m'=1) downstairs must win; for e=(1,1,1,1)\n"
+               "(m'=4) upstairs must win; both must beat standard for most e.\n";
+  return 0;
+}

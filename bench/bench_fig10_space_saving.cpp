@@ -1,0 +1,56 @@
+// Figure 10: devices saved by STAIR codes over traditional erasure codes
+// (which need m + m' parity chunks for the same coverage), as a function of
+// r for s <= 4 and m' <= s. Also prints the §2 comparison against the IDR
+// scheme and the SD saving (s - s/r) for reference.
+//
+// Expected shape: saving approaches m' as r grows; maximal at m' = s; SD's
+// saving equals STAIR's best case but SD only exists for s <= 3.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "idr/idr_scheme.h"
+
+using namespace stair;
+using namespace stair::bench;
+
+int main() {
+  std::cout << "=== Figure 10: space saving of STAIR over traditional erasure codes ===\n\n";
+
+  for (std::size_t s = 1; s <= 4; ++s) {
+    TablePrinter table("s = " + std::to_string(s) + "  (devices saved = m' - s/r)");
+    std::vector<std::string> header{"r"};
+    for (std::size_t mp = 1; mp <= s; ++mp) header.push_back("m'=" + std::to_string(mp));
+    header.push_back("SD (s - s/r)");
+    table.set_header(header);
+
+    for (std::size_t r : {4, 8, 16, 24, 32}) {
+      std::vector<std::string> row{std::to_string(r)};
+      for (std::size_t mp = 1; mp <= s; ++mp) {
+        // Any e with |e| = m' and sum s has the same saving; use the most
+        // even split (ascending).
+        std::vector<std::size_t> e(mp, s / mp);
+        for (std::size_t i = 0; i < s % mp; ++i) ++e[mp - 1 - i];
+        std::sort(e.begin(), e.end());
+        const StairConfig cfg{.n = 16, .r = r, .m = 1, .e = e};
+        row.push_back(format_sig(cfg.devices_saved(), 4));
+      }
+      row.push_back(format_sig(static_cast<double>(s) - static_cast<double>(s) / r, 4));
+      table.add_row(row);
+    }
+    table.print(std::cout);
+  }
+
+  // §2's burst example: beta = 4, n = 8, m = 2 — IDR vs STAIR redundant sectors.
+  const IdrConfig idr{.n = 8, .r = 16, .m = 2, .eps = 4};
+  const StairConfig st{.n = 8, .r = 16, .m = 2, .e = {1, 4}};
+  TablePrinter burst("§2 example: tolerating a burst of beta=4 (n=8, m=2, r=16)");
+  burst.set_header({"scheme", "extra redundant sectors per stripe"});
+  burst.add_row({"IDR eps=4", std::to_string(idr.redundancy() - idr.m * idr.r)});
+  burst.add_row({"STAIR e=(1,4)", std::to_string(st.s())});
+  burst.print(std::cout);
+
+  std::cout << "Shape check: STAIR saving -> m' as r grows; STAIR reaches savings > 3\n"
+               "devices for s = 4, beyond any known SD construction.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 17: MTTDL_sys versus P_bit under the independent sector-failure
+// model, for Reed-Solomon (s = 0), STAIR/SD s = 1, STAIR e = (2) / (1,1) and
+// SD s = 2 (panel a), and the three s = 3 STAIR coverages (panel b).
+// Also reproduces the §7.2 N_arr table.
+//
+// Expected shape: RS falls as a power law in P_bit while s >= 1 codes hold
+// flat until ~1e-12 and then fall; e = (1,2) is the most reliable s = 3
+// coverage (beats both (3) and (1,1,1)).
+
+#include <cmath>
+#include <functional>
+#include <iostream>
+
+#include "reliability/mttdl.h"
+#include "reliability/pstr.h"
+#include "reliability/sector_models.h"
+#include "util/table.h"
+
+using namespace stair;
+using namespace stair::reliability;
+
+int main() {
+  const SystemParams p;  // U=10PB, C=300GB, n=8, r=16, m=1 (§7.2)
+  std::cout << "=== Figure 17: MTTDL_sys vs P_bit, independent sector failures ===\n\n";
+
+  {
+    TablePrinter narr("§7.2: number of arrays N_arr for s = 0..12");
+    narr.set_header({"s", "N_arr"});
+    for (std::size_t s = 0; s <= 12; ++s)
+      narr.add_row({std::to_string(s),
+                    std::to_string(num_arrays(p, storage_efficiency(p.n, p.r, p.m, s)))});
+    narr.print(std::cout);
+  }
+
+  const std::size_t chunks = p.n - p.m;
+  struct Series {
+    std::string label;
+    std::size_t s;
+    std::function<double(std::span<const double>)> pstr;
+  };
+  const std::vector<std::size_t> e1{1}, e2{2}, e11{1, 1}, e3{3}, e12{1, 2}, e111{1, 1, 1};
+  const std::vector<Series> series{
+      {"RS s=0", 0, [&](auto pchk) { return pstr_rs(pchk, chunks); }},
+      {"STAIR/SD s=1", 1, [&](auto pchk) { return pstr_stair(pchk, chunks, e1); }},
+      {"STAIR e=(2)", 2, [&](auto pchk) { return pstr_stair(pchk, chunks, e2); }},
+      {"STAIR e=(1,1)", 2, [&](auto pchk) { return pstr_stair(pchk, chunks, e11); }},
+      {"SD s=2", 2, [&](auto pchk) { return pstr_sd(pchk, chunks, 2); }},
+      {"STAIR e=(3)", 3, [&](auto pchk) { return pstr_stair(pchk, chunks, e3); }},
+      {"STAIR e=(1,2)", 3, [&](auto pchk) { return pstr_stair(pchk, chunks, e12); }},
+      {"STAIR e=(1,1,1)", 3, [&](auto pchk) { return pstr_stair(pchk, chunks, e111); }},
+      {"SD s=3", 3, [&](auto pchk) { return pstr_sd(pchk, chunks, 3); }},
+  };
+
+  TablePrinter table("MTTDL_sys (hours) vs P_bit");
+  std::vector<std::string> header{"P_bit"};
+  for (const auto& s : series) header.push_back(s.label);
+  table.set_header(header);
+
+  for (double exp10 = -14.0; exp10 <= -10.0 + 1e-9; exp10 += 0.5) {
+    const double p_bit = std::pow(10.0, exp10);
+    const double p_sec = sector_failure_prob(p_bit, static_cast<std::size_t>(p.sector_bytes));
+    const auto pchk = independent_chunk_pmf(p_sec, p.r);
+    std::vector<std::string> row{"1e" + format_sig(exp10, 3)};
+    for (const auto& s : series)
+      row.push_back(format_sig(mttdl_system(p, s.s, s.pstr(pchk)), 4));
+    table.add_row(row);
+  }
+  table.print(std::cout);
+
+  std::cout << "Shape check: RS decays as a power law over the whole range; s>=1\n"
+               "codes stay flat until P_bit ~ 1e-12 then decay; at 1e-14 the s=1\n"
+               "codes beat RS by >2 orders of magnitude; e=(1,2) is the best s=3\n"
+               "coverage under independent failures (§7.2.1).\n";
+  return 0;
+}

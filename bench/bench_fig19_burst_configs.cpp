@@ -1,0 +1,88 @@
+// Figure 19: configuring the sector-failure coverage for bursts.
+//   (a) burst-length CDFs for five (b1, alpha) pairs;
+//   (b) MTTDL_sys vs s for e = (s) and e = (1, s-1) under four (b1, alpha)
+//       pairs at P_bit in {1e-14, 1e-12, 1e-10}.
+//
+// Expected shape: for bursty distributions (small b1, small alpha) e = (s)
+// wins by growing amounts as s increases (exponential improvement); for
+// nearly burst-free distributions the two coverages converge and e = (1,s-1)
+// can even win at high P_bit — matching the independent-model ranking.
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "reliability/mttdl.h"
+#include "reliability/pstr.h"
+#include "reliability/sector_models.h"
+#include "util/table.h"
+
+using namespace stair;
+using namespace stair::reliability;
+
+int main() {
+  const SystemParams p;
+  std::cout << "=== Figure 19: coverage configuration under sector failure bursts ===\n\n";
+
+  // Panel (a): burst-length CDFs.
+  const std::vector<std::pair<double, double>> all_pairs{
+      {0.9, 1.0}, {0.98, 1.79}, {0.99, 2.0}, {0.999, 3.0}, {0.9999, 4.0}};
+  {
+    TablePrinter table("(a) CDF of burst length, P(L <= len)");
+    std::vector<std::string> header{"len"};
+    for (const auto& [b1, a] : all_pairs)
+      header.push_back("b1=" + format_sig(b1, 4) + ",a=" + format_sig(a, 3));
+    table.set_header(header);
+    std::vector<std::vector<double>> cdfs;
+    for (const auto& [b1, a] : all_pairs) cdfs.push_back(BurstDistribution(b1, a).cdf(16));
+    for (std::size_t len = 1; len <= 16; ++len) {
+      std::vector<std::string> row{std::to_string(len)};
+      for (const auto& cdf : cdfs) row.push_back(format_sig(cdf[len], 6));
+      table.add_row(row);
+    }
+    table.print(std::cout);
+    TablePrinter means("average burst length B (Eq. 14)");
+    means.set_header({"(b1, alpha)", "B"});
+    for (const auto& [b1, a] : all_pairs)
+      means.add_row({"(" + format_sig(b1, 4) + ", " + format_sig(a, 3) + ")",
+                     format_sig(BurstDistribution(b1, a).mean(16), 5)});
+    means.print(std::cout);
+  }
+
+  // Panel (b): MTTDL vs s for e = (s) and e = (1, s-1).
+  const std::vector<std::pair<double, double>> pairs{
+      {0.9, 1.0}, {0.99, 2.0}, {0.999, 3.0}, {0.9999, 4.0}};
+  const std::size_t chunks = p.n - p.m;
+  for (const double p_bit : {1e-14, 1e-12, 1e-10}) {
+    const double p_sec = sector_failure_prob(p_bit, static_cast<std::size_t>(p.sector_bytes));
+    TablePrinter table("(b) MTTDL_sys (hours) vs s at P_bit = " + format_sig(p_bit, 2));
+    std::vector<std::string> header{"s"};
+    for (const auto& [b1, a] : pairs) {
+      header.push_back("e=(s) " + format_sig(b1, 4) + "/" + format_sig(a, 2));
+      header.push_back("e=(1,s-1) " + format_sig(b1, 4) + "/" + format_sig(a, 2));
+    }
+    table.set_header(header);
+
+    for (std::size_t s = 1; s <= 12; ++s) {
+      std::vector<std::string> row{std::to_string(s)};
+      for (const auto& [b1, a] : pairs) {
+        const auto pchk = correlated_chunk_pmf(p_sec, BurstDistribution(b1, a), p.r);
+        const std::vector<std::size_t> e_s{s};
+        row.push_back(format_sig(mttdl_system(p, s, pstr_stair(pchk, chunks, e_s)), 4));
+        if (s >= 2) {
+          const std::vector<std::size_t> e_1s{1, s - 1};
+          row.push_back(format_sig(mttdl_system(p, s, pstr_stair(pchk, chunks, e_1s)), 4));
+        } else {
+          row.push_back("-");
+        }
+      }
+      table.add_row(row);
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "Shape check: for (0.9, 1) e=(s) grows ~exponentially in s and beats\n"
+               "e=(1,s-1) decisively; for (0.9999, 4) the gap collapses and at\n"
+               "P_bit=1e-10 e=(1,s-1) can win — §7.2.2's case for wide-s support.\n";
+  return 0;
+}

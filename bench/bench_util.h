@@ -1,0 +1,105 @@
+// Shared plumbing for the figure-reproduction benchmarks: random stripes,
+// MB/s timing loops, and the paper's "worst e for a given s" selection.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sd/sd_code.h"
+#include "stair/cost_model.h"
+#include "stair/stair_code.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace stair::bench {
+
+/// Times `fn` (one full-stripe operation) until `min_seconds` of work has
+/// accumulated (at least `min_iters` runs) and returns MB/s over
+/// `bytes_per_iter`.
+inline double measure_mbps(const std::function<void()>& fn, std::size_t bytes_per_iter,
+                           double min_seconds = 0.15, int min_iters = 3) {
+  fn();  // warmup (also builds lazy schedules)
+  Stopwatch watch;
+  int iters = 0;
+  do {
+    fn();
+    ++iters;
+  } while (iters < min_iters || watch.elapsed_seconds() < min_seconds);
+  return static_cast<double>(bytes_per_iter) * iters / watch.elapsed_seconds() / (1024.0 * 1024.0);
+}
+
+/// Builds an encoded random stripe for `code` with the given symbol size.
+inline StripeBuffer make_encoded_stripe(const StairCode& code, std::size_t symbol_size,
+                                        std::uint64_t seed = 42) {
+  StripeBuffer stripe(code, symbol_size);
+  std::vector<std::uint8_t> data(stripe.data_size());
+  Rng rng(seed);
+  rng.fill(data);
+  stripe.set_data(data);
+  code.encode(stripe.view());
+  return stripe;
+}
+
+/// The paper evaluates STAIR conservatively: for a given s it tests every
+/// coverage vector e and reports the slowest (§6.2.1). We pick the vector
+/// with the largest best-method Mult_XOR count — the deterministic proxy for
+/// the slowest config (schedule cost is what drives throughput).
+inline std::vector<std::size_t> worst_e_for_s(std::size_t n, std::size_t r, std::size_t m,
+                                              std::size_t s, int w) {
+  std::vector<std::size_t> worst;
+  std::size_t worst_cost = 0;
+  for (const auto& e : enumerate_coverage_vectors(s, r, n - m)) {
+    StairConfig cfg{.n = n, .r = r, .m = m, .e = e, .w = w};
+    try {
+      cfg.validate();
+    } catch (...) {
+      continue;
+    }
+    const std::size_t cost =
+        std::min(upstairs_mult_xors(cfg), downstairs_mult_xors(cfg));
+    if (cost >= worst_cost) {
+      worst_cost = cost;
+      worst = e;
+    }
+  }
+  return worst;
+}
+
+/// Symbol size giving a stripe of roughly `stripe_bytes` for an r x n layout.
+/// Rounded down to a multiple of 16 (covers all word sizes), minimum 16.
+inline std::size_t symbol_size_for_stripe(std::size_t stripe_bytes, std::size_t n,
+                                          std::size_t r) {
+  std::size_t symbol = stripe_bytes / (n * r);
+  symbol -= symbol % 16;
+  return symbol < 16 ? 16 : symbol;
+}
+
+/// "(1,1,2)" — label for coverage vectors in tables.
+inline std::string e_label(const std::vector<std::size_t>& e) {
+  std::string s = "(";
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    if (i) s += ",";
+    s += std::to_string(e[i]);
+  }
+  return s + ")";
+}
+
+/// SD stripe helper: r*n aligned regions with encoded random data.
+struct SdStripe {
+  std::vector<AlignedBuffer> bufs;
+  std::vector<std::span<std::uint8_t>> regions;
+
+  SdStripe(const SdCode& code, std::size_t symbol_size, std::uint64_t seed = 43) {
+    for (std::size_t z = 0; z < code.symbol_count(); ++z) bufs.emplace_back(symbol_size);
+    for (auto& b : bufs) regions.push_back(b.span());
+    Rng rng(seed);
+    for (std::size_t z : code.data_positions()) rng.fill(regions[z]);
+    code.encode(regions);
+  }
+};
+
+}  // namespace stair::bench

@@ -1,0 +1,94 @@
+// raid_array_sim: a storage array living through correlated sector-failure
+// weather (the workload the paper's introduction motivates).
+//
+//   $ ./raid_array_sim [rounds=20] [seed=7]
+//
+// Simulates an 8-device array of STAIR(n=8, r=16, m=2, e=(1,2)) stripes with
+// real bytes: every round injects bursty latent sector errors per the
+// Schroeder et al. model, occasionally kills a device, scrubs/repairs, and
+// verifies data byte-for-byte. Alongside, it runs the same weather over the
+// pattern-level coverage of Reed-Solomon and IDR to show what each scheme
+// would have survived at what redundancy cost.
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "idr/idr_scheme.h"
+#include "sim/array_sim.h"
+#include "sim/scrubber.h"
+
+using namespace stair;
+using namespace stair::sim;
+
+int main(int argc, char** argv) {
+  const int rounds = argc > 1 ? std::atoi(argv[1]) : 20;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+
+  const StairConfig cfg{.n = 8, .r = 16, .m = 2, .e = {1, 2}};
+  const StairCode code(cfg);
+  const IdrConfig idr_cfg{.n = 8, .r = 16, .m = 2, .eps = 2};
+  const IdrScheme idr(idr_cfg);
+
+  std::printf("array:   16 stripes of %s, 1 KiB sectors\n", cfg.to_string().c_str());
+  std::printf("weather: correlated bursts (b1=0.9, alpha=1.3), p_sec=2e-3 per round\n\n");
+
+  DataPathArray array(code, 16, 1024, seed);
+  FailureInjector weather({SectorModel::kCorrelated, 2e-3, 0.9, 1.3}, seed + 1);
+
+  std::size_t stair_survived = 0, stair_skipped = 0;
+  std::size_t rs_would_survive = 0, idr_would_survive = 0, sd_like = 0;
+  for (int round = 0; round < rounds; ++round) {
+    const bool device_death = weather.rng().chance(0.15);
+    const std::size_t victim = weather.rng().next_below(cfg.n);
+
+    std::size_t injected = 0;
+    for (std::size_t s = 0; s < array.stripe_count(); ++s) {
+      auto mask = weather.sample_stripe_mask(
+          cfg.n, cfg.r, device_death ? std::vector<std::size_t>{victim}
+                                     : std::vector<std::size_t>{});
+      for (bool b : mask) injected += b;
+
+      // Score the pattern against each scheme's coverage.
+      std::size_t dead_chunks = 0, sector_chunks = 0, sectors = 0;
+      for (std::size_t j = 0; j < cfg.n; ++j) {
+        std::size_t c = 0;
+        for (std::size_t i = 0; i < cfg.r; ++i) c += mask[i * cfg.n + j];
+        if (c == cfg.r) ++dead_chunks;
+        else if (c > 0) ++sector_chunks, sectors += c;
+      }
+      if (dead_chunks + sector_chunks <= cfg.m) ++rs_would_survive;  // RS(10,8)-style m=2
+      if (idr.is_recoverable(mask)) ++idr_would_survive;
+      if (dead_chunks <= cfg.m && sectors <= cfg.s()) ++sd_like;
+
+      if (!code.is_recoverable(mask)) {
+        // Outside coverage (e.g. a third dead device): a real deployment
+        // would now pull from a replica; we skip the injection.
+        ++stair_skipped;
+        continue;
+      }
+      array.corrupt(s, mask);
+    }
+
+    const std::size_t failures = array.repair_all();
+    const bool ok = failures == 0 && array.verify();
+    stair_survived += ok;
+    std::printf("round %2d: %s injected %4zu lost symbols -> %s\n", round,
+                device_death ? "DEVICE+sectors," : "sectors,       ", injected,
+                ok ? "recovered, data verified" : "DATA LOSS");
+    if (!ok) return 1;
+  }
+
+  const std::size_t total = static_cast<std::size_t>(rounds) * array.stripe_count();
+  std::printf("\nsummary over %zu stripe-rounds:\n", total);
+  std::printf("  STAIR e=(1,2)   : survived all injected rounds (%zu outside coverage skipped)\n",
+              stair_skipped);
+  std::printf("  RS m=2 (same parity chunks) would survive %zu/%zu patterns\n",
+              rs_would_survive, total);
+  std::printf("  SD-like s=3 coverage would survive       %zu/%zu patterns\n", sd_like, total);
+  std::printf("  IDR eps=2 (24 extra sectors vs STAIR's 3) survives %zu/%zu patterns\n",
+              idr_would_survive, total);
+  std::printf("\nscrubbing note: weekly scrubs at this latent rate give p_sec=%.2e\n",
+              scrubbed_p_sec(2e-3 / (7 * 24), 7 * 24));
+  return 0;
+}

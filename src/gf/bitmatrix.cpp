@@ -1,0 +1,90 @@
+#include "gf/bitmatrix.h"
+
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+#include "gf/region.h"
+
+namespace stair::gf {
+
+std::vector<std::uint32_t> multiplication_bitmatrix(const Field& f, std::uint32_t a) {
+  const int w = f.w();
+  std::vector<std::uint32_t> rows(w, 0);
+  for (int j = 0; j < w; ++j) {
+    const std::uint32_t col = f.mul(a, std::uint32_t{1} << j);
+    for (int i = 0; i < w; ++i)
+      if (col & (std::uint32_t{1} << i)) rows[i] |= std::uint32_t{1} << j;
+  }
+  return rows;
+}
+
+std::size_t bitmatrix_xor_count(std::span<const std::uint32_t> rows) {
+  std::size_t count = 0;
+  for (std::uint32_t row : rows) count += std::popcount(row);
+  return count;
+}
+
+void bitmatrix_mult_xor_region(std::span<const std::uint32_t> rows, int w,
+                               std::span<const std::uint8_t> src,
+                               std::span<std::uint8_t> dst) {
+  assert(src.size() == dst.size());
+  assert(src.size() % w == 0 && "region must split into w packets");
+  const std::size_t packet = src.size() / w;
+  for (int i = 0; i < w; ++i) {
+    auto out = dst.subspan(i * packet, packet);
+    for (int j = 0; j < w; ++j)
+      if (rows[i] & (std::uint32_t{1} << j))
+        xor_region(src.subspan(j * packet, packet), out);
+  }
+}
+
+namespace {
+
+// Generic (slow) layout converters; correctness-critical, not hot.
+void convert(const Field& f, std::span<const std::uint8_t> in,
+             std::span<std::uint8_t> out, bool to_planes) {
+  const int w = f.w();
+  assert(in.size() == out.size());
+  assert(in.size() % w == 0);
+  const std::size_t packet = in.size() / w;           // bytes per bit-plane
+  const std::size_t elements = in.size() * 8 / w;     // w-bit symbols
+  const std::size_t bytes = static_cast<std::size_t>(w) / 8;  // w >= 8
+  assert(w >= 8 && "bit-plane layout defined for w in {8, 16, 32}");
+
+  std::memset(out.data(), 0, out.size());
+  for (std::size_t k = 0; k < elements; ++k) {
+    std::uint32_t value = 0;
+    if (to_planes) {
+      std::memcpy(&value, in.data() + k * bytes, bytes);
+    } else {
+      for (int i = 0; i < w; ++i) {
+        const std::size_t bit = i * packet * 8 + k;
+        if (in[bit / 8] & (1u << (bit % 8))) value |= std::uint32_t{1} << i;
+      }
+    }
+    if (to_planes) {
+      for (int i = 0; i < w; ++i) {
+        if (!(value & (std::uint32_t{1} << i))) continue;
+        const std::size_t bit = i * packet * 8 + k;
+        out[bit / 8] |= static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+    } else {
+      std::memcpy(out.data() + k * bytes, &value, bytes);
+    }
+  }
+}
+
+}  // namespace
+
+void to_bitplane(const Field& f, std::span<const std::uint8_t> in,
+                 std::span<std::uint8_t> out) {
+  convert(f, in, out, /*to_planes=*/true);
+}
+
+void from_bitplane(const Field& f, std::span<const std::uint8_t> in,
+                   std::span<std::uint8_t> out) {
+  convert(f, in, out, /*to_planes=*/false);
+}
+
+}  // namespace stair::gf

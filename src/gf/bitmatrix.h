@@ -1,0 +1,48 @@
+// Bit-matrix (pure-XOR) coding backend.
+//
+// §8 notes that Cauchy Reed-Solomon codes "can be further transformed into
+// array codes, whose encoding computations purely build on efficient XOR
+// operations" [Plank & Xu, NCA'06]. This module implements that transform:
+// multiplication by a constant a in GF(2^w) is a linear map over GF(2)^w, so
+// it becomes a w x w binary matrix, and a region operation becomes XORs of
+// bit-plane "packets".
+//
+// Packet layout (the jerasure convention): a region of S bytes (S divisible
+// by w) is viewed as w packets of S/w bytes; bit i of field element k lives
+// at bit position k of packet i. to_bitplane()/from_bitplane() convert
+// between this layout and the ordinary little-endian word layout.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gf/gf.h"
+
+namespace stair::gf {
+
+/// The w x w GF(2) matrix of multiplication by `a`: row i is a bitmask whose
+/// bit j is set iff bit i of (a * alpha_j) is set, alpha_j = 2^j. Applying it
+/// to the bit-vector of x yields the bit-vector of a*x.
+std::vector<std::uint32_t> multiplication_bitmatrix(const Field& f, std::uint32_t a);
+
+/// Number of XOR packet operations the matrix costs (its popcount) — the
+/// XOR-count metric of CRS array codes.
+std::size_t bitmatrix_xor_count(std::span<const std::uint32_t> rows);
+
+/// dst (bit-plane layout) ^= M * src (bit-plane layout). Both regions have
+/// identical sizes divisible by w; each is w packets of size/w bytes.
+void bitmatrix_mult_xor_region(std::span<const std::uint32_t> rows, int w,
+                               std::span<const std::uint8_t> src,
+                               std::span<std::uint8_t> dst);
+
+/// Converts an ordinary-layout region (consecutive little-endian w-bit
+/// symbols) into the bit-plane packet layout. size must be divisible by w.
+void to_bitplane(const Field& f, std::span<const std::uint8_t> in,
+                 std::span<std::uint8_t> out);
+
+/// Inverse of to_bitplane().
+void from_bitplane(const Field& f, std::span<const std::uint8_t> in,
+                   std::span<std::uint8_t> out);
+
+}  // namespace stair::gf

@@ -1,0 +1,140 @@
+#include "gf/gf.h"
+
+#include <cassert>
+#include <mutex>
+#include <stdexcept>
+
+namespace stair::gf {
+
+namespace {
+
+// Conventional primitive polynomials (low bits; implicit leading x^w term),
+// matching jerasure/GF-Complete defaults.
+std::uint64_t primitive_poly_for(int w) {
+  switch (w) {
+    case 4:  return 0x13;        // x^4 + x + 1
+    case 8:  return 0x11d;       // x^8 + x^4 + x^3 + x^2 + 1
+    case 16: return 0x1100b;     // x^16 + x^12 + x^3 + x + 1
+    case 32: return 0x100400007; // x^32 + x^22 + x^2 + x + 1
+    default:
+      throw std::invalid_argument("GF(2^w): w must be one of {4, 8, 16, 32}");
+  }
+}
+
+}  // namespace
+
+Field::Field(int w) : w_(w), poly_(primitive_poly_for(w)) {
+  if (w <= 16) {
+    const std::uint32_t group = max_element();  // 2^w - 1
+    log_.assign(order(), 0);
+    exp_.assign(2 * group, 0);
+    std::uint32_t x = 1;
+    for (std::uint32_t i = 0; i < group; ++i) {
+      exp_[i] = x;
+      exp_[i + group] = x;  // doubled table: exp(log a + log b) without a mod
+      log_[x] = i;
+      x <<= 1;
+      if (x >> w_) x ^= static_cast<std::uint32_t>(poly_);
+    }
+  }
+  if (w == 8) {
+    prod8_.assign(256 * 256, 0);
+    for (std::uint32_t a = 0; a < 256; ++a)
+      for (std::uint32_t b = 0; b < 256; ++b)
+        prod8_[a * 256 + b] = static_cast<std::uint8_t>(
+            (a && b) ? exp_[log_[a] + log_[b]] : 0);
+  }
+}
+
+std::uint32_t Field::mul_slow(std::uint32_t a, std::uint32_t b) const {
+  // Carry-less shift-and-add with modular reduction; used for w = 32 where
+  // log/exp tables are impractical.
+  std::uint64_t acc = 0;
+  std::uint64_t aa = a;
+  while (b) {
+    if (b & 1) acc ^= aa;
+    b >>= 1;
+    aa <<= 1;
+    if (aa >> w_) aa ^= poly_;
+  }
+  return static_cast<std::uint32_t>(acc);
+}
+
+std::uint32_t Field::mul(std::uint32_t a, std::uint32_t b) const {
+  if (a == 0 || b == 0) return 0;
+  if (w_ <= 16) return exp_[log_[a] + log_[b]];
+  return mul_slow(a, b);
+}
+
+std::uint32_t Field::inv(std::uint32_t a) const {
+  assert(a != 0 && "GF inverse of zero");
+  if (w_ <= 16) return exp_[max_element() - log_[a]];
+  // a^(2^w - 2) by square-and-multiply.
+  return pow(a, order() - 2);
+}
+
+std::uint32_t Field::div(std::uint32_t a, std::uint32_t b) const {
+  assert(b != 0 && "GF division by zero");
+  if (a == 0) return 0;
+  if (w_ <= 16) {
+    const std::uint32_t group = max_element();
+    const std::uint32_t diff = log_[a] + group - log_[b];
+    return exp_[diff >= group ? diff - group : diff];
+  }
+  return mul(a, inv(b));
+}
+
+std::uint32_t Field::pow(std::uint32_t a, std::uint64_t e) const {
+  if (a == 0) return e == 0 ? 1 : 0;
+  std::uint32_t result = 1;
+  std::uint32_t base = a;
+  while (e) {
+    if (e & 1) result = mul(result, base);
+    base = mul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+std::uint32_t Field::exp(std::uint64_t i) const {
+  const std::uint64_t group = max_element();
+  i %= group;
+  if (w_ <= 16) return exp_[i];
+  return pow(2, i);
+}
+
+std::uint32_t Field::log(std::uint32_t a) const {
+  assert(a != 0 && "GF log of zero");
+  if (w_ <= 16) return log_[a];
+  // w = 32: linear search is unusable; walk the group with baby steps only for
+  // the rare callers (tests). Production paths never call log for w = 32.
+  std::uint32_t x = 1;
+  for (std::uint64_t i = 0; i < order() - 1; ++i) {
+    if (x == a) return static_cast<std::uint32_t>(i);
+    x = mul(x, 2);
+  }
+  throw std::logic_error("GF(2^32) log: element not in group");
+}
+
+const std::uint8_t* Field::product_row8(std::uint32_t a) const {
+  assert(w_ == 8);
+  return prod8_.data() + a * 256;
+}
+
+const Field& field(int w) {
+  static std::once_flag flags[4];
+  static std::unique_ptr<Field> fields[4];
+  int idx;
+  switch (w) {
+    case 4: idx = 0; break;
+    case 8: idx = 1; break;
+    case 16: idx = 2; break;
+    case 32: idx = 3; break;
+    default:
+      throw std::invalid_argument("gf::field: w must be one of {4, 8, 16, 32}");
+  }
+  std::call_once(flags[idx], [idx, w] { fields[idx] = std::make_unique<Field>(w); });
+  return *fields[idx];
+}
+
+}  // namespace stair::gf

@@ -1,0 +1,85 @@
+// Galois-field arithmetic GF(2^w) for w in {4, 8, 16, 32}.
+//
+// This module replaces the GF-Complete library [Plank et al., FAST'13] that
+// the STAIR paper uses: element arithmetic backed by log/exp tables (a full
+// 64 KiB product table for w = 8), and the Mult_XOR *region* primitive that
+// all encoding/decoding throughput rests on lives in region.h.
+//
+// Field instances are immutable and shared; obtain one via stair::gf::field(w).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace stair::gf {
+
+/// Maximum supported word width.
+inline constexpr int kMaxW = 32;
+
+/// Finite field GF(2^w) with the conventional primitive polynomials
+/// (the same ones jerasure/GF-Complete use, so codewords are interoperable).
+///
+/// Addition is XOR. Multiplication uses log/exp tables for w <= 16 and
+/// shift-and-add reduction for w = 32. All operations are total: division by
+/// zero is a programming error and asserts in debug builds.
+class Field {
+ public:
+  /// Builds GF(2^w). Prefer the shared accessor field(w); construction of the
+  /// w = 16 tables costs a few hundred kilobytes.
+  explicit Field(int w);
+
+  Field(const Field&) = delete;
+  Field& operator=(const Field&) = delete;
+
+  /// Word width in bits.
+  int w() const { return w_; }
+
+  /// Field size 2^w as a 64-bit count (2^32 does not fit in uint32_t).
+  std::uint64_t order() const { return std::uint64_t{1} << w_; }
+
+  /// Largest element value, 2^w - 1; also the multiplicative group order.
+  std::uint32_t max_element() const { return static_cast<std::uint32_t>(order() - 1); }
+
+  /// Field addition (= subtraction): bitwise XOR.
+  static std::uint32_t add(std::uint32_t a, std::uint32_t b) { return a ^ b; }
+
+  /// Field multiplication.
+  std::uint32_t mul(std::uint32_t a, std::uint32_t b) const;
+
+  /// Field division a / b; b must be nonzero.
+  std::uint32_t div(std::uint32_t a, std::uint32_t b) const;
+
+  /// Multiplicative inverse; a must be nonzero.
+  std::uint32_t inv(std::uint32_t a) const;
+
+  /// a raised to the (non-negative) integer power e.
+  std::uint32_t pow(std::uint32_t a, std::uint64_t e) const;
+
+  /// alpha^i where alpha = 2 is the primitive element; i taken mod (2^w - 1).
+  std::uint32_t exp(std::uint64_t i) const;
+
+  /// Discrete log base alpha of a nonzero element.
+  std::uint32_t log(std::uint32_t a) const;
+
+  /// Primitive polynomial (without the leading x^w term for w = 32).
+  std::uint64_t primitive_poly() const { return poly_; }
+
+  /// For w = 8 only: row `a` of the full 256x256 product table
+  /// (products[a][b] = a*b). Used by the scalar region kernel.
+  const std::uint8_t* product_row8(std::uint32_t a) const;
+
+ private:
+  std::uint32_t mul_slow(std::uint32_t a, std::uint32_t b) const;
+
+  int w_;
+  std::uint64_t poly_;
+  std::vector<std::uint32_t> log_;     // log_[a] for a in [1, 2^w); log_[0] unused
+  std::vector<std::uint32_t> exp_;     // exp_[i] for i in [0, 2*(2^w-1))
+  std::vector<std::uint8_t> prod8_;    // 64 KiB product table, w = 8 only
+};
+
+/// Shared immutable field instance for w in {4, 8, 16, 32}.
+const Field& field(int w);
+
+}  // namespace stair::gf

@@ -1,0 +1,42 @@
+// Region (bulk) Galois-field operations — the Mult_XOR primitive of the paper.
+//
+// Mult_XOR(R1, R2, a): multiply region R1 by the w-bit constant a in GF(2^w)
+// and XOR the product into region R2 (paper §5.3, after [Plank FAST'13]).
+// All erasure-code throughput in this library reduces to calls here.
+//
+// Layout: a region is an array of w-bit symbols. For w = 8 that is plain
+// bytes; for w = 16/32, little-endian words (region sizes must be multiples
+// of w/8 bytes). For w = 4, two field elements are packed per byte and the
+// kernel operates on both nibbles at once.
+//
+// Fast paths: w = 8 uses an SSSE3 pshufb split-table kernel when compiled
+// with SSSE3 (the same technique GF-Complete's SPLIT w8 implementation uses);
+// w = 16/32 use per-call 256-entry split product tables. Every path has a
+// scalar fallback and all paths produce bit-identical results.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "gf/gf.h"
+
+namespace stair::gf {
+
+/// dst[i] ^= a * src[i] for every symbol i (the paper's Mult_XOR).
+/// src and dst must be the same size, a multiple of the symbol width.
+void mult_xor_region(const Field& f, std::uint32_t a,
+                     std::span<const std::uint8_t> src, std::span<std::uint8_t> dst);
+
+/// dst[i] = a * src[i] (overwrites dst).
+void mult_region(const Field& f, std::uint32_t a,
+                 std::span<const std::uint8_t> src, std::span<std::uint8_t> dst);
+
+/// dst[i] ^= src[i] — the a = 1 special case, kept separate because it
+/// needs no tables and vectorizes trivially.
+void xor_region(std::span<const std::uint8_t> src, std::span<std::uint8_t> dst);
+
+/// True if this build dispatches the w = 8 kernel to SSSE3 pshufb.
+bool has_simd_w8();
+
+}  // namespace stair::gf

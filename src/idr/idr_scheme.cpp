@@ -1,0 +1,109 @@
+#include "idr/idr_scheme.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace stair {
+
+void IdrConfig::validate() const {
+  if (n < 2 || r < 1) throw std::invalid_argument("IdrConfig: need n >= 2, r >= 1");
+  if (m >= n) throw std::invalid_argument("IdrConfig: m must be < n");
+  if (eps == 0 || eps >= r) throw std::invalid_argument("IdrConfig: need 0 < eps < r");
+  if (w != 8 && w != 16) throw std::invalid_argument("IdrConfig: w must be 8 or 16");
+  const std::size_t order = std::size_t{1} << w;
+  if (n > order || r > order) throw std::invalid_argument("IdrConfig: stripe too large for w");
+}
+
+IdrScheme::IdrScheme(IdrConfig cfg)
+    : cfg_([&] {
+        cfg.validate();
+        return cfg;
+      }()),
+      inner_(gf::field(cfg_.w), cfg_.r - cfg_.eps, cfg_.r),
+      outer_(gf::field(cfg_.w), cfg_.n - cfg_.m, cfg_.n) {}
+
+void IdrScheme::encode(std::span<const std::span<std::uint8_t>> symbols) const {
+  const std::size_t n = cfg_.n, r = cfg_.r, m = cfg_.m, eps = cfg_.eps;
+  if (symbols.size() != n * r) throw std::invalid_argument("IdrScheme::encode: wrong symbol count");
+
+  // Inner (vertical) parities at the bottom of each data chunk.
+  std::vector<std::span<const std::uint8_t>> data(r - eps);
+  std::vector<std::span<std::uint8_t>> parity(eps);
+  for (std::size_t j = 0; j < n - m; ++j) {
+    for (std::size_t i = 0; i < r - eps; ++i) data[i] = symbols[i * n + j];
+    for (std::size_t i = 0; i < eps; ++i) parity[i] = symbols[(r - eps + i) * n + j];
+    inner_.encode(data, parity);
+  }
+  // Outer (horizontal) parities across every row, protecting inner parities too.
+  std::vector<std::span<const std::uint8_t>> row_data(n - m);
+  std::vector<std::span<std::uint8_t>> row_parity(m);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < n - m; ++j) row_data[j] = symbols[i * n + j];
+    for (std::size_t k = 0; k < m; ++k) row_parity[k] = symbols[i * n + (n - m + k)];
+    outer_.encode(row_data, row_parity);
+  }
+}
+
+bool IdrScheme::is_recoverable(const std::vector<bool>& erased) const {
+  const std::size_t n = cfg_.n, r = cfg_.r;
+  if (erased.size() != n * r) return false;
+  std::size_t damaged_beyond_inner = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < r; ++i)
+      if (erased[i * n + j]) ++count;
+    // Outer parity chunks have no inner code; any loss defers to row repair.
+    const bool inner_ok = j < n - cfg_.m && count <= cfg_.eps;
+    if (count > 0 && !inner_ok) ++damaged_beyond_inner;
+  }
+  return damaged_beyond_inner <= cfg_.m;
+}
+
+bool IdrScheme::decode(std::span<const std::span<std::uint8_t>> symbols,
+                       const std::vector<bool>& erased) const {
+  const std::size_t n = cfg_.n, r = cfg_.r, m = cfg_.m, eps = cfg_.eps;
+  if (!is_recoverable(erased)) return false;
+  std::vector<bool> remaining = erased;
+
+  // Inner repair of data chunks with <= eps losses.
+  for (std::size_t j = 0; j < n - m; ++j) {
+    std::vector<std::size_t> lost;
+    for (std::size_t i = 0; i < r; ++i)
+      if (remaining[i * n + j]) lost.push_back(i);
+    if (lost.empty() || lost.size() > eps) continue;
+    std::vector<std::size_t> avail;
+    std::vector<std::span<const std::uint8_t>> avail_regions;
+    for (std::size_t i = 0; i < r && avail.size() < r - eps; ++i) {
+      if (remaining[i * n + j]) continue;
+      avail.push_back(i);
+      avail_regions.push_back(symbols[i * n + j]);
+    }
+    std::vector<std::span<std::uint8_t>> lost_regions;
+    for (std::size_t i : lost) lost_regions.push_back(symbols[i * n + j]);
+    inner_.decode(avail, avail_regions, lost, lost_regions);
+    for (std::size_t i : lost) remaining[i * n + j] = false;
+  }
+
+  // Outer repair, row by row (at most m unknowns per row remain).
+  for (std::size_t i = 0; i < r; ++i) {
+    std::vector<std::size_t> lost;
+    for (std::size_t j = 0; j < n; ++j)
+      if (remaining[i * n + j]) lost.push_back(j);
+    if (lost.empty()) continue;
+    if (lost.size() > m) return false;
+    std::vector<std::size_t> avail;
+    std::vector<std::span<const std::uint8_t>> avail_regions;
+    for (std::size_t j = 0; j < n && avail.size() < n - m; ++j) {
+      if (remaining[i * n + j]) continue;
+      avail.push_back(j);
+      avail_regions.push_back(symbols[i * n + j]);
+    }
+    std::vector<std::span<std::uint8_t>> lost_regions;
+    for (std::size_t j : lost) lost_regions.push_back(symbols[i * n + j]);
+    outer_.decode(avail, avail_regions, lost, lost_regions);
+    for (std::size_t j : lost) remaining[i * n + j] = false;
+  }
+  return true;
+}
+
+}  // namespace stair

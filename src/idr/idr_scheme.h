@@ -1,0 +1,63 @@
+// Intra-device redundancy (IDR) [Dholakia et al., ToS'08] — the space-saving
+// comparator of §2.
+//
+// IDR reserves the last `eps` sectors of every data chunk for an inner
+// systematic (r, r - eps) code computed within the chunk, on top of an outer
+// RAID layer of m parity disks. It tolerates m device failures plus up to
+// eps sector failures in *every* surviving chunk — the coverage STAIR
+// matches with e = (eps, ..., eps) at a fraction of the redundancy when the
+// full vector is unnecessary.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "rs/mds_code.h"
+
+namespace stair {
+
+/// IDR parameters.
+struct IdrConfig {
+  std::size_t n = 0;    ///< devices per stripe
+  std::size_t r = 0;    ///< sectors per chunk
+  std::size_t m = 0;    ///< outer parity devices
+  std::size_t eps = 0;  ///< redundant sectors per data chunk
+  int w = 8;
+
+  void validate() const;
+
+  /// Redundant sectors per stripe: m*r outer + eps*(n - m) inner.
+  std::size_t redundancy() const { return m * r + eps * (n - m); }
+  std::size_t data_symbols() const { return (r - eps) * (n - m); }
+};
+
+/// The IDR scheme over an r x n stripe (row-major symbol index = row*n + col).
+/// Data occupies the first r - eps rows of the n - m data chunks; the inner
+/// parities fill the chunk bottoms and the outer parities the m last chunks.
+class IdrScheme {
+ public:
+  explicit IdrScheme(IdrConfig cfg);
+
+  const IdrConfig& config() const { return cfg_; }
+
+  /// Fills inner chunk parities then outer device parities.
+  void encode(std::span<const std::span<std::uint8_t>> symbols) const;
+
+  /// Recovers erased symbols if the pattern is within coverage: after inner
+  /// repair (<= eps losses per surviving chunk), at most m chunks may remain
+  /// damaged. Returns false otherwise.
+  bool decode(std::span<const std::span<std::uint8_t>> symbols,
+              const std::vector<bool>& erased) const;
+
+  /// Pattern-only coverage check mirroring decode().
+  bool is_recoverable(const std::vector<bool>& erased) const;
+
+ private:
+  IdrConfig cfg_;
+  SystematicMdsCode inner_;  // (r, r - eps) down each chunk
+  SystematicMdsCode outer_;  // (n, n - m) across each row
+};
+
+}  // namespace stair

@@ -1,0 +1,32 @@
+#include "matrix/cauchy.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace stair {
+
+Matrix cauchy_matrix_from_points(const gf::Field& f,
+                                 std::span<const std::uint32_t> x,
+                                 std::span<const std::uint32_t> y) {
+  Matrix m(f, x.size(), y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    for (std::size_t j = 0; j < y.size(); ++j) {
+      const std::uint32_t denom = gf::Field::add(x[i], y[j]);
+      if (denom == 0)
+        throw std::invalid_argument("cauchy_matrix: x and y sets must be disjoint");
+      m.set(i, j, f.inv(denom));
+    }
+  }
+  return m;
+}
+
+Matrix cauchy_matrix(const gf::Field& f, std::size_t rows, std::size_t cols) {
+  if (rows + cols > f.order())
+    throw std::invalid_argument("cauchy_matrix: rows + cols exceeds field size");
+  std::vector<std::uint32_t> x(rows), y(cols);
+  for (std::size_t i = 0; i < rows; ++i) x[i] = static_cast<std::uint32_t>(i);
+  for (std::size_t j = 0; j < cols; ++j) y[j] = static_cast<std::uint32_t>(rows + j);
+  return cauchy_matrix_from_points(f, x, y);
+}
+
+}  // namespace stair

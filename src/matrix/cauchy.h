@@ -1,0 +1,25 @@
+// Cauchy matrices over GF(2^w).
+//
+// A Cauchy matrix C with c_ij = 1 / (x_i + y_j), all x_i and y_j distinct,
+// has every square submatrix nonsingular. A systematic generator [I | C]
+// built from one is therefore MDS, which is what makes Cauchy Reed-Solomon
+// codes work for arbitrary (length, dimension) up to the field size.
+#pragma once
+
+#include <cstddef>
+
+#include "matrix/matrix.h"
+
+namespace stair {
+
+/// rows x cols Cauchy matrix using x_i = i and y_j = rows + j.
+/// Requires rows + cols <= 2^w so all points are distinct field elements.
+Matrix cauchy_matrix(const gf::Field& f, std::size_t rows, std::size_t cols);
+
+/// Cauchy matrix from explicit point sets (sizes define the shape).
+/// All x and y values must be pairwise distinct across both sets.
+Matrix cauchy_matrix_from_points(const gf::Field& f,
+                                 std::span<const std::uint32_t> x,
+                                 std::span<const std::uint32_t> y);
+
+}  // namespace stair

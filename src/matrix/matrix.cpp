@@ -1,0 +1,142 @@
+#include "matrix/matrix.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace stair {
+
+Matrix::Matrix(const gf::Field& f, std::size_t rows, std::size_t cols)
+    : field_(&f), rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+Matrix Matrix::identity(const gf::Field& f, std::size_t n) {
+  Matrix m(f, n, n);
+  for (std::size_t i = 0; i < n; ++i) m.set(i, i, 1);
+  return m;
+}
+
+Matrix Matrix::mul(const Matrix& rhs) const {
+  assert(cols_ == rhs.rows_);
+  Matrix out(*field_, rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const std::uint32_t a = at(i, k);
+      if (a == 0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        const std::uint32_t b = rhs.at(k, j);
+        if (b == 0) continue;
+        out.set(i, j, gf::Field::add(out.at(i, j), field_->mul(a, b)));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> Matrix::mul_vec(std::span<const std::uint32_t> v) const {
+  assert(v.size() == cols_);
+  std::vector<std::uint32_t> out(rows_, 0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    std::uint32_t acc = 0;
+    for (std::size_t j = 0; j < cols_; ++j) {
+      const std::uint32_t a = at(i, j);
+      if (a && v[j]) acc ^= field_->mul(a, v[j]);
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+std::optional<Matrix> Matrix::inverse() const {
+  if (rows_ != cols_) throw std::invalid_argument("Matrix::inverse: not square");
+  const std::size_t n = rows_;
+  Matrix work = *this;
+  Matrix inv = identity(*field_, n);
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find a pivot at or below the diagonal.
+    std::size_t pivot = col;
+    while (pivot < n && work.at(pivot, col) == 0) ++pivot;
+    if (pivot == n) return std::nullopt;
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(work.row(pivot)[j], work.row(col)[j]);
+        std::swap(inv.row(pivot)[j], inv.row(col)[j]);
+      }
+    }
+    // Scale the pivot row to make the pivot 1.
+    const std::uint32_t p = work.at(col, col);
+    if (p != 1) {
+      const std::uint32_t pinv = field_->inv(p);
+      for (std::size_t j = 0; j < n; ++j) {
+        work.set(col, j, field_->mul(work.at(col, j), pinv));
+        inv.set(col, j, field_->mul(inv.at(col, j), pinv));
+      }
+    }
+    // Eliminate the column everywhere else.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const std::uint32_t factor = work.at(r, col);
+      if (factor == 0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        work.set(r, j, gf::Field::add(work.at(r, j), field_->mul(factor, work.at(col, j))));
+        inv.set(r, j, gf::Field::add(inv.at(r, j), field_->mul(factor, inv.at(col, j))));
+      }
+    }
+  }
+  return inv;
+}
+
+std::size_t Matrix::rank() const {
+  Matrix work = *this;
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols_ && rank < rows_; ++col) {
+    std::size_t pivot = rank;
+    while (pivot < rows_ && work.at(pivot, col) == 0) ++pivot;
+    if (pivot == rows_) continue;
+    if (pivot != rank)
+      for (std::size_t j = 0; j < cols_; ++j) std::swap(work.row(pivot)[j], work.row(rank)[j]);
+    const std::uint32_t pinv = field_->inv(work.at(rank, col));
+    for (std::size_t j = col; j < cols_; ++j)
+      work.set(rank, j, field_->mul(work.at(rank, j), pinv));
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == rank) continue;
+      const std::uint32_t factor = work.at(r, col);
+      if (factor == 0) continue;
+      for (std::size_t j = col; j < cols_; ++j)
+        work.set(r, j, gf::Field::add(work.at(r, j), field_->mul(factor, work.at(rank, j))));
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+bool Matrix::is_invertible() const {
+  return rows_ == cols_ && rank() == rows_;
+}
+
+Matrix Matrix::select(std::span<const std::size_t> row_idx,
+                      std::span<const std::size_t> col_idx) const {
+  Matrix out(*field_, row_idx.size(), col_idx.size());
+  for (std::size_t i = 0; i < row_idx.size(); ++i)
+    for (std::size_t j = 0; j < col_idx.size(); ++j)
+      out.set(i, j, at(row_idx[i], col_idx[j]));
+  return out;
+}
+
+Matrix Matrix::concat_cols(const Matrix& rhs) const {
+  assert(rows_ == rhs.rows_);
+  Matrix out(*field_, rows_, cols_ + rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) out.set(i, j, at(i, j));
+    for (std::size_t j = 0; j < rhs.cols_; ++j) out.set(i, cols_ + j, rhs.at(i, j));
+  }
+  return out;
+}
+
+std::optional<std::vector<std::uint32_t>> solve(const Matrix& a,
+                                                std::span<const std::uint32_t> b) {
+  auto inv = a.inverse();
+  if (!inv) return std::nullopt;
+  return inv->mul_vec(b);
+}
+
+}  // namespace stair

@@ -1,0 +1,77 @@
+// Dense matrices over GF(2^w) and the linear algebra the code constructions
+// need: multiplication, Gaussian inversion, rank, and solving.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "gf/gf.h"
+
+namespace stair {
+
+/// Row-major dense matrix over a shared GF(2^w) field.
+///
+/// Elements are stored as uint32_t regardless of w so the same code serves
+/// all word sizes; construction code is not throughput-critical.
+class Matrix {
+ public:
+  /// rows x cols zero matrix over `f`.
+  Matrix(const gf::Field& f, std::size_t rows, std::size_t cols);
+
+  /// Identity matrix of size n.
+  static Matrix identity(const gf::Field& f, std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  const gf::Field& field() const { return *field_; }
+
+  std::uint32_t at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  void set(std::size_t r, std::size_t c, std::uint32_t v) { data_[r * cols_ + c] = v; }
+
+  /// Row r as a contiguous span.
+  std::span<const std::uint32_t> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<std::uint32_t> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Matrix product this * rhs (cols() must equal rhs.rows()).
+  Matrix mul(const Matrix& rhs) const;
+
+  /// Matrix-vector product this * v.
+  std::vector<std::uint32_t> mul_vec(std::span<const std::uint32_t> v) const;
+
+  /// Inverse by Gauss-Jordan elimination; nullopt if singular. Square only.
+  std::optional<Matrix> inverse() const;
+
+  /// Rank by Gaussian elimination.
+  std::size_t rank() const;
+
+  /// True iff square and inverse() exists.
+  bool is_invertible() const;
+
+  /// Submatrix picking the given rows and columns (in the given order).
+  Matrix select(std::span<const std::size_t> row_idx,
+                std::span<const std::size_t> col_idx) const;
+
+  /// Horizontal concatenation [this | rhs] (equal row counts).
+  Matrix concat_cols(const Matrix& rhs) const;
+
+  bool operator==(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+  }
+
+ private:
+  const gf::Field* field_;
+  std::size_t rows_, cols_;
+  std::vector<std::uint32_t> data_;
+};
+
+/// Solves A x = b over GF (A square, invertible); nullopt if singular.
+std::optional<std::vector<std::uint32_t>> solve(const Matrix& a,
+                                                std::span<const std::uint32_t> b);
+
+}  // namespace stair

@@ -1,0 +1,63 @@
+#include "matrix/vandermonde.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace stair {
+
+Matrix vandermonde_matrix(const gf::Field& f, std::size_t rows, std::size_t cols) {
+  if (rows > f.order())
+    throw std::invalid_argument("vandermonde_matrix: too many rows for field");
+  Matrix m(f, rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j)
+      m.set(i, j, f.pow(static_cast<std::uint32_t>(i), j));
+  return m;
+}
+
+Matrix systematic_vandermonde_generator(const gf::Field& f, std::size_t kappa,
+                                        std::size_t eta) {
+  if (kappa >= eta) throw std::invalid_argument("generator: kappa must be < eta");
+  if (eta > f.order())
+    throw std::invalid_argument("generator: eta exceeds field size");
+
+  // Work on the eta x kappa encoding matrix (codeword = V * data_col) and
+  // reduce its top kappa x kappa block to the identity by column operations.
+  // Column ops preserve "every kappa rows are independent", i.e. MDS.
+  Matrix v = vandermonde_matrix(f, eta, kappa);
+
+  for (std::size_t d = 0; d < kappa; ++d) {
+    // Ensure a nonzero diagonal element by swapping columns if needed.
+    if (v.at(d, d) == 0) {
+      std::size_t swap_col = d + 1;
+      while (swap_col < kappa && v.at(d, swap_col) == 0) ++swap_col;
+      assert(swap_col < kappa && "Vandermonde block must be nonsingular");
+      for (std::size_t r = 0; r < eta; ++r) {
+        const std::uint32_t tmp = v.at(r, d);
+        v.set(r, d, v.at(r, swap_col));
+        v.set(r, swap_col, tmp);
+      }
+    }
+    // Scale column d so the diagonal becomes 1.
+    const std::uint32_t pinv = f.inv(v.at(d, d));
+    if (pinv != 1)
+      for (std::size_t r = 0; r < eta; ++r) v.set(r, d, f.mul(v.at(r, d), pinv));
+    // Clear the rest of row d by column elimination.
+    for (std::size_t c = 0; c < kappa; ++c) {
+      if (c == d) continue;
+      const std::uint32_t factor = v.at(d, c);
+      if (factor == 0) continue;
+      for (std::size_t r = 0; r < eta; ++r)
+        v.set(r, c, gf::Field::add(v.at(r, c), f.mul(factor, v.at(r, d))));
+    }
+  }
+
+  // v is now [I_kappa on top; A below] as an eta x kappa encoding matrix.
+  // Transpose to the kappa x eta generator convention.
+  Matrix g(f, kappa, eta);
+  for (std::size_t i = 0; i < kappa; ++i)
+    for (std::size_t j = 0; j < eta; ++j) g.set(i, j, v.at(j, i));
+  return g;
+}
+
+}  // namespace stair

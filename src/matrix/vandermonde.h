@@ -1,0 +1,25 @@
+// Vandermonde matrices and the systematic transform for "standard"
+// Reed-Solomon generator construction (Plank's tutorial + 2005 correction).
+//
+// A raw Vandermonde generator is MDS but not systematic; the transform
+// reduces it by elementary column operations to the form [I | A] while
+// preserving the MDS property.
+#pragma once
+
+#include <cstddef>
+
+#include "matrix/matrix.h"
+
+namespace stair {
+
+/// rows x cols Vandermonde matrix v_ij = i^j (element i of the field raised
+/// to the integer power j). Requires rows <= 2^w.
+Matrix vandermonde_matrix(const gf::Field& f, std::size_t rows, std::size_t cols);
+
+/// Systematic kappa x eta Reed-Solomon generator [I_kappa | A] derived from an
+/// eta x kappa Vandermonde matrix by column reduction, transposed to the
+/// generator convention (codeword = data_row * G). Requires eta <= 2^w.
+Matrix systematic_vandermonde_generator(const gf::Field& f, std::size_t kappa,
+                                        std::size_t eta);
+
+}  // namespace stair

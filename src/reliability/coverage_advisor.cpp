@@ -1,0 +1,70 @@
+#include "reliability/coverage_advisor.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "reliability/pstr.h"
+
+namespace stair::reliability {
+
+namespace {
+
+// Ascending coverage vectors with sum <= budget, entries <= r, length <= max_len.
+void enumerate(std::size_t budget, std::size_t max_entry, std::size_t max_len,
+               std::vector<std::size_t>& prefix,
+               const std::function<void(const std::vector<std::size_t>&)>& emit) {
+  if (!prefix.empty()) emit(prefix);
+  if (prefix.size() == max_len) return;
+  std::size_t used = 0;
+  for (std::size_t v : prefix) used += v;
+  const std::size_t lo = prefix.empty() ? 1 : prefix.back();
+  for (std::size_t v = lo; used + v <= budget && v <= max_entry; ++v) {
+    prefix.push_back(v);
+    enumerate(budget, max_entry, max_len, prefix, emit);
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<CoverageCandidate> rank_coverage_vectors(const AdvisorQuery& query) {
+  const SystemParams& sys = query.system;
+  const std::size_t budget =
+      query.max_sectors ? query.max_sectors : std::min(query.beta + 3, sys.r);
+  if (query.beta > sys.r || query.beta > budget) return {};
+
+  const double p_sec =
+      sector_failure_prob(query.p_bit, static_cast<std::size_t>(sys.sector_bytes));
+  const std::vector<double> pchk =
+      query.correlated
+          ? correlated_chunk_pmf(p_sec, BurstDistribution(query.b1, query.alpha), sys.r)
+          : independent_chunk_pmf(p_sec, sys.r);
+  const std::size_t chunks = sys.n - sys.m;
+
+  std::vector<CoverageCandidate> out;
+  std::vector<std::size_t> prefix;
+  enumerate(budget, sys.r, sys.n - sys.m, prefix, [&](const std::vector<std::size_t>& e) {
+    if (e.back() < query.beta) return;
+    CoverageCandidate cand;
+    cand.e = e;
+    for (std::size_t v : e) cand.s += v;
+    if (cand.s >= sys.r * (sys.n - sys.m)) return;  // coverage would eat all data
+    cand.pstr = pstr_stair(pchk, chunks, e);
+    cand.mttdl_hours = mttdl_system(sys, cand.s, cand.pstr);
+    out.push_back(std::move(cand));
+  });
+
+  std::sort(out.begin(), out.end(), [](const CoverageCandidate& a, const CoverageCandidate& b) {
+    if (a.mttdl_hours != b.mttdl_hours) return a.mttdl_hours > b.mttdl_hours;
+    if (a.s != b.s) return a.s < b.s;
+    return a.e < b.e;
+  });
+  return out;
+}
+
+std::vector<std::size_t> recommend_coverage(const AdvisorQuery& query) {
+  const auto ranked = rank_coverage_vectors(query);
+  return ranked.empty() ? std::vector<std::size_t>{} : ranked.front().e;
+}
+
+}  // namespace stair::reliability

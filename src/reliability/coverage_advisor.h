@@ -1,0 +1,45 @@
+// Coverage configuration (§7.2.2 as a library API): given an array shape, a
+// burst-tolerance requirement, a failure model, and a redundancy budget,
+// enumerate and rank the candidate coverage vectors e by system MTTDL.
+//
+// The §7.2.2 findings this automates: under bursty sector failures e = (s)
+// dominates; under independent failures split vectors like e = (1, s-1) win;
+// and the largest element must be at least the worst burst length beta.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "reliability/mttdl.h"
+#include "reliability/sector_models.h"
+
+namespace stair::reliability {
+
+/// What the advisor optimizes against.
+struct AdvisorQuery {
+  SystemParams system;          ///< array shape and rates (m = 1 model)
+  double p_bit = 1e-12;         ///< unrecoverable bit error rate
+  std::size_t beta = 1;         ///< minimum tolerable burst length (e_max >= beta)
+  std::size_t max_sectors = 0;  ///< redundancy budget s_max; 0 = beta + 3
+  bool correlated = true;       ///< burst model (true) or independent (false)
+  double b1 = 0.98;             ///< burst-length mass at 1 (correlated model)
+  double alpha = 1.79;          ///< Pareto tail index (correlated model)
+};
+
+/// One ranked candidate.
+struct CoverageCandidate {
+  std::vector<std::size_t> e;
+  std::size_t s = 0;          ///< redundant sectors per stripe
+  double pstr = 0;            ///< critical-mode stripe failure probability
+  double mttdl_hours = 0;     ///< system MTTDL
+};
+
+/// All coverage vectors with e_max >= beta and sum <= the budget, ranked by
+/// MTTDL descending (ties: fewer redundant sectors first). Empty result means
+/// the constraints are unsatisfiable (e.g. beta > r).
+std::vector<CoverageCandidate> rank_coverage_vectors(const AdvisorQuery& query);
+
+/// The top-ranked candidate's e, or empty if none qualifies.
+std::vector<std::size_t> recommend_coverage(const AdvisorQuery& query);
+
+}  // namespace stair::reliability

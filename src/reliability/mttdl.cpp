@@ -1,0 +1,43 @@
+#include "reliability/mttdl.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stair::reliability {
+
+double storage_efficiency(std::size_t n, std::size_t r, std::size_t m, std::size_t s) {
+  return static_cast<double>(r * (n - m) - s) / static_cast<double>(r * n);
+}
+
+std::size_t num_arrays(const SystemParams& p, double efficiency) {
+  if (efficiency <= 0.0) throw std::invalid_argument("num_arrays: efficiency must be > 0");
+  const double arrays = p.user_bytes / efficiency /
+                        (p.device_bytes * static_cast<double>(p.n));
+  return static_cast<std::size_t>(std::ceil(arrays - 1e-9));
+}
+
+double p_arr(const SystemParams& p, double pstr) {
+  const double stripes = std::floor(p.device_bytes / (p.sector_bytes * static_cast<double>(p.r)));
+  // Exact complement form; the paper's linear approximation holds for small
+  // pstr but saturates wrongly for large ones.
+  const double parr = -std::expm1(stripes * std::log1p(-pstr));
+  return parr;
+}
+
+double mttdl_array(const SystemParams& p, double parr) {
+  if (p.m != 1)
+    throw std::invalid_argument("mttdl_array: the §7 Markov model covers m = 1 only");
+  const double lambda = 1.0 / p.mttf_hours;
+  const double mu = 1.0 / p.rebuild_hours;
+  const double n = static_cast<double>(p.n);
+  return ((2.0 * n - 1.0) * lambda + mu) /
+         (n * lambda * ((n - 1.0) * lambda + mu * parr));
+}
+
+double mttdl_system(const SystemParams& p, std::size_t s, double pstr) {
+  const double eff = storage_efficiency(p.n, p.r, p.m, s);
+  const std::size_t arrays = num_arrays(p, eff);
+  return mttdl_array(p, p_arr(p, pstr)) / static_cast<double>(arrays);
+}
+
+}  // namespace stair::reliability

@@ -1,0 +1,40 @@
+// MTTDL analytics (§7.1.1): storage efficiency (Eq. 8), array count (Eq. 7),
+// the critical-mode Markov model of Figure 16 (Eq. 10), and the array/system
+// roll-ups (Eqs. 9, 11). The m = 1 restriction matches the paper's analysis.
+#pragma once
+
+#include <cstddef>
+
+namespace stair::reliability {
+
+/// Storage-system parameters (Table 4). Binary units: the paper's N_arr
+/// table reproduces exactly with 1 PB = 2^50 bytes and C = 300 * 2^30 bytes.
+struct SystemParams {
+  double user_bytes = 10.0 * 1125899906842624.0;  ///< U, default 10 PB (2^50)
+  double device_bytes = 300.0 * 1073741824.0;     ///< C, default 300 GB (2^30)
+  double sector_bytes = 512.0;                    ///< S
+  double mttf_hours = 500000.0;                   ///< 1/lambda
+  double rebuild_hours = 17.8;                    ///< 1/mu
+  std::size_t n = 8;                              ///< devices per array
+  std::size_t r = 16;                             ///< sectors per chunk
+  std::size_t m = 1;                              ///< parity devices
+};
+
+/// Eq. 8: E = (r*(n-m) - s) / (r*n). s = 0 gives Reed-Solomon's efficiency.
+double storage_efficiency(std::size_t n, std::size_t r, std::size_t m, std::size_t s);
+
+/// Eq. 7: number of arrays needed for U bytes of user data.
+std::size_t num_arrays(const SystemParams& p, double efficiency);
+
+/// Eq. 11: probability that an array in critical mode hits unrecoverable
+/// sector failures, from the per-stripe probability.
+double p_arr(const SystemParams& p, double pstr);
+
+/// Eq. 10: MTTDL of one array (hours) under the m = 1 Markov model.
+double mttdl_array(const SystemParams& p, double parr);
+
+/// Eq. 9 + plumbing: system MTTDL (hours) for a code with `s` parity sectors
+/// per stripe and critical-mode stripe failure probability `pstr`.
+double mttdl_system(const SystemParams& p, std::size_t s, double pstr);
+
+}  // namespace stair::reliability

@@ -1,0 +1,176 @@
+#include "reliability/pstr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+namespace stair::reliability {
+
+namespace {
+
+double binom(std::size_t n, std::size_t k) {
+  if (k > n) return 0.0;
+  double result = 1.0;
+  for (std::size_t i = 0; i < k; ++i)
+    result *= static_cast<double>(n - i) / static_cast<double>(i + 1);
+  return result;
+}
+
+// Number of ways to assign the ascending count multiset `c` to `chunks`
+// distinguishable chunks: chunks falling-factorial k divided by the
+// multiplicities' factorials.
+double multiset_ways(std::span<const std::size_t> c, std::size_t chunks) {
+  const std::size_t k = c.size();
+  if (k > chunks) return 0.0;
+  double ways = 1.0;
+  for (std::size_t i = 0; i < k; ++i) ways *= static_cast<double>(chunks - i);
+  std::size_t run = 1;
+  for (std::size_t i = 1; i <= k; ++i) {
+    if (i < k && c[i] == c[i - 1]) {
+      ++run;
+    } else {
+      for (std::size_t f = 2; f <= run; ++f) ways /= static_cast<double>(f);
+      run = 1;
+    }
+  }
+  return ways;
+}
+
+// Sums P(recoverable pattern) over all ascending count vectors accepted by
+// `fits`, entries bounded by `max_entry`, length bounded by `max_len`.
+double recoverable_probability(
+    std::span<const double> pchk, std::size_t chunks, std::size_t max_entry,
+    std::size_t max_len,
+    const std::function<bool(std::span<const std::size_t>)>& fits) {
+  const std::size_t r = pchk.size() - 1;
+  max_entry = std::min(max_entry, r);
+  max_len = std::min(max_len, chunks);
+
+  double total = 0.0;
+  std::vector<std::size_t> c;
+  std::function<void(std::size_t, double)> rec = [&](std::size_t min_entry, double prob) {
+    if (fits(c)) total += multiset_ways(c, chunks) * prob *
+                          std::pow(pchk[0], static_cast<double>(chunks - c.size()));
+    if (c.size() == max_len) return;
+    for (std::size_t v = min_entry; v <= max_entry; ++v) {
+      if (pchk[v] == 0.0) continue;
+      c.push_back(v);
+      rec(v, prob * pchk[v]);
+      c.pop_back();
+    }
+  };
+  rec(1, 1.0);
+  return total;
+}
+
+}  // namespace
+
+double pstr_rs(std::span<const double> pchk, std::size_t chunks) {
+  return 1.0 - std::pow(pchk[0], static_cast<double>(chunks));
+}
+
+double pstr_stair(std::span<const double> pchk, std::size_t chunks,
+                  std::span<const std::size_t> e) {
+  if (e.empty()) return pstr_rs(pchk, chunks);
+  const std::size_t mp = e.size();
+  auto fits = [&](std::span<const std::size_t> c) {
+    const std::size_t k = c.size();
+    if (k > mp) return false;
+    for (std::size_t i = 0; i < k; ++i)
+      if (c[i] > e[mp - k + i]) return false;
+    return true;
+  };
+  return 1.0 - recoverable_probability(pchk, chunks, e.back(), mp, fits);
+}
+
+double pstr_sd(std::span<const double> pchk, std::size_t chunks, std::size_t s) {
+  auto fits = [&](std::span<const std::size_t> c) {
+    std::size_t total = 0;
+    for (std::size_t v : c) total += v;
+    return total <= s;
+  };
+  return 1.0 - recoverable_probability(pchk, chunks, s, s, fits);
+}
+
+// --- Appendix B closed forms ------------------------------------------------
+
+double pstr_stair_e_s(std::span<const double> pchk, std::size_t chunks, std::size_t s) {
+  const double n1 = static_cast<double>(chunks);
+  double sum = 0.0;
+  for (std::size_t i = 1; i <= s; ++i) sum += pchk[i];
+  return 1.0 - std::pow(pchk[0], n1) - n1 * sum * std::pow(pchk[0], n1 - 1);
+}
+
+double pstr_stair_e_1_s1(std::span<const double> pchk, std::size_t chunks, std::size_t s) {
+  if (s < 2) throw std::invalid_argument("e = (1, s-1) needs s >= 2");
+  const double nm = static_cast<double>(chunks);
+  double single = 0.0;
+  for (std::size_t i = 1; i <= s - 1; ++i) single += pchk[i];
+  double paired = 0.0;
+  for (std::size_t i = 2; i <= s - 1; ++i) paired += pchk[i];
+  return 1.0 - std::pow(pchk[0], nm) - nm * single * std::pow(pchk[0], nm - 1) -
+         binom(chunks, 2) * pchk[1] * pchk[1] * std::pow(pchk[0], nm - 2) -
+         nm * (nm - 1) * paired * pchk[1] * std::pow(pchk[0], nm - 2);
+}
+
+double pstr_stair_e_2_s2(std::span<const double> pchk, std::size_t chunks, std::size_t s) {
+  if (s < 4) throw std::invalid_argument("e = (2, s-2) needs s >= 4");
+  const double nm = static_cast<double>(chunks);
+  double single = 0.0;
+  for (std::size_t i = 1; i <= s - 2; ++i) single += pchk[i];
+  double with1 = 0.0;
+  for (std::size_t i = 2; i <= s - 2; ++i) with1 += pchk[i];
+  double with2 = 0.0;
+  for (std::size_t i = 3; i <= s - 2; ++i) with2 += pchk[i];
+  return 1.0 - std::pow(pchk[0], nm) - nm * single * std::pow(pchk[0], nm - 1) -
+         binom(chunks, 2) * pchk[1] * pchk[1] * std::pow(pchk[0], nm - 2) -
+         nm * (nm - 1) * with1 * pchk[1] * std::pow(pchk[0], nm - 2) -
+         binom(chunks, 2) * pchk[2] * pchk[2] * std::pow(pchk[0], nm - 2) -
+         nm * (nm - 1) * with2 * pchk[2] * std::pow(pchk[0], nm - 2);
+}
+
+double pstr_stair_e_11_s2(std::span<const double> pchk, std::size_t chunks, std::size_t s) {
+  if (s < 3) throw std::invalid_argument("e = (1, 1, s-2) needs s >= 3");
+  const double nm = static_cast<double>(chunks);
+  double single = 0.0;
+  for (std::size_t i = 1; i <= s - 2; ++i) single += pchk[i];
+  double with1 = 0.0;
+  for (std::size_t i = 2; i <= s - 2; ++i) with1 += pchk[i];
+  return 1.0 - std::pow(pchk[0], nm) - nm * single * std::pow(pchk[0], nm - 1) -
+         binom(chunks, 2) * pchk[1] * pchk[1] * std::pow(pchk[0], nm - 2) -
+         nm * (nm - 1) * with1 * pchk[1] * std::pow(pchk[0], nm - 2) -
+         binom(chunks, 3) * std::pow(pchk[1], 3.0) * std::pow(pchk[0], nm - 3) -
+         binom(chunks, 2) * (nm - 2) * with1 * pchk[1] * pchk[1] * std::pow(pchk[0], nm - 3);
+}
+
+double pstr_stair_e_ones(std::span<const double> pchk, std::size_t chunks, std::size_t s) {
+  double recoverable = 0.0;
+  for (std::size_t i = 0; i <= std::min(s, chunks); ++i)
+    recoverable += binom(chunks, i) * std::pow(pchk[1], static_cast<double>(i)) *
+                   std::pow(pchk[0], static_cast<double>(chunks - i));
+  return 1.0 - recoverable;
+}
+
+double pstr_sd_closed(std::span<const double> pchk, std::size_t chunks, std::size_t s) {
+  const double nm = static_cast<double>(chunks);
+  const double p0 = pchk[0];
+  double sum = 0.0;
+  for (std::size_t i = 1; i <= s; ++i) sum += pchk[i];
+  switch (s) {
+    case 1:
+      return 1.0 - std::pow(p0, nm) - nm * pchk[1] * std::pow(p0, nm - 1);
+    case 2:
+      return 1.0 - std::pow(p0, nm) - nm * sum * std::pow(p0, nm - 1) -
+             binom(chunks, 2) * pchk[1] * pchk[1] * std::pow(p0, nm - 2);
+    case 3:
+      return 1.0 - std::pow(p0, nm) - nm * sum * std::pow(p0, nm - 1) -
+             binom(chunks, 2) * pchk[1] * pchk[1] * std::pow(p0, nm - 2) -
+             nm * (nm - 1) * pchk[2] * pchk[1] * std::pow(p0, nm - 2) -
+             binom(chunks, 3) * std::pow(pchk[1], 3.0) * std::pow(p0, nm - 3);
+    default:
+      throw std::invalid_argument("pstr_sd_closed: closed forms exist for s <= 3 only");
+  }
+}
+
+}  // namespace stair::reliability

@@ -1,0 +1,45 @@
+// P_str — the probability that a stripe in critical mode (one device already
+// failed and rebuilding) has unrecoverable sector failures in its surviving
+// chunks (§7.1.1, Appendix B).
+//
+// Besides the paper's closed forms for special coverage vectors (Eqs. 18-26,
+// used as cross-checks in tests), this module provides the *general*
+// formulas by enumerating recoverable per-chunk failure-count multisets —
+// this is what lets the reliability benchmarks sweep arbitrary e.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace stair::reliability {
+
+/// Eq. 18: Reed-Solomon (no tolerance for sector failures in critical mode).
+/// `pchk` is the chunk pmf (size r + 1); `chunks` is n - m.
+double pstr_rs(std::span<const double> pchk, std::size_t chunks);
+
+/// General STAIR P_str for any coverage vector e: one minus the probability
+/// that the per-chunk failure counts, sorted, fit under e.
+double pstr_stair(std::span<const double> pchk, std::size_t chunks,
+                  std::span<const std::size_t> e);
+
+/// General SD P_str for any s: one minus the probability that the total
+/// number of failed sectors across chunks is at most s.
+double pstr_sd(std::span<const double> pchk, std::size_t chunks, std::size_t s);
+
+// --- Appendix B closed forms (test oracles) --------------------------------
+
+/// Eq. 19: STAIR with e = (s).
+double pstr_stair_e_s(std::span<const double> pchk, std::size_t chunks, std::size_t s);
+/// Eq. 20: STAIR with e = (1, s-1), s >= 2.
+double pstr_stair_e_1_s1(std::span<const double> pchk, std::size_t chunks, std::size_t s);
+/// Eq. 21: STAIR with e = (2, s-2), s >= 4.
+double pstr_stair_e_2_s2(std::span<const double> pchk, std::size_t chunks, std::size_t s);
+/// Eq. 22: STAIR with e = (1, 1, s-2), s >= 3.
+double pstr_stair_e_11_s2(std::span<const double> pchk, std::size_t chunks, std::size_t s);
+/// Eq. 23: STAIR with e = (1, 1, ..., 1), s ones.
+double pstr_stair_e_ones(std::span<const double> pchk, std::size_t chunks, std::size_t s);
+/// Eqs. 24-26: SD codes with s in {1, 2, 3}.
+double pstr_sd_closed(std::span<const double> pchk, std::size_t chunks, std::size_t s);
+
+}  // namespace stair::reliability

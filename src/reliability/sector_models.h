@@ -1,0 +1,50 @@
+// Sector-failure models (§7.1.2): the probability P_chk(i) that a chunk of r
+// sectors suffers exactly i sector failures, under the independent model
+// (Eq. 13) and the correlated burst model (Eqs. 15-17) with the Pareto
+// burst-length distribution of Schroeder et al. parameterized by (b1, alpha).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace stair::reliability {
+
+/// Eq. 12: probability of a sector failure given an unrecoverable bit error
+/// rate and the sector size in bytes.
+double sector_failure_prob(double p_bit, std::size_t sector_bytes);
+
+/// Eq. 13: independent-model pmf; element i (0..r) is P_chk(i).
+std::vector<double> independent_chunk_pmf(double p_sec, std::size_t r);
+
+/// Burst-length distribution fitted by (b1, alpha): a point mass b1 at
+/// length 1 and, conditional on length >= 2, a discrete Pareto with scale 2
+/// and tail index alpha: P(L >= i | L >= 2) = (i/2)^-alpha. Lengths are
+/// truncated at r_max with the tail mass lumped into the last bin (§7.1.2
+/// assumes bursts never exceed a chunk). This discretization choice is the
+/// paper's open detail; DESIGN.md §3 records it.
+class BurstDistribution {
+ public:
+  BurstDistribution(double b1, double alpha) : b1_(b1), alpha_(alpha) {}
+
+  double b1() const { return b1_; }
+  double alpha() const { return alpha_; }
+
+  /// b_i for i = 1..r_max; element [i] is b_i ([0] unused, zero).
+  std::vector<double> pmf(std::size_t r_max) const;
+
+  /// Cumulative P(L <= i), i = 1..r_max — the Figure 19(a) curves.
+  std::vector<double> cdf(std::size_t r_max) const;
+
+  /// Eq. 14: average burst length B.
+  double mean(std::size_t r_max) const;
+
+ private:
+  double b1_, alpha_;
+};
+
+/// Eqs. 15 + 17: correlated-model pmf; element i (0..r) is P_chk(i).
+/// P_chk(0) absorbs the remainder so the pmf sums to exactly one.
+std::vector<double> correlated_chunk_pmf(double p_sec, const BurstDistribution& bursts,
+                                         std::size_t r);
+
+}  // namespace stair::reliability

@@ -1,0 +1,84 @@
+#include "rs/mds_code.h"
+
+#include <stdexcept>
+
+#include "matrix/cauchy.h"
+#include "matrix/vandermonde.h"
+
+namespace stair {
+
+namespace {
+
+Matrix build_generator(const gf::Field& f, std::size_t kappa, std::size_t eta,
+                       SystematicMdsCode::Kind kind) {
+  if (kappa == 0 || kappa >= eta)
+    throw std::invalid_argument("SystematicMdsCode: need 0 < kappa < eta");
+  if (eta > f.order())
+    throw std::invalid_argument("SystematicMdsCode: eta exceeds field size");
+  if (kind == SystematicMdsCode::Kind::kVandermonde)
+    return systematic_vandermonde_generator(f, kappa, eta);
+  return Matrix::identity(f, kappa).concat_cols(cauchy_matrix(f, kappa, eta - kappa));
+}
+
+}  // namespace
+
+SystematicMdsCode::SystematicMdsCode(const gf::Field& f, std::size_t kappa,
+                                     std::size_t eta, Kind kind)
+    : field_(&f), kappa_(kappa), eta_(eta), generator_(build_generator(f, kappa, eta, kind)) {}
+
+Matrix SystematicMdsCode::recovery_matrix(std::span<const std::size_t> available,
+                                          std::span<const std::size_t> targets) const {
+  if (available.size() != kappa_)
+    throw std::invalid_argument("recovery_matrix: need exactly kappa available positions");
+  for (std::size_t p : available)
+    if (p >= eta_) throw std::invalid_argument("recovery_matrix: position out of range");
+  for (std::size_t p : targets)
+    if (p >= eta_) throw std::invalid_argument("recovery_matrix: target out of range");
+
+  // codeword = u * G. With G_A = columns(available) and G_T = columns(targets):
+  // u = avail * G_A^{-1}, so targets = avail * (G_A^{-1} * G_T).
+  std::vector<std::size_t> all_rows(kappa_);
+  for (std::size_t i = 0; i < kappa_; ++i) all_rows[i] = i;
+
+  const Matrix g_a = generator_.select(all_rows, available);
+  auto g_a_inv = g_a.inverse();
+  if (!g_a_inv)
+    throw std::logic_error("recovery_matrix: MDS violation — submatrix singular");
+  const Matrix g_t = generator_.select(all_rows, targets);
+  const Matrix m = g_a_inv->mul(g_t);  // kappa x targets
+
+  Matrix r(*field_, targets.size(), kappa_);
+  for (std::size_t t = 0; t < targets.size(); ++t)
+    for (std::size_t j = 0; j < kappa_; ++j) r.set(t, j, m.at(j, t));
+  return r;
+}
+
+void SystematicMdsCode::encode(std::span<const std::span<const std::uint8_t>> data,
+                               std::span<const std::span<std::uint8_t>> parity) const {
+  if (data.size() != kappa_ || parity.size() != parity_count())
+    throw std::invalid_argument("encode: wrong number of regions");
+  for (std::size_t p = 0; p < parity.size(); ++p) {
+    auto dst = parity[p];
+    std::fill(dst.begin(), dst.end(), std::uint8_t{0});
+    for (std::size_t j = 0; j < kappa_; ++j)
+      gf::mult_xor_region(*field_, generator_.at(j, kappa_ + p), data[j], dst);
+  }
+}
+
+void SystematicMdsCode::decode(
+    std::span<const std::size_t> available,
+    std::span<const std::span<const std::uint8_t>> available_regions,
+    std::span<const std::size_t> erased,
+    std::span<const std::span<std::uint8_t>> erased_regions) const {
+  if (available.size() != available_regions.size() || erased.size() != erased_regions.size())
+    throw std::invalid_argument("decode: positions/regions size mismatch");
+  const Matrix r = recovery_matrix(available, erased);
+  for (std::size_t t = 0; t < erased.size(); ++t) {
+    auto dst = erased_regions[t];
+    std::fill(dst.begin(), dst.end(), std::uint8_t{0});
+    for (std::size_t j = 0; j < kappa_; ++j)
+      gf::mult_xor_region(*field_, r.at(t, j), available_regions[j], dst);
+  }
+}
+
+}  // namespace stair

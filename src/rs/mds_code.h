@@ -1,0 +1,74 @@
+// Systematic MDS (eta, kappa) codes: standard (Vandermonde) Reed-Solomon and
+// Cauchy Reed-Solomon generators, with the one primitive every layer above
+// needs — the recovery matrix mapping any kappa known codeword positions to
+// any other positions.
+//
+// STAIR codes instantiate two of these (paper §3): Crow, an
+// (n + m', n - m)-code across each stripe row, and Ccol, an
+// (r + e_max, r)-code down each chunk.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gf/region.h"
+#include "matrix/matrix.h"
+
+namespace stair {
+
+/// A systematic (eta, kappa) MDS code over GF(2^w): kappa data symbols are
+/// kept verbatim at codeword positions [0, kappa) and eta - kappa parity
+/// symbols follow. Any kappa codeword symbols determine the rest.
+class SystematicMdsCode {
+ public:
+  /// Generator family. Cauchy is the default (used by the paper); the
+  /// Vandermonde construction is provided for the "standard RS" variant.
+  enum class Kind { kCauchy, kVandermonde };
+
+  /// Builds the code; requires kappa < eta and eta <= 2^w (Cauchy) or
+  /// eta <= 2^w (Vandermonde).
+  SystematicMdsCode(const gf::Field& f, std::size_t kappa, std::size_t eta,
+                    Kind kind = Kind::kCauchy);
+
+  std::size_t kappa() const { return kappa_; }
+  std::size_t eta() const { return eta_; }
+  std::size_t parity_count() const { return eta_ - kappa_; }
+  const gf::Field& field() const { return *field_; }
+
+  /// The kappa x eta generator [I | A]; codeword = data_row * G.
+  const Matrix& generator() const { return generator_; }
+
+  /// Coefficients reconstructing arbitrary codeword positions from any kappa
+  /// known ones. Returns R (targets.size() x kappa) such that for every
+  /// codeword c: c[targets[t]] = sum_j R(t, j) * c[available[j]].
+  ///
+  /// `available` must list kappa distinct positions; `targets` may list any
+  /// positions (including available ones). This is the workhorse behind
+  /// encoding, erasure decoding, and STAIR's virtual-symbol computations.
+  Matrix recovery_matrix(std::span<const std::size_t> available,
+                         std::span<const std::size_t> targets) const;
+
+  // -------------------------------------------------------------------------
+  // Region (bulk) interface for direct use as an erasure code. Each symbol is
+  // a byte region; all regions must share one size (a multiple of w/8).
+  // -------------------------------------------------------------------------
+
+  /// Encodes parity regions from data regions (sizes kappa and eta - kappa).
+  void encode(std::span<const std::span<const std::uint8_t>> data,
+              std::span<const std::span<std::uint8_t>> parity) const;
+
+  /// Reconstructs the regions at `erased` positions from the kappa regions at
+  /// `available` positions. Throws std::invalid_argument on bad shapes.
+  void decode(std::span<const std::size_t> available,
+              std::span<const std::span<const std::uint8_t>> available_regions,
+              std::span<const std::size_t> erased,
+              std::span<const std::span<std::uint8_t>> erased_regions) const;
+
+ private:
+  const gf::Field* field_;
+  std::size_t kappa_, eta_;
+  Matrix generator_;
+};
+
+}  // namespace stair

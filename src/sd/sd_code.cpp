@@ -1,0 +1,217 @@
+#include "sd/sd_code.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace stair {
+
+int SdConfig::choose_w(std::size_t n, std::size_t r) {
+  for (int w : {8, 16, 32})
+    if (n * r <= (std::size_t{1} << w) - 1) return w;
+  throw std::invalid_argument("SdConfig: stripe too large for supported word sizes");
+}
+
+void SdConfig::validate() const {
+  if (n < 2 || r < 1) throw std::invalid_argument("SdConfig: need n >= 2, r >= 1");
+  if (m >= n) throw std::invalid_argument("SdConfig: m must be < n");
+  if (s == 0) throw std::invalid_argument("SdConfig: s must be positive (use RS for s = 0)");
+  if (s > n - m)
+    throw std::invalid_argument("SdConfig: s must be at most n - m (bottom-row placement)");
+  if (w != 0 && w != 8 && w != 16 && w != 32)
+    throw std::invalid_argument("SdConfig: w must be 0 (auto), 8, 16 or 32");
+}
+
+namespace {
+
+Matrix build_parity_check(const gf::Field& f, const SdConfig& cfg, std::uint64_t salt) {
+  const std::size_t n = cfg.n, r = cfg.r, m = cfg.m, s = cfg.s;
+  Matrix h(f, m * r + s, n * r);
+  // Per-row disk-parity equations: row i, exponent u.
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t u = 0; u < m; ++u)
+      for (std::size_t j = 0; j < n; ++j)
+        h.set(i * m + u, i * n + j, f.exp(u * j));
+  // Global equations over flattened symbol index z = i*n + j.
+  Rng rng(0x5d5d5d5dULL + salt);
+  for (std::size_t t = 0; t < s; ++t)
+    for (std::size_t z = 0; z < n * r; ++z) {
+      std::uint32_t coeff = f.exp((m + t) * z);
+      if (salt != 0) coeff = 1 + static_cast<std::uint32_t>(rng.next_below(f.max_element()));
+      h.set(m * r + t, z, coeff);
+    }
+  return h;
+}
+
+}  // namespace
+
+SdCode::SdCode(SdConfig cfg)
+    : cfg_([&] {
+        cfg.validate();
+        if (cfg.w == 0) cfg.w = SdConfig::choose_w(cfg.n, cfg.r);
+        if (cfg.n * cfg.r > (std::size_t{1} << cfg.w) - 1)
+          throw std::invalid_argument("SdCode: n*r exceeds 2^w - 1");
+        return cfg;
+      }()),
+      field_(&gf::field(cfg_.w)),
+      h_(*field_, 1, 1),
+      encode_matrix_(*field_, 1, 1),
+      encode_(*field_) {
+  const std::size_t n = cfg_.n, r = cfg_.r, m = cfg_.m, s = cfg_.s;
+
+  // Parity placement: the m rightmost disks, plus s sectors at the right end
+  // of the bottom data row.
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = n - m; j < n; ++j) parity_pos_.push_back(i * n + j);
+  for (std::size_t q = 0; q < s; ++q)
+    parity_pos_.push_back((r - 1) * n + (n - m - s) + q);
+  std::vector<bool> is_parity(n * r, false);
+  for (std::size_t p : parity_pos_) is_parity[p] = true;
+  for (std::size_t z = 0; z < n * r; ++z)
+    if (!is_parity[z]) data_pos_.push_back(z);
+
+  // Solve the parity symbols from the parity-check system. If the canonical
+  // Blaum-Plank coefficients leave the parity submatrix singular for this
+  // configuration, retry with deterministic random global-equation rows (the
+  // published constructions themselves resort to searches, §1/§8).
+  for (std::uint64_t salt = 0; ; ++salt) {
+    h_ = build_parity_check(*field_, cfg_, salt);
+    const std::vector<std::size_t> all_eqs = [&] {
+      std::vector<std::size_t> v(h_.rows());
+      for (std::size_t i = 0; i < v.size(); ++i) v[i] = i;
+      return v;
+    }();
+    const Matrix h_p = h_.select(all_eqs, parity_pos_);
+    auto h_p_inv = h_p.inverse();
+    if (!h_p_inv) {
+      if (salt > 32)
+        throw std::runtime_error("SdCode: could not construct invertible parity system");
+      continue;
+    }
+    const Matrix h_d = h_.select(all_eqs, data_pos_);
+    // parity = (H_P^-1 * H_D) * data  (XOR arithmetic: signs are moot).
+    encode_matrix_ = h_p_inv->mul(h_d);
+    break;
+  }
+
+  for (std::size_t p = 0; p < parity_pos_.size(); ++p) {
+    ScheduleOp op;
+    op.output = static_cast<std::uint32_t>(parity_pos_[p]);
+    for (std::size_t k = 0; k < data_pos_.size(); ++k)
+      if (encode_matrix_.at(p, k) != 0)
+        op.terms.push_back({encode_matrix_.at(p, k),
+                            static_cast<std::uint32_t>(data_pos_[k])});
+    encode_.add_op(std::move(op));
+  }
+}
+
+void SdCode::encode(std::span<const std::span<std::uint8_t>> symbols) const {
+  if (symbols.size() != symbol_count())
+    throw std::invalid_argument("SdCode::encode: wrong symbol count");
+  encode_.execute(symbols);
+}
+
+bool SdCode::within_coverage(const std::vector<bool>& erased) const {
+  const std::size_t n = cfg_.n, r = cfg_.r;
+  if (erased.size() != n * r) return false;
+  std::vector<std::size_t> count(n, 0);
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (erased[i * n + j]) ++count[j];
+  std::vector<std::size_t> sorted = count;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  std::size_t disks = 0;
+  while (disks < cfg_.m && disks < n && sorted[disks] > 0) ++disks;
+  std::size_t sectors = 0;
+  for (std::size_t j = disks; j < n; ++j) sectors += sorted[j];
+  return sectors <= cfg_.s;
+}
+
+std::optional<Schedule> SdCode::build_decode_schedule(const std::vector<bool>& erased) const {
+  const std::size_t total = symbol_count();
+  if (erased.size() != total)
+    throw std::invalid_argument("SdCode: erasure mask must cover r*n symbols");
+
+  std::vector<std::size_t> lost, known;
+  for (std::size_t z = 0; z < total; ++z) (erased[z] ? lost : known).push_back(z);
+  if (lost.empty()) return Schedule(*field_);
+  if (lost.size() > h_.rows()) return std::nullopt;
+
+  // Row-reduce [H_E | H_K] to find lost.size() equations whose H_E block is
+  // invertible, then x_E = inv(H_E_sel) * H_K_sel * x_K.
+  const std::vector<std::size_t> all_eqs = [&] {
+    std::vector<std::size_t> v(h_.rows());
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = i;
+    return v;
+  }();
+  Matrix h_e = h_.select(all_eqs, lost);
+
+  // Select independent equations by Gaussian elimination on a copy.
+  std::vector<std::size_t> chosen;
+  {
+    Matrix work = h_e;
+    std::vector<std::size_t> eq_of_row = all_eqs;
+    std::size_t pivot_row = 0;
+    for (std::size_t col = 0; col < lost.size() && pivot_row < work.rows(); ++col) {
+      std::size_t p = pivot_row;
+      while (p < work.rows() && work.at(p, col) == 0) ++p;
+      if (p == work.rows()) return std::nullopt;  // rank deficient
+      if (p != pivot_row) {
+        for (std::size_t j = 0; j < work.cols(); ++j)
+          std::swap(work.row(p)[j], work.row(pivot_row)[j]);
+        std::swap(eq_of_row[p], eq_of_row[pivot_row]);
+      }
+      chosen.push_back(eq_of_row[pivot_row]);
+      const std::uint32_t pinv = field_->inv(work.at(pivot_row, col));
+      for (std::size_t j = 0; j < work.cols(); ++j)
+        work.set(pivot_row, j, field_->mul(work.at(pivot_row, j), pinv));
+      for (std::size_t rr = pivot_row + 1; rr < work.rows(); ++rr) {
+        const std::uint32_t factor = work.at(rr, col);
+        if (factor == 0) continue;
+        for (std::size_t j = 0; j < work.cols(); ++j)
+          work.set(rr, j, gf::Field::add(work.at(rr, j), field_->mul(factor, work.at(pivot_row, j))));
+      }
+      ++pivot_row;
+    }
+    if (chosen.size() != lost.size()) return std::nullopt;
+  }
+
+  const Matrix h_e_sel = h_.select(chosen, lost);
+  auto h_e_inv = h_e_sel.inverse();
+  if (!h_e_inv) return std::nullopt;
+  const Matrix h_k_sel = h_.select(chosen, known);
+  const Matrix solve = h_e_inv->mul(h_k_sel);  // lost x known
+
+  Schedule sch(*field_);
+  for (std::size_t t = 0; t < lost.size(); ++t) {
+    ScheduleOp op;
+    op.output = static_cast<std::uint32_t>(lost[t]);
+    for (std::size_t k = 0; k < known.size(); ++k)
+      if (solve.at(t, k) != 0)
+        op.terms.push_back({solve.at(t, k), static_cast<std::uint32_t>(known[k])});
+    sch.add_op(std::move(op));
+  }
+  return sch;
+}
+
+bool SdCode::decode(std::span<const std::span<std::uint8_t>> symbols,
+                    const std::vector<bool>& erased) const {
+  auto sch = build_decode_schedule(erased);
+  if (!sch) return false;
+  sch->execute(symbols);
+  return true;
+}
+
+double SdCode::update_penalty() const {
+  std::vector<std::size_t> per_data(data_pos_.size(), 0);
+  for (std::size_t p = 0; p < encode_matrix_.rows(); ++p)
+    for (std::size_t k = 0; k < encode_matrix_.cols(); ++k)
+      if (encode_matrix_.at(p, k) != 0) ++per_data[k];
+  std::size_t total = 0;
+  for (std::size_t c : per_data) total += c;
+  return per_data.empty() ? 0.0
+                          : static_cast<double>(total) / static_cast<double>(per_data.size());
+}
+
+}  // namespace stair

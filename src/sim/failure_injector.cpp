@@ -1,0 +1,52 @@
+#include "sim/failure_injector.h"
+
+#include <algorithm>
+
+namespace stair::sim {
+
+FailureInjector::FailureInjector(InjectorParams params, std::uint64_t seed)
+    : params_(params), rng_(seed) {}
+
+std::size_t FailureInjector::sample_burst_length(std::size_t r_max) {
+  if (params_.model == SectorModel::kIndependent || r_max <= 1) return 1;
+  if (burst_cdf_rmax_ != r_max) {
+    burst_cdf_ = reliability::BurstDistribution(params_.b1, params_.alpha).cdf(r_max);
+    burst_cdf_rmax_ = r_max;
+  }
+  const double u = rng_.next_double();
+  for (std::size_t len = 1; len <= r_max; ++len)
+    if (u < burst_cdf_[len]) return len;
+  return r_max;
+}
+
+std::vector<bool> FailureInjector::sample_stripe_mask(
+    std::size_t n, std::size_t r, const std::vector<std::size_t>& failed_devices) {
+  std::vector<bool> mask(n * r, false);
+  std::vector<bool> device_failed(n, false);
+  for (std::size_t d : failed_devices) device_failed[d] = true;
+
+  for (std::size_t j = 0; j < n; ++j) {
+    if (device_failed[j]) {
+      for (std::size_t i = 0; i < r; ++i) mask[i * n + j] = true;
+      continue;
+    }
+    if (params_.model == SectorModel::kIndependent) {
+      for (std::size_t i = 0; i < r; ++i)
+        if (rng_.chance(params_.p_sec)) mask[i * n + j] = true;
+    } else {
+      // A sector starts a burst with probability p_sec / B (§7.1.2); the
+      // burst is clipped at the chunk boundary, as the model assumes.
+      const double mean =
+          reliability::BurstDistribution(params_.b1, params_.alpha).mean(r);
+      const double start_prob = params_.p_sec / mean;
+      for (std::size_t i = 0; i < r; ++i) {
+        if (!rng_.chance(start_prob)) continue;
+        const std::size_t len = std::min(sample_burst_length(r), r - i);
+        for (std::size_t b = 0; b < len; ++b) mask[(i + b) * n + j] = true;
+      }
+    }
+  }
+  return mask;
+}
+
+}  // namespace stair::sim

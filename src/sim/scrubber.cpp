@@ -1,0 +1,19 @@
+#include "sim/scrubber.h"
+
+#include <cmath>
+
+namespace stair::sim {
+
+double latent_error_probability(const ScrubPolicy& policy) {
+  const double rate = policy.error_rate_per_hour;
+  const double t = policy.period_hours;
+  if (rate <= 0.0 || t <= 0.0) return 0.0;
+  // E_{U~Unif(0,T)}[1 - e^(-rate*U)] = 1 - (1 - e^(-rate*T)) / (rate*T).
+  return 1.0 - (-std::expm1(-rate * t)) / (rate * t);
+}
+
+double scrubbed_p_sec(double error_rate_per_hour, double period_hours) {
+  return latent_error_probability({period_hours, error_rate_per_hour});
+}
+
+}  // namespace stair::sim

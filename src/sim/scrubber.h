@@ -1,0 +1,30 @@
+// Disk scrubbing model (§8's related mitigation, used by the examples to put
+// STAIR's coverage choice in context).
+//
+// Latent sector errors accumulate between scrub passes; a pass detects and
+// repairs them. With errors arriving as a Poisson process at `rate_per_hour`
+// per sector and a scrub period of T hours, a sector observed at a uniformly
+// random time has been accumulating errors for U ~ Uniform(0, T) hours, so
+// the stationary probability it is currently bad is E[1 - e^(-rate U)].
+#pragma once
+
+#include <cstddef>
+
+namespace stair::sim {
+
+/// Scrubbing parameters.
+struct ScrubPolicy {
+  double period_hours = 7.0 * 24.0;  ///< full-pass scrub interval
+  double error_rate_per_hour = 0.0;  ///< per-sector latent error arrival rate
+};
+
+/// Stationary probability that a sector holds an undetected latent error
+/// under the policy (exact expectation, not the small-rate approximation).
+double latent_error_probability(const ScrubPolicy& policy);
+
+/// Equivalent p_sec to feed the §7 reliability models when scrubbing with
+/// `policy` replaces a scrub-less baseline probability accumulated over
+/// `exposure_hours`.
+double scrubbed_p_sec(double error_rate_per_hour, double period_hours);
+
+}  // namespace stair::sim

@@ -1,0 +1,52 @@
+// Internal: schedule builders for the three encoding methods and the
+// upstairs decoder. Implemented in upstairs.cpp / downstairs.cpp /
+// standard.cpp / decoder.cpp; consumed only by stair_code.cpp.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "rs/mds_code.h"
+#include "stair/schedule.h"
+
+namespace stair {
+
+class StairCode;
+
+namespace internal {
+
+/// §5.1.1 (inside globals) or §4.1-style virtual encoding (outside globals).
+/// Mult_XOR count equals Eq. 5 exactly.
+Schedule build_upstairs_schedule(const StairCode& code);
+
+/// §5.1.2 (inside) / the §3 baseline two-phase encoding (outside).
+/// Mult_XOR count equals Eq. 6 exactly.
+Schedule build_downstairs_schedule(const StairCode& code);
+
+/// Direct linear combinations from data symbols, coefficients derived by
+/// propagating unit vectors through the upstairs schedule (§5.2/§5.3).
+Schedule build_standard_schedule(const StairCode& code);
+
+/// Full generator coefficients: parity_ids() x data_ids().
+Matrix compute_coefficients(const StairCode& code);
+
+/// §4.2/§4.3 decoder; nullopt when the pattern exceeds the m + e coverage.
+std::optional<Schedule> build_decode_schedule(const StairCode& code,
+                                              const std::vector<bool>& erased);
+
+/// Pattern-only feasibility check (no schedule construction).
+bool pattern_recoverable(const StairCode& code, const std::vector<bool>& erased);
+
+/// Appends one op per target: codeword[target] recomputed from the kappa
+/// codeword positions in `available`, with positions translated to canonical
+/// symbol ids by `pos_to_id`. Shared by all builders; for Crow ops positions
+/// are canonical columns, for Ccol ops canonical rows.
+void emit_recovery_ops(Schedule& schedule, const SystematicMdsCode& code,
+                       std::span<const std::size_t> available,
+                       std::span<const std::size_t> targets,
+                       const std::function<std::uint32_t(std::size_t)>& pos_to_id);
+
+}  // namespace internal
+}  // namespace stair

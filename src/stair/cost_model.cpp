@@ -1,0 +1,39 @@
+#include "stair/cost_model.h"
+
+namespace stair {
+
+std::size_t upstairs_mult_xors(const StairConfig& cfg) {
+  const std::size_t row_dir = (cfg.n - cfg.m) * (cfg.m * cfg.r + cfg.s());
+  const std::size_t col_dir = cfg.r * ((cfg.n - cfg.m) * cfg.e_max());
+  return row_dir + col_dir;
+}
+
+std::size_t downstairs_mult_xors(const StairConfig& cfg) {
+  const std::size_t row_dir = (cfg.n - cfg.m) * ((cfg.m + cfg.m_prime()) * cfg.r);
+  const std::size_t col_dir = cfg.r * cfg.s();
+  return row_dir + col_dir;
+}
+
+std::size_t standard_mult_xors(const StairCode& code) {
+  const Matrix& coeff = code.coefficients();
+  std::size_t nonzero = 0;
+  for (std::size_t p = 0; p < coeff.rows(); ++p)
+    for (std::size_t k = 0; k < coeff.cols(); ++k)
+      if (coeff.at(p, k) != 0) ++nonzero;
+  return nonzero;
+}
+
+EncodingCosts analyze_costs(const StairCode& code) {
+  EncodingCosts costs;
+  costs.standard = standard_mult_xors(code);
+  costs.upstairs = upstairs_mult_xors(code.config());
+  costs.downstairs = downstairs_mult_xors(code.config());
+  if (costs.standard <= costs.upstairs && costs.standard <= costs.downstairs)
+    costs.best = EncodingMethod::kStandard;
+  else
+    costs.best = costs.upstairs <= costs.downstairs ? EncodingMethod::kUpstairs
+                                                    : EncodingMethod::kDownstairs;
+  return costs;
+}
+
+}  // namespace stair

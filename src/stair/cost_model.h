@@ -1,0 +1,36 @@
+// Closed-form encoding-complexity models (§5.3, Eqs. 5-6) and the cost
+// comparison that drives automatic method selection. The schedule builders
+// are constructed so their Mult_XOR counts equal these formulas exactly;
+// tests assert the equality.
+#pragma once
+
+#include <cstddef>
+
+#include "stair/stair_code.h"
+
+namespace stair {
+
+/// Eq. 5: upstairs encoding Mult_XORs per stripe,
+/// (n-m)(m*r + s) + r*(n-m)*e_max.
+std::size_t upstairs_mult_xors(const StairConfig& cfg);
+
+/// Eq. 6: downstairs encoding Mult_XORs per stripe,
+/// (n-m)(m + m')*r + r*s.
+std::size_t downstairs_mult_xors(const StairConfig& cfg);
+
+/// Standard encoding Mult_XORs: total number of data symbols contributing to
+/// each parity symbol (§5.3), i.e. the nonzero count of the coefficient
+/// matrix. Triggers coefficient computation on first use.
+std::size_t standard_mult_xors(const StairCode& code);
+
+/// All three costs plus the winner, as the paper's implementation
+/// pre-computes for every configuration.
+struct EncodingCosts {
+  std::size_t standard = 0;
+  std::size_t upstairs = 0;
+  std::size_t downstairs = 0;
+  EncodingMethod best = EncodingMethod::kUpstairs;
+};
+EncodingCosts analyze_costs(const StairCode& code);
+
+}  // namespace stair

@@ -1,0 +1,189 @@
+// Decoding (§4.2, §4.3).
+//
+// Practical decoding runs three phases:
+//   A. Row-local repair: any stripe row with at most m lost symbols is
+//      recovered with Crow alone (cheap, touches one row).
+//   B. Upstairs pass: defer the m most-damaged chunks; the remaining damaged
+//      chunks must fit the coverage vector e (sorted counts c_i <= e_{m'-k+i}).
+//      Compute virtual symbols for intact columns, then alternate
+//      augmented-row Crow decodes with Ccol chunk repairs, bottom-up.
+//   C. The deferred chunks are recovered row by row with Crow.
+//
+// The paper places sector failures at chunk bottoms WLOG; this implementation
+// handles arbitrary positions because Ccol decodes any r of its r + e_max
+// codeword symbols.
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "stair/builders.h"
+#include "stair/stair_code.h"
+
+namespace stair::internal {
+
+namespace {
+
+struct Analysis {
+  bool ok = false;
+  std::vector<bool> after_a;                       // erasures left after phase A
+  std::vector<std::vector<std::size_t>> row_fixes; // per row: cols repaired in A
+  std::vector<std::size_t> deferred;               // chunks left to phase C
+  std::vector<std::size_t> sector;                 // chunks for phase B, count asc
+  std::vector<std::size_t> count;                  // remaining erasures per chunk
+};
+
+Analysis analyze(const StairCode& code, const std::vector<bool>& erased) {
+  const StairConfig& cfg = code.config();
+  const std::size_t n = cfg.n, r = cfg.r, m = cfg.m, mp = cfg.m_prime();
+  if (erased.size() != r * n)
+    throw std::invalid_argument("erasure mask must cover the r*n stored symbols");
+
+  Analysis a;
+  a.after_a = erased;
+  a.row_fixes.resize(r);
+  for (std::size_t i = 0; i < r; ++i) {
+    std::vector<std::size_t> cols;
+    for (std::size_t j = 0; j < n; ++j)
+      if (erased[i * n + j]) cols.push_back(j);
+    if (!cols.empty() && cols.size() <= m) {
+      a.row_fixes[i] = cols;
+      for (std::size_t j : cols) a.after_a[i * n + j] = false;
+    }
+  }
+
+  a.count.assign(n, 0);
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (a.after_a[i * n + j]) ++a.count[j];
+
+  std::vector<std::size_t> failed;
+  for (std::size_t j = 0; j < n; ++j)
+    if (a.count[j] > 0) failed.push_back(j);
+  // Defer the m chunks with the most losses (§4.3); the rest must fit e.
+  std::stable_sort(failed.begin(), failed.end(),
+                   [&](std::size_t x, std::size_t y) { return a.count[x] > a.count[y]; });
+  const std::size_t defer = std::min(m, failed.size());
+  a.deferred.assign(failed.begin(), failed.begin() + defer);
+  a.sector.assign(failed.begin() + defer, failed.end());
+  std::stable_sort(a.sector.begin(), a.sector.end(),
+                   [&](std::size_t x, std::size_t y) { return a.count[x] < a.count[y]; });
+
+  const std::size_t k = a.sector.size();
+  if (k > mp) return a;  // ok = false
+  for (std::size_t i = 0; i < k; ++i)
+    if (a.count[a.sector[i]] > cfg.e[mp - k + i]) return a;
+  a.ok = true;
+  return a;
+}
+
+std::vector<std::size_t> iota_vec(std::size_t count, std::size_t start = 0) {
+  std::vector<std::size_t> v(count);
+  std::iota(v.begin(), v.end(), start);
+  return v;
+}
+
+}  // namespace
+
+bool pattern_recoverable(const StairCode& code, const std::vector<bool>& erased) {
+  return analyze(code, erased).ok;
+}
+
+std::optional<Schedule> build_decode_schedule(const StairCode& code,
+                                              const std::vector<bool>& erased) {
+  const StairConfig& cfg = code.config();
+  const StairLayout& layout = code.layout();
+  const std::size_t n = cfg.n, r = cfg.r, m = cfg.m, mp = cfg.m_prime();
+
+  const Analysis a = analyze(code, erased);
+  if (!a.ok) return std::nullopt;
+
+  Schedule sch(code.field());
+  auto row_ops = [&](std::size_t row, std::span<const std::size_t> available,
+                     std::span<const std::size_t> targets) {
+    emit_recovery_ops(sch, code.crow(), available, targets,
+                      [&](std::size_t col) { return layout.id(row, col); });
+  };
+  auto col_ops = [&](std::size_t col, std::span<const std::size_t> available,
+                     std::span<const std::size_t> targets) {
+    emit_recovery_ops(sch, code.ccol(), available, targets,
+                      [&](std::size_t row) { return layout.id(row, col); });
+  };
+
+  // --- Phase A: row-local repairs -----------------------------------------
+  for (std::size_t i = 0; i < r; ++i) {
+    if (a.row_fixes[i].empty()) continue;
+    std::vector<std::size_t> available;
+    for (std::size_t j = 0; j < n && available.size() < n - m; ++j)
+      if (!erased[i * n + j]) available.push_back(j);
+    row_ops(i, available, a.row_fixes[i]);
+  }
+
+  const std::size_t k = a.sector.size();
+  if (k == 0) return sch;  // phase A covered everything
+
+  // --- Phase B: upstairs pass ----------------------------------------------
+  const std::size_t hmax = a.count[a.sector.back()];
+
+  // Virtual symbols of every intact column (data *and* row-parity chunks).
+  std::vector<std::size_t> good_cols;
+  for (std::size_t j = 0; j < n; ++j)
+    if (a.count[j] == 0) good_cols.push_back(j);
+  {
+    const std::vector<std::size_t> col_rows = iota_vec(r);
+    const std::vector<std::size_t> virt_rows = iota_vec(hmax, r);
+    for (std::size_t j : good_cols) col_ops(j, col_rows, virt_rows);
+  }
+
+  std::vector<std::size_t> repaired;  // sector chunks recovered so far
+  std::size_t decoded_h = 0;
+  for (std::size_t idx = 0; idx < k; ++idx) {
+    const std::size_t col = a.sector[idx];
+    const std::size_t c = a.count[col];
+
+    // Decode augmented rows up to this chunk's erasure count (§4.2.2).
+    while (decoded_h < c) {
+      const std::size_t h = decoded_h;
+      std::vector<std::size_t> available = good_cols;
+      available.insert(available.end(), repaired.begin(), repaired.end());
+      for (std::size_t l = 0; l < mp && available.size() < n - m; ++l)
+        if (cfg.e[l] > h) available.push_back(n + l);
+      available.resize(n - m);
+      std::vector<std::size_t> targets;
+      for (std::size_t t = idx; t < k; ++t) targets.push_back(a.sector[t]);
+      row_ops(r + h, available, targets);
+      ++decoded_h;
+    }
+
+    // Repair the chunk: r knowns = its intact stored rows + the c decoded
+    // virtual rows; targets = its erased rows + the virtual rows later
+    // augmented-row decodes still need.
+    std::vector<std::size_t> available;
+    std::vector<std::size_t> targets;
+    for (std::size_t i = 0; i < r; ++i)
+      (a.after_a[i * n + col] ? targets : available).push_back(i);
+    for (std::size_t h = 0; h < c; ++h) available.push_back(r + h);
+    for (std::size_t h = c; h < hmax; ++h) targets.push_back(r + h);
+    col_ops(col, available, targets);
+    repaired.push_back(col);
+  }
+
+  // --- Phase C: deferred chunks, row by row ---------------------------------
+  for (std::size_t i = 0; i < r; ++i) {
+    std::vector<std::size_t> targets;
+    for (std::size_t j : a.deferred)
+      if (a.after_a[i * n + j]) targets.push_back(j);
+    if (targets.empty()) continue;
+    std::vector<std::size_t> available;
+    for (std::size_t j = 0; j < n && available.size() < n - m; ++j) {
+      const bool unknown = a.after_a[i * n + j] &&
+                           std::find(a.deferred.begin(), a.deferred.end(), j) != a.deferred.end();
+      if (!unknown) available.push_back(j);
+    }
+    row_ops(i, available, targets);
+  }
+
+  return sch;
+}
+
+}  // namespace stair::internal

@@ -1,0 +1,92 @@
+// Downstairs encoding (§5.1.2): sweep the stripe rows top to bottom,
+// Crow-solving each row's m + m' parity/intermediate symbols, and complete
+// intermediate-parity columns right to left (via Ccol and the zeroed outside
+// globals) just before the sweep reaches the stair. In outside-global mode
+// this is exactly the baseline two-phase encoding of §3. Both variants cost
+// exactly Eq. 6 Mult_XORs.
+
+#include <numeric>
+
+#include "stair/builders.h"
+#include "stair/stair_code.h"
+
+namespace stair::internal {
+
+namespace {
+
+std::vector<std::size_t> iota_vec(std::size_t count, std::size_t start = 0) {
+  std::vector<std::size_t> v(count);
+  std::iota(v.begin(), v.end(), start);
+  return v;
+}
+
+}  // namespace
+
+Schedule build_downstairs_schedule(const StairCode& code) {
+  const StairConfig& cfg = code.config();
+  const StairLayout& layout = code.layout();
+  const std::size_t n = cfg.n, r = cfg.r, m = cfg.m, mp = cfg.m_prime();
+  const bool inside = code.mode() == GlobalParityMode::kInside;
+
+  Schedule sch(code.field());
+  auto row_ops = [&](std::size_t row, std::span<const std::size_t> available,
+                     std::span<const std::size_t> targets) {
+    emit_recovery_ops(sch, code.crow(), available, targets,
+                      [&](std::size_t col) { return layout.id(row, col); });
+  };
+  auto col_ops = [&](std::size_t col, std::span<const std::size_t> available,
+                     std::span<const std::size_t> targets) {
+    emit_recovery_ops(sch, code.ccol(), available, targets,
+                      [&](std::size_t row) { return layout.id(row, col); });
+  };
+
+  std::vector<bool> completed(mp, false);
+  for (std::size_t i = 0; i < r; ++i) {
+    if (inside) {
+      // Complete intermediate column l (rows i..r-1) as soon as the i stored
+      // rows above plus its e_l zero globals give the r knowns Ccol needs
+      // (Figure 6 steps 3, 5, 6). The trigger fires exactly at i = r - e_l.
+      for (std::size_t l = mp; l-- > 0;) {
+        if (completed[l] || i + cfg.e[l] < r) continue;
+        std::vector<std::size_t> available = iota_vec(i);
+        for (std::size_t h = 0; h < cfg.e[l]; ++h) available.push_back(r + h);
+        const std::vector<std::size_t> targets = iota_vec(r - i, i);
+        col_ops(n + l, available, targets);
+        completed[l] = true;
+      }
+    }
+
+    // Row i: knowns are the data symbols of the row plus the completed
+    // intermediates; targets are this row's inside globals, the m row
+    // parities, and the not-yet-completed intermediates (Figure 6 steps
+    // 1, 2, 4, 7). Outside mode: plain systematic Crow encoding (§3 phase 1).
+    std::vector<std::size_t> available;
+    std::vector<std::size_t> targets;
+    for (std::size_t j = 0; j < n - m; ++j) {
+      if (layout.is_inside_global(i, j))
+        targets.push_back(j);
+      else
+        available.push_back(j);
+    }
+    for (std::size_t k = 0; k < m; ++k) targets.push_back(n - m + k);
+    for (std::size_t l = 0; l < mp; ++l) {
+      if (completed[l])
+        available.push_back(n + l);
+      else
+        targets.push_back(n + l);
+    }
+    row_ops(i, available, targets);
+  }
+
+  if (!inside) {
+    // §3 phase 2: Ccol-encode each intermediate column into its real outside
+    // globals.
+    const std::vector<std::size_t> col_rows = iota_vec(r);
+    for (std::size_t l = 0; l < mp; ++l)
+      col_ops(n + l, col_rows, iota_vec(cfg.e[l], r));
+  }
+
+  return sch;
+}
+
+}  // namespace stair::internal

@@ -1,0 +1,61 @@
+#include "stair/plan_cache.h"
+
+#include <stdexcept>
+
+namespace stair {
+
+DecodePlanCache::DecodePlanCache(const StairCode& code, std::size_t capacity)
+    : code_(&code), capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("DecodePlanCache: capacity must be >= 1");
+}
+
+std::uint64_t DecodePlanCache::hash_mask(const std::vector<bool>& mask) {
+  // FNV-1a over the bits, 64 per step.
+  std::uint64_t h = 1469598103934665603ULL;
+  std::uint64_t word = 0;
+  int bits = 0;
+  auto mix = [&h](std::uint64_t w) {
+    h ^= w;
+    h *= 1099511628211ULL;
+  };
+  for (bool b : mask) {
+    word = (word << 1) | (b ? 1 : 0);
+    if (++bits == 64) {
+      mix(word);
+      word = 0;
+      bits = 0;
+    }
+  }
+  mix(word ^ (static_cast<std::uint64_t>(mask.size()) << 32));
+  return h;
+}
+
+const Schedule* DecodePlanCache::plan(const std::vector<bool>& erased) {
+  const std::uint64_t h = hash_mask(erased);
+  auto [begin, end] = index_.equal_range(h);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second->mask != erased) continue;  // hash collision
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+    return lru_.front().schedule ? &*lru_.front().schedule : nullptr;
+  }
+
+  ++misses_;
+  lru_.push_front({erased, code_->build_decode_schedule(erased)});
+  index_.emplace(h, lru_.begin());
+
+  if (lru_.size() > capacity_) {
+    const auto victim = std::prev(lru_.end());
+    const std::uint64_t vh = hash_mask(victim->mask);
+    auto [vb, ve] = index_.equal_range(vh);
+    for (auto it = vb; it != ve; ++it)
+      if (it->second == victim) {
+        index_.erase(it);
+        break;
+      }
+    lru_.pop_back();
+  }
+  return lru_.front().schedule ? &*lru_.front().schedule : nullptr;
+}
+
+}  // namespace stair

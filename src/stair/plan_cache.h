@@ -1,0 +1,49 @@
+// Decode-plan cache.
+//
+// Building a decode schedule means matrix inversions; replaying one is pure
+// region arithmetic. Real arrays see the same erasure pattern for every
+// stripe of a failure epoch (a dead device yields one mask shape), so
+// caching plans by mask amortizes construction across millions of stripes.
+// A small LRU keyed by the erasure mask does it.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "stair/stair_code.h"
+
+namespace stair {
+
+/// LRU cache of decode schedules keyed by erasure mask. Not thread-safe.
+class DecodePlanCache {
+ public:
+  /// `capacity` is the number of distinct masks kept (>= 1).
+  explicit DecodePlanCache(const StairCode& code, std::size_t capacity = 64);
+
+  /// The decode schedule for `erased`, built on miss; nullptr if the pattern
+  /// is outside the coverage (negative results are cached too). The pointer
+  /// stays valid until the entry is evicted (capacity misses later).
+  const Schedule* plan(const std::vector<bool>& erased);
+
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    std::vector<bool> mask;
+    std::optional<Schedule> schedule;  // nullopt = unrecoverable
+  };
+  using Lru = std::list<Entry>;
+
+  static std::uint64_t hash_mask(const std::vector<bool>& mask);
+
+  const StairCode* code_;
+  std::size_t capacity_;
+  Lru lru_;  // front = most recent
+  std::unordered_multimap<std::uint64_t, Lru::iterator> index_;
+  std::size_t hits_ = 0, misses_ = 0;
+};
+
+}  // namespace stair

@@ -1,0 +1,238 @@
+#include "stair/stair_code.h"
+
+#include <cstring>
+#include <thread>
+#include <stdexcept>
+
+#include "stair/builders.h"
+
+namespace stair {
+
+StairCode::StairCode(StairConfig cfg, GlobalParityMode mode, SystematicMdsCode::Kind kind)
+    : layout_(cfg, mode),
+      crow_(gf::field(cfg.w), cfg.n - cfg.m, cfg.n + cfg.m_prime(), kind),
+      ccol_(gf::field(cfg.w), cfg.r, cfg.r + cfg.e_max(), kind) {}
+
+const Schedule& StairCode::encoding_schedule(EncodingMethod method) const {
+  switch (method) {
+    case EncodingMethod::kUpstairs:
+      if (!upstairs_) upstairs_ = std::make_unique<Schedule>(internal::build_upstairs_schedule(*this));
+      return *upstairs_;
+    case EncodingMethod::kDownstairs:
+      if (!downstairs_)
+        downstairs_ = std::make_unique<Schedule>(internal::build_downstairs_schedule(*this));
+      return *downstairs_;
+    case EncodingMethod::kStandard:
+      if (!standard_) standard_ = std::make_unique<Schedule>(internal::build_standard_schedule(*this));
+      return *standard_;
+    case EncodingMethod::kAuto:
+      break;
+  }
+  throw std::invalid_argument("encoding_schedule: pass a concrete method, not kAuto");
+}
+
+EncodingMethod StairCode::select_method() const {
+  // §5.3: pre-compute the Mult_XOR count of every method, keep the cheapest.
+  // Up/downstairs counts come from the closed forms, so selection does not
+  // force building all schedules; the standard method's count requires the
+  // coefficient matrix, which its schedule shares.
+  const std::size_t up = mult_xor_count(EncodingMethod::kUpstairs);
+  const std::size_t down = mult_xor_count(EncodingMethod::kDownstairs);
+  const std::size_t std_cost = mult_xor_count(EncodingMethod::kStandard);
+  if (std_cost <= up && std_cost <= down) return EncodingMethod::kStandard;
+  return up <= down ? EncodingMethod::kUpstairs : EncodingMethod::kDownstairs;
+}
+
+std::size_t StairCode::mult_xor_count(EncodingMethod method) const {
+  if (method == EncodingMethod::kAuto) method = select_method();
+  return encoding_schedule(method).mult_xor_count();
+}
+
+const Matrix& StairCode::coefficients() const {
+  if (!coefficients_) coefficients_ = std::make_unique<Matrix>(internal::compute_coefficients(*this));
+  return *coefficients_;
+}
+
+void StairCode::prepare_workspace(const StripeView& stripe, Workspace& ws) const {
+  const StairConfig& cfg = config();
+  const std::size_t total = layout_.total_symbols();
+  const std::size_t stored = layout_.stored_count();
+  if (stripe.stored.size() != stored)
+    throw std::invalid_argument("stripe view has wrong stored symbol count");
+  if (mode() == GlobalParityMode::kOutside &&
+      stripe.outside_globals.size() != cfg.s())
+    throw std::invalid_argument("outside-global mode needs s external regions");
+
+  const std::size_t scratch_symbols = total - stored;
+  if (ws.scratch_symbols_ != scratch_symbols || ws.symbol_size_ != stripe.symbol_size) {
+    // AlignedBuffer zero-initializes, which is what keeps the outside-global
+    // scratch regions (the fixed zeros of §5.1) correct in inside mode: no
+    // schedule ever writes them.
+    ws.scratch_ = AlignedBuffer(scratch_symbols * stripe.symbol_size);
+    ws.scratch_symbols_ = scratch_symbols;
+    ws.symbol_size_ = stripe.symbol_size;
+  }
+
+  ws.symbols_.assign(total, {});
+  std::size_t next_scratch = 0;
+  auto scratch_region = [&](std::size_t idx) {
+    return ws.scratch_.region(idx * stripe.symbol_size, stripe.symbol_size);
+  };
+  for (std::size_t row = 0; row < layout_.canonical_rows(); ++row) {
+    for (std::size_t col = 0; col < layout_.canonical_cols(); ++col) {
+      const std::uint32_t sid = layout_.id(row, col);
+      if (layout_.is_stored(row, col)) {
+        ws.symbols_[sid] = stripe.stored[layout_.stored_index(row, col)];
+      } else {
+        ws.symbols_[sid] = scratch_region(next_scratch++);
+      }
+    }
+  }
+  if (mode() == GlobalParityMode::kOutside) {
+    const auto& globals = layout_.outside_global_ids();
+    for (std::size_t g = 0; g < globals.size(); ++g)
+      ws.symbols_[globals[g]] = stripe.outside_globals[g];
+  }
+}
+
+void StairCode::execute(const Schedule& schedule, const StripeView& stripe,
+                        Workspace* ws) const {
+  Workspace local;
+  Workspace& w = ws ? *ws : local;
+  prepare_workspace(stripe, w);
+  schedule.execute(w.symbols_);
+}
+
+void StairCode::execute_parallel(const Schedule& schedule, const StripeView& stripe,
+                                 std::size_t threads, Workspace* ws) const {
+  if (threads <= 1) {
+    execute(schedule, stripe, ws);
+    return;
+  }
+  Workspace local;
+  Workspace& w = ws ? *ws : local;
+  prepare_workspace(stripe, w);
+
+  // Slice every symbol region into equal byte ranges (64-byte granularity
+  // keeps slices word- and cache-line-aligned for every supported w) and run
+  // the full schedule on each slice: region ops are pointwise, so slices are
+  // independent.
+  const std::size_t size = stripe.symbol_size;
+  std::size_t chunk = (size + threads - 1) / threads;
+  chunk = (chunk + 63) / 64 * 64;
+
+  std::vector<std::thread> workers;
+  for (std::size_t offset = 0; offset < size; offset += chunk) {
+    const std::size_t len = std::min(chunk, size - offset);
+    workers.emplace_back([&schedule, &w, offset, len] {
+      std::vector<std::span<std::uint8_t>> sliced(w.symbols_.size());
+      for (std::size_t id = 0; id < w.symbols_.size(); ++id)
+        sliced[id] = w.symbols_[id].subspan(offset, len);
+      schedule.execute(sliced);
+    });
+  }
+  for (auto& t : workers) t.join();
+}
+
+void StairCode::encode(const StripeView& stripe, EncodingMethod method, Workspace* ws) const {
+  if (method == EncodingMethod::kAuto) method = select_method();
+  execute(encoding_schedule(method), stripe, ws);
+}
+
+void StairCode::encode_parallel(const StripeView& stripe, std::size_t threads,
+                                EncodingMethod method, Workspace* ws) const {
+  if (method == EncodingMethod::kAuto) method = select_method();
+  execute_parallel(encoding_schedule(method), stripe, threads, ws);
+}
+
+bool StairCode::is_recoverable(const std::vector<bool>& erased) const {
+  return internal::pattern_recoverable(*this, erased);
+}
+
+std::optional<Schedule> StairCode::build_decode_schedule(const std::vector<bool>& erased) const {
+  return internal::build_decode_schedule(*this, erased);
+}
+
+bool StairCode::decode(const StripeView& stripe, const std::vector<bool>& erased,
+                       Workspace* ws) const {
+  auto schedule = build_decode_schedule(erased);
+  if (!schedule) return false;
+  execute(*schedule, stripe, ws);
+  return true;
+}
+
+std::optional<Schedule> StairCode::build_degraded_read_schedule(
+    const std::vector<bool>& erased, const std::vector<std::size_t>& wanted) const {
+  auto full = build_decode_schedule(erased);
+  if (!full) return std::nullopt;
+  std::vector<std::uint32_t> wanted_ids;
+  wanted_ids.reserve(wanted.size());
+  for (std::size_t idx : wanted) {
+    if (idx >= layout_.stored_count())
+      throw std::invalid_argument("degraded read: stored index out of range");
+    wanted_ids.push_back(
+        layout_.id(idx / config().n, idx % config().n));
+  }
+  return full->pruned_for(wanted_ids);
+}
+
+// ---------------------------------------------------------------------------
+// StripeBuffer
+// ---------------------------------------------------------------------------
+
+StripeBuffer::StripeBuffer(const StairCode& code, std::size_t symbol_size)
+    : code_(&code), symbol_size_(symbol_size) {
+  if (symbol_size == 0 || symbol_size % (code.config().w >= 8 ? code.config().w / 8 : 1) != 0)
+    throw std::invalid_argument("StripeBuffer: symbol size must be a nonzero multiple of w/8");
+  const StairLayout& layout = code.layout();
+  const std::size_t stored = layout.stored_count();
+  const std::size_t globals =
+      code.mode() == GlobalParityMode::kOutside ? code.config().s() : 0;
+  storage_ = AlignedBuffer((stored + globals) * symbol_size);
+
+  view_.symbol_size = symbol_size;
+  view_.stored.resize(stored);
+  for (std::size_t idx = 0; idx < stored; ++idx)
+    view_.stored[idx] = storage_.region(idx * symbol_size, symbol_size);
+  view_.outside_globals.resize(globals);
+  for (std::size_t g = 0; g < globals; ++g)
+    view_.outside_globals[g] = storage_.region((stored + g) * symbol_size, symbol_size);
+}
+
+std::span<std::uint8_t> StripeBuffer::symbol(std::size_t row, std::size_t col) {
+  return view_.stored[code_->layout().stored_index(row, col)];
+}
+
+std::span<const std::uint8_t> StripeBuffer::symbol(std::size_t row, std::size_t col) const {
+  return view_.stored[code_->layout().stored_index(row, col)];
+}
+
+std::size_t StripeBuffer::data_size() const {
+  return code_->data_symbol_count() * symbol_size_;
+}
+
+void StripeBuffer::set_data(std::span<const std::uint8_t> data) {
+  if (data.size() != data_size())
+    throw std::invalid_argument("set_data: expected exactly data_size() bytes");
+  const StairLayout& layout = code_->layout();
+  std::size_t offset = 0;
+  for (std::uint32_t sid : layout.data_ids()) {
+    const std::size_t idx = layout.stored_index(layout.row_of(sid), layout.col_of(sid));
+    std::memcpy(view_.stored[idx].data(), data.data() + offset, symbol_size_);
+    offset += symbol_size_;
+  }
+}
+
+void StripeBuffer::get_data(std::span<std::uint8_t> out) const {
+  if (out.size() != data_size())
+    throw std::invalid_argument("get_data: expected exactly data_size() bytes");
+  const StairLayout& layout = code_->layout();
+  std::size_t offset = 0;
+  for (std::uint32_t sid : layout.data_ids()) {
+    const std::size_t idx = layout.stored_index(layout.row_of(sid), layout.col_of(sid));
+    std::memcpy(out.data() + offset, view_.stored[idx].data(), symbol_size_);
+    offset += symbol_size_;
+  }
+}
+
+}  // namespace stair

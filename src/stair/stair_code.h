@@ -1,0 +1,190 @@
+// STAIR codes — the paper's contribution (Li & Lee, FAST'14).
+//
+// A StairCode ties together the two orthogonal systematic MDS codes of §3
+// (Crow across stripe rows, Ccol down chunks), compiles the three encoding
+// methods (standard §5.3, upstairs §5.1.1, downstairs §5.1.2) into replayable
+// schedules, picks the cheapest automatically, and decodes any failure
+// pattern inside the coverage defined by m and e via upstairs decoding
+// (§4.2) with the practical row-local-first fast path (§4.3).
+//
+// Usage sketch:
+//   StairCode code({.n = 8, .r = 16, .m = 2, .e = {1, 2}});
+//   StripeBuffer stripe(code, /*symbol_size=*/4096);
+//   stripe.set_data(my_bytes);
+//   code.encode(stripe.view());
+//   ... lose chunks/sectors, mark them in an erasure mask ...
+//   bool ok = code.decode(stripe.view(), erased_mask);
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "rs/mds_code.h"
+#include "stair/schedule.h"
+#include "stair/stair_layout.h"
+#include "util/buffer.h"
+
+namespace stair {
+
+/// How parity symbols are computed (§5.3). kAuto picks the method with the
+/// fewest Mult_XORs for this configuration, as the paper's implementation does.
+enum class EncodingMethod { kStandard, kUpstairs, kDownstairs, kAuto };
+
+/// Non-owning view of one stripe's symbol regions.
+///
+/// `stored[row * n + col]` is the symbol at stripe position (row, col); all
+/// regions share `symbol_size` bytes. `outside_globals` (size s, (l, h)
+/// order) is used only by codes in GlobalParityMode::kOutside.
+struct StripeView {
+  std::vector<std::span<std::uint8_t>> stored;
+  std::vector<std::span<std::uint8_t>> outside_globals;
+  std::size_t symbol_size = 0;
+};
+
+/// Reusable scratch for encode/decode calls. Optional — the calls allocate
+/// internally when given none — but reusing one across calls avoids repeated
+/// allocation on hot paths (all speed benchmarks do).
+class Workspace {
+ public:
+  Workspace() = default;
+
+ private:
+  friend class StairCode;
+  AlignedBuffer scratch_;
+  std::vector<std::span<std::uint8_t>> symbols_;
+  std::size_t scratch_symbols_ = 0, symbol_size_ = 0;
+};
+
+/// A STAIR erasure code instance. Immutable after construction except for
+/// internal lazy caches (not thread-safe; use one instance per thread or
+/// pre-warm the caches via encoding_schedule()/coefficients()).
+class StairCode {
+ public:
+  /// Builds the code. `cfg` is validated; Crow is an (n + m', n - m) code and
+  /// Ccol an (r + e_max, r) code of the given MDS kind over GF(2^cfg.w).
+  explicit StairCode(StairConfig cfg,
+                     GlobalParityMode mode = GlobalParityMode::kInside,
+                     SystematicMdsCode::Kind kind = SystematicMdsCode::Kind::kCauchy);
+
+  const StairConfig& config() const { return layout_.config(); }
+  const StairLayout& layout() const { return layout_; }
+  GlobalParityMode mode() const { return layout_.mode(); }
+  const SystematicMdsCode& crow() const { return crow_; }
+  const SystematicMdsCode& ccol() const { return ccol_; }
+  const gf::Field& field() const { return crow_.field(); }
+
+  /// Stored data symbols per stripe (excludes parities and inside globals).
+  std::size_t data_symbol_count() const { return layout_.data_ids().size(); }
+  /// Stored parity symbols per stripe: m*r row parities + s globals.
+  std::size_t parity_symbol_count() const { return layout_.parity_ids().size(); }
+
+  // --- encoding -------------------------------------------------------------
+
+  /// The compiled schedule for a concrete method (not kAuto); built lazily
+  /// and cached.
+  const Schedule& encoding_schedule(EncodingMethod method) const;
+
+  /// Method kAuto resolves to: the fewest-Mult_XORs schedule (§5.3).
+  EncodingMethod select_method() const;
+
+  /// Mult_XOR count of a method's schedule — the Figure 9 metric. For
+  /// kUpstairs/kDownstairs these equal Eqs. 5/6 exactly (tested).
+  std::size_t mult_xor_count(EncodingMethod method) const;
+
+  /// Computes all parity regions of the stripe from its data regions.
+  void encode(const StripeView& stripe, EncodingMethod method = EncodingMethod::kAuto,
+              Workspace* ws = nullptr) const;
+
+  // --- decoding -------------------------------------------------------------
+
+  /// Fast pattern check: is this set of lost stored symbols within the
+  /// guaranteed coverage (m whole-or-partial chunks deferred to row decoding
+  /// plus m' chunks fitting e)? `erased[row * n + col]`, size r*n.
+  bool is_recoverable(const std::vector<bool>& erased) const;
+
+  /// Compiles a decode schedule for the pattern, or nullopt if it is outside
+  /// the coverage. Deterministic per pattern; callers replay it many times in
+  /// benchmarks.
+  std::optional<Schedule> build_decode_schedule(const std::vector<bool>& erased) const;
+
+  /// Recovers all erased regions in place. Returns false (stripe untouched)
+  /// if the pattern is outside the coverage.
+  bool decode(const StripeView& stripe, const std::vector<bool>& erased,
+              Workspace* ws = nullptr) const;
+
+  /// Degraded read: the minimal schedule recovering only the stored symbols
+  /// listed in `wanted` (stored indices, row * n + col) under the erasure
+  /// pattern `erased` — a backward slice of the full decode plan, so reading
+  /// one lost sector does not pay for repairing the stripe. Other erased
+  /// regions are left untouched (still invalid) after execution.
+  std::optional<Schedule> build_degraded_read_schedule(
+      const std::vector<bool>& erased, const std::vector<std::size_t>& wanted) const;
+
+  // --- analysis --------------------------------------------------------------
+
+  /// Generator coefficients: row t is parity_ids()[t] expressed over
+  /// data_ids() (paper §5.2's uneven parity relations, used for the standard
+  /// method, Figure 9's standard cost, and Figures 14-15's update penalty).
+  const Matrix& coefficients() const;
+
+  /// Executes `schedule` over this stripe (advanced: pre-built decode plans).
+  void execute(const Schedule& schedule, const StripeView& stripe,
+               Workspace* ws = nullptr) const;
+
+  /// Multi-threaded execute: region operations are pointwise, so the symbol
+  /// regions are cut into `threads` byte slices processed concurrently
+  /// (§6.2.1's "encoding can be parallelized with modern multi-core CPUs").
+  /// Identical output to execute(); worthwhile once stripes are megabytes.
+  void execute_parallel(const Schedule& schedule, const StripeView& stripe,
+                        std::size_t threads, Workspace* ws = nullptr) const;
+
+  /// encode() on `threads` cores.
+  void encode_parallel(const StripeView& stripe, std::size_t threads,
+                       EncodingMethod method = EncodingMethod::kAuto,
+                       Workspace* ws = nullptr) const;
+
+ private:
+  void prepare_workspace(const StripeView& stripe, Workspace& ws) const;
+
+  StairLayout layout_;
+  SystematicMdsCode crow_, ccol_;
+
+  mutable std::unique_ptr<Schedule> standard_, upstairs_, downstairs_;
+  mutable std::unique_ptr<Matrix> coefficients_;
+};
+
+/// Owning stripe storage: allocates one aligned block for all r*n stored
+/// symbols (plus the s outside globals when the code keeps them outside) and
+/// exposes a StripeView plus flat-data import/export helpers.
+class StripeBuffer {
+ public:
+  StripeBuffer(const StairCode& code, std::size_t symbol_size);
+
+  const StripeView& view() const { return view_; }
+  std::size_t symbol_size() const { return symbol_size_; }
+
+  /// Region of the stored symbol at (row, col).
+  std::span<std::uint8_t> symbol(std::size_t row, std::size_t col);
+  std::span<const std::uint8_t> symbol(std::size_t row, std::size_t col) const;
+
+  /// Total user-data bytes per stripe.
+  std::size_t data_size() const;
+
+  /// Copies `data` (exactly data_size() bytes) into the data positions in
+  /// row-major order.
+  void set_data(std::span<const std::uint8_t> data);
+
+  /// Copies the data positions back out (exactly data_size() bytes).
+  void get_data(std::span<std::uint8_t> out) const;
+
+ private:
+  const StairCode* code_;
+  std::size_t symbol_size_;
+  AlignedBuffer storage_;
+  StripeView view_;
+};
+
+}  // namespace stair

@@ -1,0 +1,86 @@
+#include "stair/stair_config.h"
+
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace stair {
+
+std::size_t StairConfig::s() const {
+  return std::accumulate(e.begin(), e.end(), std::size_t{0});
+}
+
+double StairConfig::storage_efficiency() const {
+  return static_cast<double>(r * (n - m) - s()) / static_cast<double>(r * n);
+}
+
+double StairConfig::devices_saved() const {
+  return static_cast<double>(m_prime()) - static_cast<double>(s()) / static_cast<double>(r);
+}
+
+int StairConfig::minimum_w() const {
+  for (int cand : {4, 8, 16, 32}) {
+    const std::size_t order = std::size_t{1} << cand;
+    if (n + m_prime() <= order && r + e_max() <= order) return cand;
+  }
+  throw std::invalid_argument("StairConfig: no supported word size fits n + m' and r + e_max");
+}
+
+void StairConfig::validate() const {
+  auto fail = [](const std::string& msg) { throw std::invalid_argument("StairConfig: " + msg); };
+  if (n < 2) fail("need at least 2 chunks per stripe");
+  if (r < 1) fail("need at least 1 symbol per chunk");
+  if (m >= n) fail("m must be smaller than n");
+  if (e.empty()) fail("coverage vector e must be non-empty (use plain RS for s = 0)");
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    if (e[i] == 0) fail("coverage entries must be positive");
+    if (i > 0 && e[i] < e[i - 1]) fail("coverage vector e must be sorted ascending");
+  }
+  if (e.back() > r) fail("e_max cannot exceed r");
+  if (m_prime() > n - m) fail("m' cannot exceed n - m");
+  if (s() >= r * (n - m)) fail("coverage consumes the entire data area");
+  if (w != 4 && w != 8 && w != 16 && w != 32) fail("w must be one of {4, 8, 16, 32}");
+  const std::size_t order = std::size_t{1} << w;
+  if (n + m_prime() > order) fail("n + m' exceeds 2^w; raise w");
+  if (r + e_max() > order) fail("r + e_max exceeds 2^w; raise w");
+}
+
+std::string StairConfig::to_string() const {
+  std::ostringstream os;
+  os << "STAIR(n=" << n << ", r=" << r << ", m=" << m << ", e=(";
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    if (i) os << ",";
+    os << e[i];
+  }
+  os << "))";
+  return os.str();
+}
+
+namespace {
+
+void enumerate_rec(std::size_t remaining, std::size_t min_entry, std::size_t max_entry,
+                   std::size_t slots_left, std::vector<std::size_t>& prefix,
+                   std::vector<std::vector<std::size_t>>& out) {
+  if (remaining == 0) {
+    if (!prefix.empty()) out.push_back(prefix);
+    return;
+  }
+  if (slots_left == 0) return;
+  for (std::size_t v = min_entry; v <= std::min(remaining, max_entry); ++v) {
+    prefix.push_back(v);
+    enumerate_rec(remaining - v, v, max_entry, slots_left - 1, prefix, out);
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<std::size_t>> enumerate_coverage_vectors(
+    std::size_t s, std::size_t max_entry, std::size_t max_m_prime) {
+  std::vector<std::vector<std::size_t>> out;
+  std::vector<std::size_t> prefix;
+  enumerate_rec(s, 1, max_entry, max_m_prime, prefix, out);
+  return out;
+}
+
+}  // namespace stair

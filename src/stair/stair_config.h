@@ -1,0 +1,62 @@
+// STAIR code configuration (paper §2, Table 1).
+//
+// A STAIR code is parameterized by:
+//   n — chunks (devices) per stripe,
+//   r — symbols (sectors) per chunk,
+//   m — tolerable whole-chunk (device) failures per stripe,
+//   e — the sector-failure coverage vector (e_0 <= e_1 <= ... <= e_{m'-1}):
+//       besides the m failed chunks, up to m' = |e| further chunks may have
+//       sector failures, the i-th worst of them at most e_i symbols.
+// Derived: m' = |e|, s = sum(e), e_max = e_{m'-1}.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace stair {
+
+/// Validated parameter set for one STAIR code.
+struct StairConfig {
+  std::size_t n = 0;                ///< chunks per stripe (devices)
+  std::size_t r = 0;                ///< symbols per chunk (sectors)
+  std::size_t m = 0;                ///< tolerable device failures
+  std::vector<std::size_t> e;       ///< sector-failure coverage, ascending
+  int w = 8;                        ///< GF(2^w) word size
+
+  std::size_t m_prime() const { return e.size(); }
+  std::size_t s() const;
+  std::size_t e_max() const { return e.empty() ? 0 : e.back(); }
+
+  /// Number of stored data symbols per stripe when the s global parity
+  /// symbols live inside the stripe (§5): r*(n-m) - s.
+  std::size_t data_symbols_inside() const { return r * (n - m) - s(); }
+
+  /// Storage efficiency E (Eq. 8): fraction of the stripe holding user data.
+  double storage_efficiency() const;
+
+  /// Devices saved versus a traditional erasure code that needs m + m' parity
+  /// chunks for the same coverage (§6.1): m' - s/r.
+  double devices_saved() const;
+
+  /// Smallest word size in {4, 8, 16, 32} satisfying n + m' <= 2^w and
+  /// r + e_max <= 2^w.
+  int minimum_w() const;
+
+  /// Throws std::invalid_argument with a message if any constraint is broken
+  /// (shape bounds, e ordering, word size).
+  void validate() const;
+
+  /// "STAIR(n=8, r=4, m=2, e=(1,1,2))" — for logs and benchmark labels.
+  std::string to_string() const;
+
+  bool operator==(const StairConfig& o) const = default;
+};
+
+/// All coverage vectors e with sum s, entries in [1, max_entry], ascending,
+/// and at most max_m_prime entries. Used for the paper's "worst e for a given
+/// s" sweeps (§6.2.1) and the e-axis of Figures 9 and 14.
+std::vector<std::vector<std::size_t>> enumerate_coverage_vectors(
+    std::size_t s, std::size_t max_entry, std::size_t max_m_prime);
+
+}  // namespace stair

@@ -1,0 +1,48 @@
+#include "stair/stair_layout.h"
+
+namespace stair {
+
+StairLayout::StairLayout(const StairConfig& cfg, GlobalParityMode mode)
+    : cfg_(cfg), mode_(mode) {
+  cfg_.validate();
+
+  for (std::size_t i = 0; i < cfg_.r; ++i)
+    for (std::size_t j = 0; j < cfg_.n; ++j)
+      if (is_data(i, j)) data_ids_.push_back(id(i, j));
+
+  for (std::size_t i = 0; i < cfg_.r; ++i)
+    for (std::size_t j = cfg_.n - cfg_.m; j < cfg_.n; ++j)
+      parity_ids_.push_back(id(i, j));
+
+  for (std::size_t l = 0; l < cfg_.m_prime(); ++l)
+    for (std::size_t h = 0; h < cfg_.e[l]; ++h)
+      outside_global_ids_.push_back(id(cfg_.r + h, cfg_.n + l));
+
+  if (mode_ == GlobalParityMode::kInside) {
+    for (std::size_t l = 0; l < cfg_.m_prime(); ++l)
+      for (std::size_t i = cfg_.r - cfg_.e[l]; i < cfg_.r; ++i)
+        parity_ids_.push_back(id(i, global_column(l)));
+  } else {
+    for (std::uint32_t g : outside_global_ids_) parity_ids_.push_back(g);
+  }
+}
+
+std::size_t StairLayout::slot_of_column(std::size_t col) const {
+  const std::size_t first = cfg_.n - cfg_.m - cfg_.m_prime();
+  if (col < first || col >= cfg_.n - cfg_.m) return cfg_.m_prime();
+  return col - first;
+}
+
+bool StairLayout::is_inside_global(std::size_t row, std::size_t col) const {
+  if (mode_ != GlobalParityMode::kInside) return false;
+  if (!is_stored(row, col) || col >= cfg_.n - cfg_.m) return false;
+  const std::size_t l = slot_of_column(col);
+  if (l == cfg_.m_prime()) return false;
+  return row >= cfg_.r - cfg_.e[l];
+}
+
+bool StairLayout::is_data(std::size_t row, std::size_t col) const {
+  return is_stored(row, col) && col < cfg_.n - cfg_.m && !is_inside_global(row, col);
+}
+
+}  // namespace stair

@@ -1,0 +1,82 @@
+// Standard encoding (§5.3) and the generator-coefficient analysis (§5.2).
+//
+// Every parity symbol of a STAIR stripe is a fixed linear function of the
+// data symbols. We obtain the coefficients generically by propagating
+// unit data vectors through the upstairs schedule (both encoding methods
+// provably produce identical parities, §5.1.3, so either would do). The
+// nonzero pattern realizes the uneven parity relations of Property 5.1, and
+// its size is the standard method's Mult_XOR cost reported in Figure 9.
+
+#include <cassert>
+
+#include "stair/builders.h"
+#include "stair/stair_code.h"
+
+namespace stair::internal {
+
+namespace {
+
+// Coefficient vectors (over the data symbols) for every canonical symbol id,
+// computed by symbolically replaying the upstairs schedule.
+std::vector<std::vector<std::uint32_t>> propagate_coefficients(const StairCode& code) {
+  const StairLayout& layout = code.layout();
+  const gf::Field& f = code.field();
+  const std::size_t total = layout.total_symbols();
+  const std::size_t d = layout.data_ids().size();
+
+  std::vector<std::vector<std::uint32_t>> coeff(total);
+  // Seed: data symbols are unit vectors; every other referenced input
+  // (outside globals in inside mode) is zero. Unseeded symbols start zero
+  // and become defined when an op outputs them.
+  for (std::size_t idx = 0; idx < d; ++idx) {
+    coeff[layout.data_ids()[idx]].assign(d, 0);
+    coeff[layout.data_ids()[idx]][idx] = 1;
+  }
+
+  const Schedule& upstairs = code.encoding_schedule(EncodingMethod::kUpstairs);
+  for (const auto& op : upstairs.ops()) {
+    std::vector<std::uint32_t> acc(d, 0);
+    for (const auto& term : op.terms) {
+      if (term.coeff == 0) continue;
+      const auto& in = coeff[term.input];
+      if (in.empty()) continue;  // known-zero symbol
+      for (std::size_t k = 0; k < d; ++k)
+        if (in[k]) acc[k] ^= f.mul(term.coeff, in[k]);
+    }
+    coeff[op.output] = std::move(acc);
+  }
+  return coeff;
+}
+
+}  // namespace
+
+Matrix compute_coefficients(const StairCode& code) {
+  const StairLayout& layout = code.layout();
+  const auto coeff = propagate_coefficients(code);
+  const std::size_t d = layout.data_ids().size();
+
+  Matrix out(code.field(), layout.parity_ids().size(), d);
+  for (std::size_t p = 0; p < layout.parity_ids().size(); ++p) {
+    const auto& vec = coeff[layout.parity_ids()[p]];
+    assert(!vec.empty() && "parity symbol never produced by upstairs schedule");
+    for (std::size_t k = 0; k < d; ++k) out.set(p, k, vec[k]);
+  }
+  return out;
+}
+
+Schedule build_standard_schedule(const StairCode& code) {
+  const StairLayout& layout = code.layout();
+  const Matrix& coeff = code.coefficients();
+
+  Schedule sch(code.field());
+  for (std::size_t p = 0; p < layout.parity_ids().size(); ++p) {
+    ScheduleOp op;
+    op.output = layout.parity_ids()[p];
+    for (std::size_t k = 0; k < coeff.cols(); ++k)
+      if (coeff.at(p, k) != 0) op.terms.push_back({coeff.at(p, k), layout.data_ids()[k]});
+    sch.add_op(std::move(op));
+  }
+  return sch;
+}
+
+}  // namespace stair::internal

@@ -1,0 +1,28 @@
+#include "stair/update_analysis.h"
+
+#include <algorithm>
+
+namespace stair {
+
+UpdatePenaltyStats update_penalty(const StairCode& code) {
+  const Matrix& coeff = code.coefficients();
+  UpdatePenaltyStats stats;
+  stats.per_symbol.assign(coeff.cols(), 0);
+  for (std::size_t p = 0; p < coeff.rows(); ++p)
+    for (std::size_t k = 0; k < coeff.cols(); ++k)
+      if (coeff.at(p, k) != 0) ++stats.per_symbol[k];
+
+  if (stats.per_symbol.empty()) return stats;
+  std::size_t total = 0;
+  stats.min = stats.per_symbol.front();
+  stats.max = stats.per_symbol.front();
+  for (std::size_t c : stats.per_symbol) {
+    total += c;
+    stats.min = std::min(stats.min, c);
+    stats.max = std::max(stats.max, c);
+  }
+  stats.average = static_cast<double>(total) / static_cast<double>(stats.per_symbol.size());
+  return stats;
+}
+
+}  // namespace stair

@@ -1,0 +1,31 @@
+// Update-penalty analysis (§6.3): how many parity symbols must be rewritten
+// when one data symbol changes. Derived from the generator coefficients, so
+// it reflects the uneven parity relations of §5.2 exactly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stair/stair_code.h"
+
+namespace stair {
+
+/// Per-data-symbol and aggregate update penalties for one code.
+struct UpdatePenaltyStats {
+  std::vector<std::size_t> per_symbol;  ///< parities touched per data symbol
+  double average = 0;                   ///< the paper's "update penalty"
+  std::size_t min = 0;
+  std::size_t max = 0;
+};
+
+/// Counts, for every data symbol, the parity symbols whose value depends on
+/// it (nonzero generator coefficient).
+UpdatePenaltyStats update_penalty(const StairCode& code);
+
+/// Update penalty of a plain MDS code with p parity chunks: every data symbol
+/// touches exactly p parities (Reed-Solomon reference line of Figure 15).
+inline double rs_update_penalty(std::size_t parity_chunks) {
+  return static_cast<double>(parity_chunks);
+}
+
+}  // namespace stair

@@ -1,0 +1,59 @@
+// Incremental data updates (§6.3 in practice).
+//
+// Rewriting one data sector in place must patch every parity symbol that
+// depends on it. Re-encoding the whole stripe costs the full Eq. 5/6 work;
+// the linear structure allows the minimal alternative
+//     parity ^= coeff * (old_data ^ new_data)
+// touching exactly the symbols the update-penalty analysis counts. This is
+// the read-modify-write path storage systems actually run, and the reason
+// §6.3 steers STAIR at WORM/backup workloads: `parity_writes()` per update is
+// the device-write amplification.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stair/stair_code.h"
+
+namespace stair {
+
+/// Pre-compiled per-data-symbol parity patch lists for one code.
+class UpdateEngine {
+ public:
+  /// Builds the patch lists from the code's generator coefficients (triggers
+  /// coefficient derivation on first use; cached thereafter).
+  explicit UpdateEngine(const StairCode& code);
+
+  const StairCode& code() const { return *code_; }
+
+  /// Overwrites data symbol `data_index` (index into layout().data_ids())
+  /// with `new_content` and incrementally patches all dependent parities.
+  /// The stripe must be consistently encoded beforehand; it is consistently
+  /// encoded afterwards.
+  void update(const StripeView& stripe, std::size_t data_index,
+              std::span<const std::uint8_t> new_content) const;
+
+  /// Number of parity symbols rewritten by an update of `data_index` —
+  /// exactly the §6.3 update penalty of that symbol.
+  std::size_t parity_writes(std::size_t data_index) const {
+    return patches_[data_index].size();
+  }
+
+  /// Mult_XOR count of one update (1 delta + one per parity patch).
+  std::size_t update_cost(std::size_t data_index) const {
+    return 1 + patches_[data_index].size();
+  }
+
+ private:
+  struct Patch {
+    std::uint32_t coeff;
+    std::size_t stored_index;  // row * n + col of the parity symbol
+    std::size_t global_index;  // index into outside_globals, or SIZE_MAX
+  };
+
+  const StairCode* code_;
+  std::vector<std::vector<Patch>> patches_;  // indexed by data symbol
+};
+
+}  // namespace stair

@@ -1,0 +1,141 @@
+// Upstairs encoding (§5.1.1): set the outside global parity symbols to zero,
+// treat the m row-parity chunks and the s inside global parity symbols as
+// lost, and "recover" them bottom-up with the upstairs decoding machinery.
+// In outside-global mode this degenerates to the canonical-stripe encoding of
+// §4.1: column-encode virtual symbols, row-decode the real globals, then
+// row-encode the row parities. Both variants cost exactly Eq. 5 Mult_XORs.
+
+#include <numeric>
+
+#include "stair/builders.h"
+#include "stair/stair_code.h"
+
+namespace stair::internal {
+
+void emit_recovery_ops(Schedule& schedule, const SystematicMdsCode& code,
+                       std::span<const std::size_t> available,
+                       std::span<const std::size_t> targets,
+                       const std::function<std::uint32_t(std::size_t)>& pos_to_id) {
+  if (targets.empty()) return;
+  const Matrix r = code.recovery_matrix(available, targets);
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    ScheduleOp op;
+    op.output = pos_to_id(targets[t]);
+    op.terms.reserve(available.size());
+    for (std::size_t j = 0; j < available.size(); ++j)
+      op.terms.push_back({r.at(t, j), pos_to_id(available[j])});
+    schedule.add_op(std::move(op));
+  }
+}
+
+namespace {
+
+// Ccol op over stored column `col`: positions are canonical rows.
+void emit_column_ops(Schedule& sch, const StairCode& code, std::size_t col,
+                     std::span<const std::size_t> available,
+                     std::span<const std::size_t> targets) {
+  const StairLayout& layout = code.layout();
+  emit_recovery_ops(sch, code.ccol(), available, targets,
+                    [&](std::size_t row) { return layout.id(row, col); });
+}
+
+// Crow op over canonical row `row`: positions are canonical columns.
+void emit_row_ops(Schedule& sch, const StairCode& code, std::size_t row,
+                  std::span<const std::size_t> available,
+                  std::span<const std::size_t> targets) {
+  const StairLayout& layout = code.layout();
+  emit_recovery_ops(sch, code.crow(), available, targets,
+                    [&](std::size_t col) { return layout.id(row, col); });
+}
+
+std::vector<std::size_t> iota_vec(std::size_t count, std::size_t start = 0) {
+  std::vector<std::size_t> v(count);
+  std::iota(v.begin(), v.end(), start);
+  return v;
+}
+
+}  // namespace
+
+Schedule build_upstairs_schedule(const StairCode& code) {
+  const StairConfig& cfg = code.config();
+  const StairLayout& layout = code.layout();
+  const std::size_t n = cfg.n, r = cfg.r, m = cfg.m;
+  const std::size_t mp = cfg.m_prime(), emax = cfg.e_max();
+  const bool inside = code.mode() == GlobalParityMode::kInside;
+
+  Schedule sch(code.field());
+
+  // Data columns that contain no inside globals ("good" columns). In outside
+  // mode that is every data column.
+  const std::size_t first_stair_col = n - m - (inside ? mp : 0);
+
+  // Step 1 — Ccol-encode each good data column's e_max virtual symbols
+  // (Figure 4 steps 1-3; cost r Mult_XORs per virtual symbol).
+  const std::vector<std::size_t> col_data_rows = iota_vec(r);
+  const std::vector<std::size_t> col_virtual_rows = iota_vec(emax, r);
+  for (std::size_t j = 0; j < first_stair_col; ++j)
+    emit_column_ops(sch, code, j, col_data_rows, col_virtual_rows);
+
+  // Step 2 — alternate augmented-row Crow decodes with stair-column Ccol
+  // repairs (Figure 4 steps 4-8). In inside mode the stair columns hold the
+  // inside globals; the Crow decodes read the zero-valued outside globals.
+  // In outside mode there are no stair columns and the Crow decodes *produce*
+  // the outside globals instead.
+  std::vector<bool> repaired(mp, false);
+  auto repair_stair_column = [&](std::size_t l) {
+    const std::size_t col = layout.global_column(l);
+    const std::size_t el = cfg.e[l];
+    // Knowns: the r - e_l data rows above the globals plus the e_l virtual
+    // rows decoded so far. Targets: the e_l inside globals plus the column's
+    // remaining virtual symbols (needed by later augmented-row decodes).
+    std::vector<std::size_t> available = iota_vec(r - el);
+    for (std::size_t h = 0; h < el; ++h) available.push_back(r + h);
+    std::vector<std::size_t> targets = iota_vec(el, r - el);
+    for (std::size_t h = el; h < emax; ++h) targets.push_back(r + h);
+    emit_column_ops(sch, code, col, available, targets);
+    repaired[l] = true;
+  };
+
+  for (std::size_t h = 0; h < emax; ++h) {
+    if (inside)
+      for (std::size_t l = 0; l < mp; ++l)
+        if (!repaired[l] && cfg.e[l] <= h) repair_stair_column(l);
+
+    // Augmented row h: knowns are the virtual symbols of good + repaired
+    // columns and the (zero in inside mode) globals with e_l > h; targets are
+    // the virtual symbols of unrepaired stair columns (inside) or the real
+    // outside globals of this row (outside).
+    std::vector<std::size_t> available;
+    for (std::size_t j = 0; j < first_stair_col; ++j) available.push_back(j);
+    std::vector<std::size_t> targets;
+    if (inside) {
+      for (std::size_t l = 0; l < mp; ++l) {
+        const std::size_t col = layout.global_column(l);
+        if (repaired[l])
+          available.push_back(col);
+        else
+          targets.push_back(col);
+      }
+      for (std::size_t l = 0; l < mp; ++l)
+        if (cfg.e[l] > h) available.push_back(n + l);
+    } else {
+      for (std::size_t l = 0; l < mp; ++l)
+        if (cfg.e[l] > h) targets.push_back(n + l);
+    }
+    emit_row_ops(sch, code, r + h, available, targets);
+  }
+  if (inside)
+    for (std::size_t l = 0; l < mp; ++l)
+      if (!repaired[l]) repair_stair_column(l);
+
+  // Step 3 — row parities, row by row (Figure 4 steps 9-12). Every data
+  // position (including recovered inside globals) is known now.
+  const std::vector<std::size_t> row_data_cols = iota_vec(n - m);
+  const std::vector<std::size_t> row_parity_cols = iota_vec(m, n - m);
+  for (std::size_t i = 0; i < r; ++i)
+    emit_row_ops(sch, code, i, row_data_cols, row_parity_cols);
+
+  return sch;
+}
+
+}  // namespace stair::internal

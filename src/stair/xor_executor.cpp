@@ -1,0 +1,35 @@
+#include "stair/xor_executor.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace stair {
+
+XorExecutor::XorExecutor(const Schedule& schedule, const gf::Field& f) : field_(&f) {
+  ops_.reserve(schedule.ops().size());
+  for (const auto& op : schedule.ops()) {
+    Op lowered;
+    lowered.output = op.output;
+    for (const auto& term : op.terms) {
+      if (term.coeff == 0) continue;
+      Term t{gf::multiplication_bitmatrix(f, term.coeff), term.input};
+      xor_ops_ += gf::bitmatrix_xor_count(t.bitmatrix);
+      lowered.terms.push_back(std::move(t));
+    }
+    ops_.push_back(std::move(lowered));
+  }
+}
+
+void XorExecutor::execute(std::span<const std::span<std::uint8_t>> symbols) const {
+  for (const auto& op : ops_) {
+    assert(op.output < symbols.size());
+    auto dst = symbols[op.output];
+    std::fill(dst.begin(), dst.end(), std::uint8_t{0});
+    for (const auto& term : op.terms) {
+      assert(term.input < symbols.size());
+      gf::bitmatrix_mult_xor_region(term.bitmatrix, field_->w(), symbols[term.input], dst);
+    }
+  }
+}
+
+}  // namespace stair

@@ -1,0 +1,46 @@
+// XOR-only schedule execution (the CRS array-code transform of §8).
+//
+// Compiles any Schedule into bit-matrix form: every GF(2^w) coefficient
+// becomes a w x w binary matrix and replay uses only packet XORs — no
+// multiplication tables, no SIMD shuffles, attractive on hardware without
+// byte-shuffle units. Symbol regions must be in the bit-plane layout of
+// gf/bitmatrix.h (convert with to_bitplane()/from_bitplane()).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gf/bitmatrix.h"
+#include "stair/schedule.h"
+
+namespace stair {
+
+/// A Schedule lowered to GF(2): same ops, coefficients as bit matrices.
+class XorExecutor {
+ public:
+  XorExecutor(const Schedule& schedule, const gf::Field& f);
+
+  /// Total packet-XOR operations per replay — the CRS XOR-cost metric.
+  std::size_t xor_op_count() const { return xor_ops_; }
+
+  /// Replays over bit-plane-layout symbol regions (same indexing as the
+  /// source schedule; every region size divisible by w).
+  void execute(std::span<const std::span<std::uint8_t>> symbols) const;
+
+ private:
+  struct Term {
+    std::vector<std::uint32_t> bitmatrix;
+    std::uint32_t input;
+  };
+  struct Op {
+    std::uint32_t output;
+    std::vector<Term> terms;
+  };
+
+  const gf::Field* field_;
+  std::vector<Op> ops_;
+  std::size_t xor_ops_ = 0;
+};
+
+}  // namespace stair

@@ -1,0 +1,19 @@
+#include "util/buffer.h"
+
+#include <cstring>
+#include <new>
+
+namespace stair {
+
+AlignedBuffer::AlignedBuffer(std::size_t size) : size_(size) {
+  if (size == 0) return;
+  auto* raw = static_cast<std::uint8_t*>(::operator new[](size, std::align_val_t{kAlignment}));
+  std::memset(raw, 0, size);
+  data_.reset(raw);
+}
+
+void AlignedBuffer::clear() {
+  if (size_ != 0) std::memset(data_.get(), 0, size_);
+}
+
+}  // namespace stair

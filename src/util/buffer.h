@@ -1,0 +1,61 @@
+// Aligned byte buffers used as symbol storage for region coding operations.
+//
+// Erasure-code kernels process "symbols" that are contiguous byte regions
+// (sectors). The SIMD fast paths want 64-byte alignment; AlignedBuffer
+// guarantees it regardless of allocator behaviour.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+namespace stair {
+
+/// Owning, 64-byte-aligned byte buffer.
+class AlignedBuffer {
+ public:
+  static constexpr std::size_t kAlignment = 64;
+
+  AlignedBuffer() = default;
+
+  /// Allocates `size` zero-initialized bytes.
+  explicit AlignedBuffer(std::size_t size);
+
+  AlignedBuffer(AlignedBuffer&&) noexcept = default;
+  AlignedBuffer& operator=(AlignedBuffer&&) noexcept = default;
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  std::uint8_t* data() { return data_.get(); }
+  const std::uint8_t* data() const { return data_.get(); }
+
+  std::span<std::uint8_t> span() { return {data_.get(), size_}; }
+  std::span<const std::uint8_t> span() const { return {data_.get(), size_}; }
+
+  /// Subregion [offset, offset + len).
+  std::span<std::uint8_t> region(std::size_t offset, std::size_t len) {
+    return span().subspan(offset, len);
+  }
+  std::span<const std::uint8_t> region(std::size_t offset, std::size_t len) const {
+    return span().subspan(offset, len);
+  }
+
+  /// Sets every byte to zero.
+  void clear();
+
+  std::uint8_t& operator[](std::size_t i) { return data_[i]; }
+  std::uint8_t operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  struct Free {
+    void operator()(std::uint8_t* p) const { ::operator delete[](p, std::align_val_t{kAlignment}); }
+  };
+  std::unique_ptr<std::uint8_t[], Free> data_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace stair

@@ -1,0 +1,4 @@
+#include "util/stopwatch.h"
+
+// Header-only in practice; this translation unit exists so the target has a
+// concrete object file and the header stays warning-checked by the build.

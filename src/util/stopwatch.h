@@ -1,0 +1,26 @@
+// Wall-clock stopwatch for the benchmark harness.
+#pragma once
+
+#include <chrono>
+
+namespace stair {
+
+/// Monotonic wall-clock timer. Construction starts it.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace stair

@@ -1,0 +1,59 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace stair {
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::vector<std::string>> all;
+  if (!header_.empty()) all.push_back(header_);
+  all.insert(all.end(), rows_.begin(), rows_.end());
+  if (all.empty()) return;
+
+  std::size_t cols = 0;
+  for (const auto& row : all) cols = std::max(cols, row.size());
+  std::vector<std::size_t> width(cols, 0);
+  for (const auto& row : all)
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+  if (!title_.empty()) os << "## " << title_ << "\n";
+  bool first = true;
+  for (const auto& row : all) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << cell << std::string(width[c] - cell.size() + 2, ' ');
+    }
+    os << "\n";
+    if (first && !header_.empty()) {
+      for (std::size_t c = 0; c < cols; ++c) os << std::string(width[c], '-') << "  ";
+      os << "\n";
+      first = false;
+    }
+  }
+  os << "\n";
+}
+
+void TablePrinter::print_csv(std::ostream& os) const {
+  auto emit = [&os](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << "\n";
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string format_sig(double value, int digits) {
+  if (value == 0.0) return "0";
+  if (!std::isfinite(value)) return value > 0 ? "inf" : (value < 0 ? "-inf" : "nan");
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", digits, value);
+  return buf;
+}
+
+}  // namespace stair

@@ -1,0 +1,39 @@
+// Plain-text table printer used by the benchmark binaries to emit the rows
+// and series the paper's figures report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace stair {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+/// Benchmarks use it to print paper-figure series in a diff-friendly layout.
+class TablePrinter {
+ public:
+  /// `title` is printed above the table; pass "" for none.
+  explicit TablePrinter(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row.
+  void set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+  /// Appends one data row; rows may be ragged (short rows are padded).
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders the table to `os` with space-aligned columns.
+  void print(std::ostream& os) const;
+
+  /// Renders the table as CSV (header first) to `os`.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits (benchmark output helper).
+std::string format_sig(double value, int digits = 4);
+
+}  // namespace stair

@@ -1,0 +1,148 @@
+// Bit-matrix backend tests: the GF(2) lowering of multiplication, layout
+// conversion round trips, region-op equivalence with the table kernels, and
+// full STAIR encoding through the XOR-only executor.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstring>
+#include <vector>
+
+#include "gf/bitmatrix.h"
+#include "stair/stair_code.h"
+#include "stair/xor_executor.h"
+#include "util/buffer.h"
+#include "util/rng.h"
+
+namespace stair {
+namespace {
+
+class BitmatrixTest : public ::testing::TestWithParam<int> {
+ protected:
+  const gf::Field& f() const { return gf::field(GetParam()); }
+};
+
+TEST_P(BitmatrixTest, MatrixAppliesMultiplication) {
+  const auto& field = f();
+  Rng rng(1);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::uint32_t a =
+        static_cast<std::uint32_t>(rng.next_u64() & field.max_element());
+    const std::uint32_t x =
+        static_cast<std::uint32_t>(rng.next_u64() & field.max_element());
+    const auto rows = gf::multiplication_bitmatrix(field, a);
+    std::uint32_t result = 0;
+    for (int i = 0; i < field.w(); ++i) {
+      // Row i dot x over GF(2) = parity of (rows[i] & x).
+      if (std::popcount(rows[i] & x) & 1) result |= std::uint32_t{1} << i;
+    }
+    EXPECT_EQ(result, field.mul(a, x)) << "a=" << a << " x=" << x;
+  }
+}
+
+TEST_P(BitmatrixTest, IdentityAndZeroMatrices) {
+  const auto one = gf::multiplication_bitmatrix(f(), 1);
+  for (int i = 0; i < f().w(); ++i) EXPECT_EQ(one[i], std::uint32_t{1} << i);
+  EXPECT_EQ(gf::bitmatrix_xor_count(one), static_cast<std::size_t>(f().w()));
+  const auto zero = gf::multiplication_bitmatrix(f(), 0);
+  EXPECT_EQ(gf::bitmatrix_xor_count(zero), 0u);
+}
+
+TEST_P(BitmatrixTest, BitplaneConversionRoundTrips) {
+  const std::size_t size = 16 * static_cast<std::size_t>(f().w());
+  AlignedBuffer in(size), planes(size), back(size);
+  Rng rng(2);
+  rng.fill(in.span());
+  gf::to_bitplane(f(), in.span(), planes.span());
+  gf::from_bitplane(f(), planes.span(), back.span());
+  EXPECT_EQ(0, std::memcmp(in.data(), back.data(), size));
+}
+
+TEST_P(BitmatrixTest, RegionOpMatchesTableKernelThroughLayouts) {
+  const auto& field = f();
+  const std::size_t size = 8 * static_cast<std::size_t>(field.w());
+  Rng rng(3);
+  AlignedBuffer src(size), dst(size);
+  rng.fill(src.span());
+  rng.fill(dst.span());
+
+  const std::uint32_t a = 1 + static_cast<std::uint32_t>(
+                                  rng.next_below(field.max_element()));
+  // Path 1: ordinary kernel.
+  AlignedBuffer expect(size);
+  std::memcpy(expect.data(), dst.data(), size);
+  gf::mult_xor_region(field, a, src.span(), expect.span());
+
+  // Path 2: convert to planes, bit-matrix op, convert back.
+  AlignedBuffer src_p(size), dst_p(size), got(size);
+  gf::to_bitplane(field, src.span(), src_p.span());
+  gf::to_bitplane(field, dst.span(), dst_p.span());
+  const auto rows = gf::multiplication_bitmatrix(field, a);
+  gf::bitmatrix_mult_xor_region(rows, field.w(), src_p.span(), dst_p.span());
+  gf::from_bitplane(field, dst_p.span(), got.span());
+
+  EXPECT_EQ(0, std::memcmp(expect.data(), got.data(), size));
+}
+
+INSTANTIATE_TEST_SUITE_P(WordSizes, BitmatrixTest, ::testing::Values(8, 16, 32),
+                         [](const auto& info) { return "w" + std::to_string(info.param); });
+
+TEST(XorExecutorTest, StairEncodingMatchesTableBackend) {
+  // Encode the same stripe through the GF(2^8) kernels and through the pure
+  // XOR executor (in bit-plane space); results must agree symbol for symbol.
+  const StairConfig cfg{.n = 8, .r = 4, .m = 2, .e = {1, 1, 2}};
+  const StairCode code(cfg);
+  const std::size_t symbol = 64;
+
+  StripeBuffer table_stripe(code, symbol);
+  std::vector<std::uint8_t> data(table_stripe.data_size());
+  Rng rng(4);
+  rng.fill(data);
+  table_stripe.set_data(data);
+  code.encode(table_stripe.view(), EncodingMethod::kUpstairs);
+
+  // XOR path: build the full canonical symbol table in bit-plane layout.
+  const auto& layout = code.layout();
+  const Schedule& sch = code.encoding_schedule(EncodingMethod::kUpstairs);
+  const XorExecutor xor_exec(sch, code.field());
+  EXPECT_GT(xor_exec.xor_op_count(), sch.mult_xor_count())
+      << "each Mult_XOR lowers to several packet XORs";
+
+  StripeBuffer xor_stripe(code, symbol);
+  xor_stripe.set_data(data);
+  std::vector<AlignedBuffer> planes;
+  std::vector<std::span<std::uint8_t>> plane_spans;
+  for (std::size_t id = 0; id < layout.total_symbols(); ++id) planes.emplace_back(symbol);
+  for (auto& p : planes) plane_spans.push_back(p.span());
+  for (std::size_t row = 0; row < cfg.r; ++row)
+    for (std::size_t col = 0; col < cfg.n; ++col)
+      gf::to_bitplane(code.field(), xor_stripe.symbol(row, col),
+                      plane_spans[layout.id(row, col)]);
+
+  xor_exec.execute(plane_spans);
+
+  for (std::size_t row = 0; row < cfg.r; ++row)
+    for (std::size_t col = 0; col < cfg.n; ++col) {
+      AlignedBuffer back(symbol);
+      gf::from_bitplane(code.field(), plane_spans[layout.id(row, col)], back.span());
+      ASSERT_EQ(0, std::memcmp(back.data(), table_stripe.symbol(row, col).data(), symbol))
+          << "symbol (" << row << "," << col << ")";
+    }
+}
+
+TEST(XorExecutorTest, DecodeScheduleAlsoLowers) {
+  const StairConfig cfg{.n = 6, .r = 4, .m = 1, .e = {1, 1}};
+  const StairCode code(cfg);
+  std::vector<bool> mask(cfg.n * cfg.r, false);
+  for (std::size_t i = 0; i < cfg.r; ++i) mask[i * cfg.n + 2] = true;
+  auto sch = code.build_decode_schedule(mask);
+  ASSERT_TRUE(sch.has_value());
+  const XorExecutor xor_exec(*sch, code.field());
+  EXPECT_GT(xor_exec.xor_op_count(), 0u);
+  // w = 8: each nonzero coefficient costs between w and w*w XORs.
+  EXPECT_LE(xor_exec.xor_op_count(), sch->mult_xor_count() * 64u);
+  EXPECT_GE(xor_exec.xor_op_count(), sch->mult_xor_count() * 1u);
+}
+
+}  // namespace
+}  // namespace stair

@@ -1,0 +1,107 @@
+// Coverage-advisor tests: the §7.2.2 rankings come out of the API — bursty
+// models prefer e = (s), independent models prefer split vectors, the burst
+// constraint is honored, and degenerate queries fail cleanly.
+
+#include <gtest/gtest.h>
+
+#include "reliability/coverage_advisor.h"
+
+namespace stair::reliability {
+namespace {
+
+AdvisorQuery base_query() {
+  AdvisorQuery q;
+  q.system = SystemParams{};  // n=8, r=16, m=1
+  q.p_bit = 1e-12;
+  return q;
+}
+
+TEST(CoverageAdvisor, BurstyModelPrefersConcentratedCoverage) {
+  AdvisorQuery q = base_query();
+  q.beta = 1;
+  q.max_sectors = 3;
+  q.correlated = true;
+  q.b1 = 0.9;
+  q.alpha = 1.0;  // heavy bursts
+  const auto best = recommend_coverage(q);
+  ASSERT_FALSE(best.empty());
+  // §7.2.2: under bursty failures e = (s) dominates; the top pick must be a
+  // single-element vector at the budget.
+  EXPECT_EQ(best.size(), 1u);
+  EXPECT_EQ(best[0], 3u);
+}
+
+TEST(CoverageAdvisor, IndependentModelPrefersSplitCoverage) {
+  AdvisorQuery q = base_query();
+  q.beta = 1;
+  q.max_sectors = 3;
+  q.correlated = false;
+  q.p_bit = 1e-11;  // high enough that multi-chunk patterns matter
+  const auto ranked = rank_coverage_vectors(q);
+  ASSERT_FALSE(ranked.empty());
+  // Under independent failures, the winner must spread coverage over more
+  // than one chunk (§7.2.1: e = (1,2) beats (3)).
+  EXPECT_GT(ranked.front().e.size(), 1u);
+  // And specifically (1,2) must outrank (3).
+  double mttdl_12 = 0, mttdl_3 = 0;
+  for (const auto& c : ranked) {
+    if (c.e == std::vector<std::size_t>{1, 2}) mttdl_12 = c.mttdl_hours;
+    if (c.e == std::vector<std::size_t>{3}) mttdl_3 = c.mttdl_hours;
+  }
+  ASSERT_GT(mttdl_12, 0.0);
+  ASSERT_GT(mttdl_3, 0.0);
+  EXPECT_GT(mttdl_12, mttdl_3);
+}
+
+TEST(CoverageAdvisor, BurstConstraintIsHonored) {
+  AdvisorQuery q = base_query();
+  q.beta = 4;
+  const auto ranked = rank_coverage_vectors(q);
+  ASSERT_FALSE(ranked.empty());
+  for (const auto& c : ranked) EXPECT_GE(c.e.back(), 4u);
+}
+
+TEST(CoverageAdvisor, BudgetIsHonored) {
+  AdvisorQuery q = base_query();
+  q.beta = 2;
+  q.max_sectors = 4;
+  for (const auto& c : rank_coverage_vectors(q)) EXPECT_LE(c.s, 4u);
+}
+
+TEST(CoverageAdvisor, RankingIsSortedByMttdl) {
+  AdvisorQuery q = base_query();
+  q.beta = 1;
+  q.max_sectors = 4;
+  const auto ranked = rank_coverage_vectors(q);
+  ASSERT_GT(ranked.size(), 3u);
+  for (std::size_t i = 1; i < ranked.size(); ++i)
+    EXPECT_GE(ranked[i - 1].mttdl_hours, ranked[i].mttdl_hours);
+}
+
+TEST(CoverageAdvisor, ImpossibleQueriesReturnEmpty) {
+  AdvisorQuery q = base_query();
+  q.beta = q.system.r + 1;  // burst longer than a chunk
+  EXPECT_TRUE(rank_coverage_vectors(q).empty());
+  EXPECT_TRUE(recommend_coverage(q).empty());
+
+  q = base_query();
+  q.beta = 5;
+  q.max_sectors = 4;  // budget below beta
+  EXPECT_TRUE(rank_coverage_vectors(q).empty());
+}
+
+TEST(CoverageAdvisor, MoreBudgetNeverHurts) {
+  AdvisorQuery small = base_query();
+  small.beta = 1;
+  small.max_sectors = 2;
+  AdvisorQuery big = small;
+  big.max_sectors = 5;
+  const auto best_small = rank_coverage_vectors(small);
+  const auto best_big = rank_coverage_vectors(big);
+  ASSERT_FALSE(best_small.empty());
+  ASSERT_FALSE(best_big.empty());
+  EXPECT_GE(best_big.front().mttdl_hours, best_small.front().mttdl_hours);
+}
+
+}  // namespace
+}  // namespace stair::reliability

@@ -1,0 +1,234 @@
+// Galois-field unit and property tests: field axioms, table consistency,
+// and region-kernel equivalence with scalar arithmetic, across word sizes.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "gf/gf.h"
+#include "gf/region.h"
+#include "util/buffer.h"
+#include "util/rng.h"
+
+namespace stair::gf {
+namespace {
+
+class FieldTest : public ::testing::TestWithParam<int> {
+ protected:
+  const Field& f() const { return field(GetParam()); }
+
+  // A spread of interesting elements: small values, the top of the range,
+  // and seeded random samples.
+  std::vector<std::uint32_t> sample_elements(std::size_t extra = 24) const {
+    const std::uint32_t top = f().max_element();
+    std::vector<std::uint32_t> v{0, 1, 2, 3, top, static_cast<std::uint32_t>(top - 1)};
+    Rng rng(42 + GetParam());
+    for (std::size_t i = 0; i < extra; ++i)
+      v.push_back(static_cast<std::uint32_t>(rng.next_u64() & top));
+    return v;
+  }
+};
+
+TEST_P(FieldTest, MultiplicativeIdentityAndZero) {
+  for (std::uint32_t a : sample_elements()) {
+    EXPECT_EQ(f().mul(a, 1), a);
+    EXPECT_EQ(f().mul(1, a), a);
+    EXPECT_EQ(f().mul(a, 0), 0u);
+    EXPECT_EQ(f().mul(0, a), 0u);
+  }
+}
+
+TEST_P(FieldTest, MultiplicationCommutes) {
+  const auto elems = sample_elements();
+  for (std::uint32_t a : elems)
+    for (std::uint32_t b : elems) EXPECT_EQ(f().mul(a, b), f().mul(b, a));
+}
+
+TEST_P(FieldTest, MultiplicationAssociates) {
+  const auto elems = sample_elements(8);
+  for (std::uint32_t a : elems)
+    for (std::uint32_t b : elems)
+      for (std::uint32_t c : elems)
+        EXPECT_EQ(f().mul(f().mul(a, b), c), f().mul(a, f().mul(b, c)));
+}
+
+TEST_P(FieldTest, DistributesOverAddition) {
+  const auto elems = sample_elements(8);
+  for (std::uint32_t a : elems)
+    for (std::uint32_t b : elems)
+      for (std::uint32_t c : elems)
+        EXPECT_EQ(f().mul(a, Field::add(b, c)),
+                  Field::add(f().mul(a, b), f().mul(a, c)));
+}
+
+TEST_P(FieldTest, InverseRoundTrips) {
+  for (std::uint32_t a : sample_elements()) {
+    if (a == 0) continue;
+    EXPECT_EQ(f().mul(a, f().inv(a)), 1u) << "a=" << a;
+  }
+}
+
+TEST_P(FieldTest, DivisionInvertsMultiplication) {
+  const auto elems = sample_elements();
+  for (std::uint32_t a : elems)
+    for (std::uint32_t b : elems) {
+      if (b == 0) continue;
+      EXPECT_EQ(f().div(f().mul(a, b), b), a);
+    }
+}
+
+TEST_P(FieldTest, ExpLogConsistent) {
+  if (GetParam() > 16) GTEST_SKIP() << "log for w=32 is test-only and slow";
+  for (std::uint32_t a : sample_elements()) {
+    if (a == 0) continue;
+    EXPECT_EQ(f().exp(f().log(a)), a);
+  }
+}
+
+TEST_P(FieldTest, PowMatchesRepeatedMultiplication) {
+  for (std::uint32_t a : sample_elements(6)) {
+    std::uint32_t acc = 1;
+    for (std::uint64_t e = 0; e < 8; ++e) {
+      EXPECT_EQ(f().pow(a, e), acc);
+      acc = f().mul(acc, a);
+    }
+  }
+}
+
+TEST_P(FieldTest, PrimitiveElementGeneratesGroup) {
+  if (GetParam() > 8) GTEST_SKIP() << "full group walk only for small fields";
+  std::vector<bool> seen(f().order(), false);
+  std::uint32_t x = 1;
+  for (std::uint64_t i = 0; i < f().order() - 1; ++i) {
+    EXPECT_FALSE(seen[x]) << "cycle shorter than group order at step " << i;
+    seen[x] = true;
+    x = f().mul(x, 2);
+  }
+  EXPECT_EQ(x, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWordSizes, FieldTest, ::testing::Values(4, 8, 16, 32),
+                         [](const auto& info) { return "w" + std::to_string(info.param); });
+
+// ---------------------------------------------------------------------------
+// Region kernels
+// ---------------------------------------------------------------------------
+
+class RegionTest : public ::testing::TestWithParam<int> {
+ protected:
+  const Field& f() const { return field(GetParam()); }
+  std::size_t symbol_bytes() const { return GetParam() >= 8 ? GetParam() / 8 : 1; }
+
+  // Scalar reference: interpret regions as packed words and multiply each.
+  void reference_mult_xor(std::uint32_t a, std::span<const std::uint8_t> src,
+                          std::span<std::uint8_t> dst) const {
+    const int w = GetParam();
+    if (w == 4) {
+      for (std::size_t i = 0; i < src.size(); ++i) {
+        const std::uint32_t lo = f().mul(a, src[i] & 0xf);
+        const std::uint32_t hi = f().mul(a, src[i] >> 4);
+        dst[i] ^= static_cast<std::uint8_t>(lo | (hi << 4));
+      }
+      return;
+    }
+    const std::size_t bytes = symbol_bytes();
+    for (std::size_t i = 0; i < src.size(); i += bytes) {
+      std::uint32_t x = 0, d = 0;
+      std::memcpy(&x, src.data() + i, bytes);
+      std::memcpy(&d, dst.data() + i, bytes);
+      d ^= f().mul(a, x);
+      std::memcpy(dst.data() + i, &d, bytes);
+    }
+  }
+};
+
+TEST_P(RegionTest, MultXorMatchesScalarReference) {
+  Rng rng(7 + GetParam());
+  // Sizes chosen to cross the 16-byte SIMD boundary and exercise tails.
+  for (std::size_t size : {std::size_t{16}, std::size_t{64}, std::size_t{100},
+                           std::size_t{1000}, std::size_t{4096}}) {
+    if (size % symbol_bytes() != 0) continue;
+    AlignedBuffer src(size), dst(size), ref(size);
+    rng.fill(src.span());
+    rng.fill(dst.span());
+    std::memcpy(ref.data(), dst.data(), size);
+
+    for (std::uint32_t a :
+         {std::uint32_t{0}, std::uint32_t{1}, std::uint32_t{2}, std::uint32_t{7},
+          f().max_element(),
+          static_cast<std::uint32_t>(rng.next_u64() & f().max_element())}) {
+      mult_xor_region(f(), a, src.span(), dst.span());
+      reference_mult_xor(a, src.span(), ref.span());
+      ASSERT_EQ(std::memcmp(dst.data(), ref.data(), size), 0)
+          << "w=" << GetParam() << " a=" << a << " size=" << size;
+    }
+  }
+}
+
+TEST_P(RegionTest, MultXorUnalignedOffsetsMatch) {
+  Rng rng(11 + GetParam());
+  const std::size_t bytes = symbol_bytes();
+  AlignedBuffer src(512 + 64), dst(512 + 64), ref(512 + 64);
+  rng.fill(src.span());
+  rng.fill(dst.span());
+  std::memcpy(ref.data(), dst.data(), ref.size());
+
+  for (std::size_t offset : {bytes, 3 * bytes, 7 * bytes}) {
+    const std::size_t len = 512 - offset - (512 - offset) % bytes;
+    const std::uint32_t a = 1 + static_cast<std::uint32_t>(
+                                    rng.next_below(f().max_element()));
+    mult_xor_region(f(), a, src.region(offset, len), dst.region(offset, len));
+    reference_mult_xor(a, src.region(offset, len), ref.region(offset, len));
+    ASSERT_EQ(std::memcmp(dst.data(), ref.data(), dst.size()), 0) << "offset=" << offset;
+  }
+}
+
+TEST_P(RegionTest, MultRegionOverwritesAndInPlaceWorks) {
+  Rng rng(13 + GetParam());
+  const std::size_t size = 256;
+  AlignedBuffer src(size), dst(size), inplace(size);
+  rng.fill(src.span());
+  rng.fill(dst.span());  // pre-existing garbage must be ignored
+  std::memcpy(inplace.data(), src.data(), size);
+
+  const std::uint32_t a = 3 & f().max_element() ? 3 : 2;
+  mult_region(f(), a, src.span(), dst.span());
+  mult_region(f(), a, inplace.span(), inplace.span());
+  ASSERT_EQ(std::memcmp(dst.data(), inplace.data(), size), 0);
+
+  // dst == a * src symbol-wise, via the xor kernel as a cross-check.
+  AlignedBuffer check(size);
+  mult_xor_region(f(), a, src.span(), check.span());
+  ASSERT_EQ(std::memcmp(dst.data(), check.data(), size), 0);
+}
+
+TEST_P(RegionTest, XorRegionIsAddition) {
+  Rng rng(17);
+  AlignedBuffer a(333), b(333), expect(333);
+  rng.fill(a.span());
+  rng.fill(b.span());
+  for (std::size_t i = 0; i < a.size(); ++i) expect[i] = a[i] ^ b[i];
+  xor_region(a.span(), b.span());
+  ASSERT_EQ(std::memcmp(b.data(), expect.data(), b.size()), 0);
+}
+
+TEST_P(RegionTest, MultXorByZeroAndOneShortcuts) {
+  Rng rng(19);
+  AlignedBuffer src(128), dst(128), orig(128);
+  rng.fill(src.span());
+  rng.fill(dst.span());
+  std::memcpy(orig.data(), dst.data(), 128);
+
+  mult_xor_region(f(), 0, src.span(), dst.span());
+  ASSERT_EQ(std::memcmp(dst.data(), orig.data(), 128), 0) << "a=0 must be a no-op";
+
+  mult_xor_region(f(), 1, src.span(), dst.span());
+  for (std::size_t i = 0; i < 128; ++i) ASSERT_EQ(dst[i], orig[i] ^ src[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWordSizes, RegionTest, ::testing::Values(4, 8, 16, 32),
+                         [](const auto& info) { return "w" + std::to_string(info.param); });
+
+}  // namespace
+}  // namespace stair::gf

@@ -1,0 +1,131 @@
+// IDR scheme tests: inner/outer encode-decode round trips, coverage limits,
+// and the space-overhead comparison against STAIR that motivates §2.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "idr/idr_scheme.h"
+#include "stair/stair_config.h"
+#include "util/buffer.h"
+#include "util/rng.h"
+
+namespace stair {
+namespace {
+
+class IdrFixture {
+ public:
+  explicit IdrFixture(IdrConfig cfg, std::size_t symbol = 8)
+      : scheme_(cfg), symbol_(symbol) {
+    const std::size_t total = cfg.n * cfg.r;
+    for (std::size_t z = 0; z < total; ++z) bufs_.emplace_back(symbol_);
+    for (auto& b : bufs_) regions_.push_back(b.span());
+    Rng rng(31);
+    // Data region: first r - eps rows of the n - m data chunks.
+    for (std::size_t i = 0; i < cfg.r - cfg.eps; ++i)
+      for (std::size_t j = 0; j < cfg.n - cfg.m; ++j) rng.fill(regions_[i * cfg.n + j]);
+    scheme_.encode(regions_);
+    golden_ = snapshot();
+  }
+
+  const IdrScheme& scheme() const { return scheme_; }
+
+  std::vector<std::uint8_t> snapshot() const {
+    std::vector<std::uint8_t> out;
+    for (const auto& b : bufs_) out.insert(out.end(), b.span().begin(), b.span().end());
+    return out;
+  }
+
+  bool corrupt_and_recover(const std::vector<bool>& mask) {
+    restore();
+    Rng garbage(55);
+    for (std::size_t z = 0; z < mask.size(); ++z)
+      if (mask[z]) garbage.fill(regions_[z]);
+    if (!scheme_.decode(regions_, mask)) {
+      restore();
+      return false;
+    }
+    const bool ok = snapshot() == golden_;
+    restore();
+    return ok;
+  }
+
+  void restore() {
+    std::size_t off = 0;
+    for (auto& b : bufs_) {
+      std::memcpy(b.data(), golden_.data() + off, symbol_);
+      off += symbol_;
+    }
+  }
+
+ private:
+  IdrScheme scheme_;
+  std::size_t symbol_;
+  std::vector<AlignedBuffer> bufs_;
+  std::vector<std::span<std::uint8_t>> regions_;
+  std::vector<std::uint8_t> golden_;
+};
+
+TEST(IdrConfigTest, Validation) {
+  EXPECT_THROW((IdrConfig{.n = 8, .r = 4, .m = 2, .eps = 0}).validate(), std::invalid_argument);
+  EXPECT_THROW((IdrConfig{.n = 8, .r = 4, .m = 2, .eps = 4}).validate(), std::invalid_argument);
+  EXPECT_THROW((IdrConfig{.n = 8, .r = 4, .m = 8, .eps = 1}).validate(), std::invalid_argument);
+  EXPECT_NO_THROW((IdrConfig{.n = 8, .r = 4, .m = 2, .eps = 1}).validate());
+}
+
+TEST(IdrSchemeTest, DeviceFailuresRecover) {
+  IdrFixture fx({.n = 6, .r = 4, .m = 2, .eps = 1});
+  std::vector<bool> mask(24, false);
+  for (std::size_t i = 0; i < 4; ++i) {
+    mask[i * 6 + 1] = true;
+    mask[i * 6 + 5] = true;  // one data device, one parity device
+  }
+  EXPECT_TRUE(fx.scheme().is_recoverable(mask));
+  EXPECT_TRUE(fx.corrupt_and_recover(mask));
+}
+
+TEST(IdrSchemeTest, PerChunkBurstsUpToEpsRecover) {
+  IdrFixture fx({.n = 6, .r = 6, .m = 1, .eps = 2});
+  // Every data chunk loses a burst of eps sectors (IDR's design point).
+  std::vector<bool> mask(36, false);
+  for (std::size_t j = 0; j < 5; ++j)
+    for (std::size_t q = 0; q < 2; ++q) mask[((j + q) % 6) * 6 + j] = true;
+  EXPECT_TRUE(fx.scheme().is_recoverable(mask));
+  EXPECT_TRUE(fx.corrupt_and_recover(mask));
+}
+
+TEST(IdrSchemeTest, DeviceFailurePlusSectorFailuresRecover) {
+  IdrFixture fx({.n = 6, .r = 6, .m = 1, .eps = 2});
+  std::vector<bool> mask(36, false);
+  for (std::size_t i = 0; i < 6; ++i) mask[i * 6 + 0] = true;  // dead device
+  mask[2 * 6 + 1] = true;                                      // sector in another
+  mask[4 * 6 + 3] = true;
+  EXPECT_TRUE(fx.corrupt_and_recover(mask));
+}
+
+TEST(IdrSchemeTest, BeyondEpsRejected) {
+  IdrFixture fx({.n = 6, .r = 6, .m = 1, .eps = 2});
+  // Two chunks exceed eps: only one can be deferred to the outer code.
+  std::vector<bool> mask(36, false);
+  for (std::size_t q = 0; q < 3; ++q) {
+    mask[q * 6 + 1] = true;
+    mask[q * 6 + 2] = true;
+  }
+  EXPECT_FALSE(fx.scheme().is_recoverable(mask));
+  EXPECT_FALSE(fx.corrupt_and_recover(mask));
+}
+
+TEST(IdrSchemeTest, SpaceOverheadExceedsStairForBurstCoverage) {
+  // §2's motivating example: beta = 4, n = 8, m = 2. IDR needs 24 redundant
+  // sectors (plus the parity disks); STAIR with e = (1, 4) needs 5.
+  const IdrConfig idr{.n = 8, .r = 16, .m = 2, .eps = 4};
+  const StairConfig st{.n = 8, .r = 16, .m = 2, .e = {1, 4}};
+  const std::size_t idr_extra = idr.redundancy() - idr.m * idr.r;  // inner sectors
+  EXPECT_EQ(idr_extra, 24u);
+  EXPECT_EQ(st.s(), 5u);
+  EXPECT_LT(st.s(), idr_extra);
+}
+
+}  // namespace
+}  // namespace stair

@@ -1,0 +1,193 @@
+// Matrix-over-GF tests: inversion, rank, selection, and the MDS-enabling
+// properties of the Cauchy and systematic-Vandermonde constructions.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <numeric>
+
+#include "matrix/cauchy.h"
+#include "matrix/matrix.h"
+#include "matrix/vandermonde.h"
+#include "util/rng.h"
+
+namespace stair {
+namespace {
+
+Matrix random_matrix(const gf::Field& f, std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(f, rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j)
+      m.set(i, j, static_cast<std::uint32_t>(rng.next_u64() & f.max_element()));
+  return m;
+}
+
+TEST(MatrixTest, IdentityMultiplication) {
+  const auto& f = gf::field(8);
+  Rng rng(1);
+  const Matrix a = random_matrix(f, 5, 5, rng);
+  const Matrix i = Matrix::identity(f, 5);
+  EXPECT_EQ(a.mul(i), a);
+  EXPECT_EQ(i.mul(a), a);
+}
+
+TEST(MatrixTest, InverseRoundTripsOnRandomNonsingularMatrices) {
+  const auto& f = gf::field(8);
+  Rng rng(2);
+  std::size_t tested = 0;
+  for (std::size_t trial = 0; trial < 40 && tested < 20; ++trial) {
+    const Matrix a = random_matrix(f, 6, 6, rng);
+    auto inv = a.inverse();
+    if (!inv) continue;
+    ++tested;
+    EXPECT_EQ(a.mul(*inv), Matrix::identity(f, 6));
+    EXPECT_EQ(inv->mul(a), Matrix::identity(f, 6));
+  }
+  EXPECT_GE(tested, 10u) << "random GF(256) matrices are almost surely invertible";
+}
+
+TEST(MatrixTest, SingularMatrixDetected) {
+  const auto& f = gf::field(8);
+  Matrix a(f, 3, 3);
+  // Row 2 = row 0 + row 1 (XOR): singular by construction.
+  const std::uint32_t rows[2][3] = {{1, 2, 3}, {4, 5, 6}};
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 3; ++j) a.set(i, j, rows[i][j]);
+  for (int j = 0; j < 3; ++j) a.set(2, j, rows[0][j] ^ rows[1][j]);
+  EXPECT_FALSE(a.inverse().has_value());
+  EXPECT_FALSE(a.is_invertible());
+  EXPECT_EQ(a.rank(), 2u);
+}
+
+TEST(MatrixTest, RankOfRandomTallMatrix) {
+  const auto& f = gf::field(8);
+  Rng rng(3);
+  const Matrix a = random_matrix(f, 8, 4, rng);
+  EXPECT_LE(a.rank(), 4u);
+  // Duplicate a column: rank of [a | a_col0] stays the same.
+  Matrix b(f, 8, 5);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) b.set(i, j, a.at(i, j));
+    b.set(i, 4, a.at(i, 0));
+  }
+  EXPECT_EQ(b.rank(), a.rank());
+}
+
+TEST(MatrixTest, SolveRecoversKnownVector) {
+  const auto& f = gf::field(8);
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Matrix a = random_matrix(f, 5, 5, rng);
+    if (!a.is_invertible()) continue;
+    std::vector<std::uint32_t> x(5);
+    for (auto& v : x) v = static_cast<std::uint32_t>(rng.next_u64() & 0xff);
+    const auto b = a.mul_vec(x);
+    const auto solved = solve(a, b);
+    ASSERT_TRUE(solved.has_value());
+    EXPECT_EQ(*solved, x);
+  }
+}
+
+TEST(MatrixTest, SelectAndConcat) {
+  const auto& f = gf::field(8);
+  Rng rng(5);
+  const Matrix a = random_matrix(f, 4, 6, rng);
+  const std::vector<std::size_t> rows{2, 0};
+  const std::vector<std::size_t> cols{5, 1, 3};
+  const Matrix s = a.select(rows, cols);
+  ASSERT_EQ(s.rows(), 2u);
+  ASSERT_EQ(s.cols(), 3u);
+  EXPECT_EQ(s.at(0, 0), a.at(2, 5));
+  EXPECT_EQ(s.at(1, 2), a.at(0, 3));
+
+  const Matrix c = a.concat_cols(a);
+  ASSERT_EQ(c.cols(), 12u);
+  EXPECT_EQ(c.at(3, 7), a.at(3, 1));
+}
+
+class CauchyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CauchyTest, EverySquareSubmatrixNonsingular) {
+  const auto& f = gf::field(GetParam());
+  const std::size_t rows = 4, cols = 4;
+  const Matrix c = cauchy_matrix(f, rows, cols);
+
+  // Exhaust all square submatrices up to size 3, plus the full 4x4.
+  for (std::size_t size = 1; size <= 3; ++size) {
+    std::vector<std::size_t> rod(size, 0), cod(size, 0);
+    std::function<void(std::size_t, std::size_t)> rec_r = [&](std::size_t depth,
+                                                              std::size_t start) {
+      if (depth == size) {
+        std::function<void(std::size_t, std::size_t)> rec_c = [&](std::size_t d2,
+                                                                  std::size_t s2) {
+          if (d2 == size) {
+            EXPECT_TRUE(c.select(rod, cod).is_invertible());
+            return;
+          }
+          for (std::size_t j = s2; j < cols; ++j) {
+            cod[d2] = j;
+            rec_c(d2 + 1, j + 1);
+          }
+        };
+        rec_c(0, 0);
+        return;
+      }
+      for (std::size_t i = start; i < rows; ++i) {
+        rod[depth] = i;
+        rec_r(depth + 1, i + 1);
+      }
+    };
+    rec_r(0, 0);
+  }
+  std::vector<std::size_t> all{0, 1, 2, 3};
+  EXPECT_TRUE(c.select(all, all).is_invertible());
+}
+
+INSTANTIATE_TEST_SUITE_P(WordSizes, CauchyTest, ::testing::Values(4, 8, 16),
+                         [](const auto& info) { return "w" + std::to_string(info.param); });
+
+TEST(CauchyTest, RejectsOverlappingPointSets) {
+  const auto& f = gf::field(8);
+  const std::vector<std::uint32_t> x{1, 2}, y{2, 3};
+  EXPECT_THROW(cauchy_matrix_from_points(f, x, y), std::invalid_argument);
+}
+
+TEST(CauchyTest, RejectsOversizedShape) {
+  EXPECT_THROW(cauchy_matrix(gf::field(4), 10, 8), std::invalid_argument);
+}
+
+TEST(VandermondeTest, SystematicGeneratorHasIdentityPrefix) {
+  const auto& f = gf::field(8);
+  const Matrix g = systematic_vandermonde_generator(f, 4, 7);
+  ASSERT_EQ(g.rows(), 4u);
+  ASSERT_EQ(g.cols(), 7u);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      EXPECT_EQ(g.at(i, j), i == j ? 1u : 0u);
+}
+
+TEST(VandermondeTest, SystematicGeneratorIsMds) {
+  const auto& f = gf::field(8);
+  const std::size_t kappa = 4, eta = 8;
+  const Matrix g = systematic_vandermonde_generator(f, kappa, eta);
+
+  // MDS <=> every kappa columns of G are independent. Exhaust all C(8,4).
+  std::vector<std::size_t> rows(kappa);
+  std::iota(rows.begin(), rows.end(), 0);
+  std::vector<std::size_t> cols(kappa);
+  std::function<void(std::size_t, std::size_t)> rec = [&](std::size_t depth,
+                                                          std::size_t start) {
+    if (depth == kappa) {
+      EXPECT_TRUE(g.select(rows, cols).is_invertible());
+      return;
+    }
+    for (std::size_t j = start; j < eta; ++j) {
+      cols[depth] = j;
+      rec(depth + 1, j + 1);
+    }
+  };
+  rec(0, 0);
+}
+
+}  // namespace
+}  // namespace stair

@@ -1,0 +1,129 @@
+// StairConfig and StairLayout tests: parameter validation, derived
+// quantities, coverage-vector enumeration, and canonical-grid geometry
+// (including the Figure 2/5 exemplar, n=8 r=4 m=2 e=(1,1,2)).
+
+#include <gtest/gtest.h>
+
+#include "stair/stair_layout.h"
+
+namespace stair {
+namespace {
+
+StairConfig exemplar() { return {.n = 8, .r = 4, .m = 2, .e = {1, 1, 2}}; }
+
+TEST(StairConfigTest, DerivedQuantitiesOfTheExemplar) {
+  const StairConfig cfg = exemplar();
+  EXPECT_EQ(cfg.m_prime(), 3u);
+  EXPECT_EQ(cfg.s(), 4u);
+  EXPECT_EQ(cfg.e_max(), 2u);
+  EXPECT_EQ(cfg.data_symbols_inside(), 4u * 6u - 4u);
+  EXPECT_DOUBLE_EQ(cfg.storage_efficiency(), 20.0 / 32.0);
+  EXPECT_DOUBLE_EQ(cfg.devices_saved(), 3.0 - 4.0 / 4.0);
+  EXPECT_EQ(cfg.minimum_w(), 4);
+  EXPECT_NO_THROW(cfg.validate());
+  EXPECT_EQ(cfg.to_string(), "STAIR(n=8, r=4, m=2, e=(1,1,2))");
+}
+
+TEST(StairConfigTest, ValidationCatchesEveryConstraint) {
+  auto expect_bad = [](StairConfig cfg) { EXPECT_THROW(cfg.validate(), std::invalid_argument); };
+  expect_bad({.n = 1, .r = 4, .m = 0, .e = {1}});          // too few chunks
+  expect_bad({.n = 8, .r = 0, .m = 2, .e = {1}});          // no sectors
+  expect_bad({.n = 8, .r = 4, .m = 8, .e = {1}});          // m >= n
+  expect_bad({.n = 8, .r = 4, .m = 2, .e = {}});           // empty e
+  expect_bad({.n = 8, .r = 4, .m = 2, .e = {0, 1}});       // zero entry
+  expect_bad({.n = 8, .r = 4, .m = 2, .e = {2, 1}});       // not ascending
+  expect_bad({.n = 8, .r = 4, .m = 2, .e = {5}});          // e_max > r
+  expect_bad({.n = 8, .r = 4, .m = 6, .e = {1, 1, 1}});    // m' > n - m
+  expect_bad({.n = 2, .r = 2, .m = 1, .e = {2}});          // s eats all data
+  expect_bad({.n = 8, .r = 4, .m = 2, .e = {1}, .w = 7});  // bad word size
+  StairConfig too_wide{.n = 250, .r = 4, .m = 2, .e = {1, 1, 1, 1, 1, 1, 1}, .w = 8};
+  EXPECT_THROW(too_wide.validate(), std::invalid_argument);  // n + m' > 2^w
+}
+
+TEST(StairConfigTest, MinimumWGrowsWithShape) {
+  EXPECT_EQ((StairConfig{.n = 8, .r = 4, .m = 2, .e = {1}}).minimum_w(), 4);
+  EXPECT_EQ((StairConfig{.n = 16, .r = 16, .m = 2, .e = {1}}).minimum_w(), 8);
+  EXPECT_EQ((StairConfig{.n = 250, .r = 16, .m = 2, .e = {1, 1}}).minimum_w(), 8);
+  EXPECT_EQ((StairConfig{.n = 300, .r = 16, .m = 2, .e = {1}}).minimum_w(), 16);
+}
+
+TEST(StairConfigTest, CoverageEnumerationMatchesPartitions) {
+  // s = 4 with entries <= 4 and m' <= 4: the five partitions of Figure 9's
+  // x-axis: (4), (1,3), (2,2), (1,1,2), (1,1,1,1).
+  const auto all = enumerate_coverage_vectors(4, 4, 4);
+  EXPECT_EQ(all.size(), 5u);
+  for (const auto& e : all) {
+    std::size_t sum = 0;
+    for (std::size_t v : e) sum += v;
+    EXPECT_EQ(sum, 4u);
+    EXPECT_TRUE(std::is_sorted(e.begin(), e.end()));
+  }
+  // Restricting m' or the entry cap prunes correctly.
+  EXPECT_EQ(enumerate_coverage_vectors(4, 4, 2).size(), 3u);  // (4),(1,3),(2,2)
+  EXPECT_EQ(enumerate_coverage_vectors(4, 2, 4).size(), 3u);  // (2,2),(1,1,2),(1^4)
+  EXPECT_EQ(enumerate_coverage_vectors(1, 1, 1).size(), 1u);
+}
+
+TEST(StairLayoutTest, CanonicalGridOfTheExemplar) {
+  const StairLayout layout(exemplar(), GlobalParityMode::kInside);
+  EXPECT_EQ(layout.canonical_rows(), 6u);   // r + e_max = 4 + 2
+  EXPECT_EQ(layout.canonical_cols(), 11u);  // n + m' = 8 + 3
+  EXPECT_EQ(layout.total_symbols(), 66u);
+  EXPECT_EQ(layout.stored_count(), 32u);
+
+  // Region predicates at Figure 3/5 landmarks.
+  EXPECT_TRUE(layout.is_stored(0, 0));
+  EXPECT_TRUE(layout.is_row_parity(2, 6));
+  EXPECT_TRUE(layout.is_row_parity(2, 7));
+  EXPECT_FALSE(layout.is_row_parity(2, 5));
+  EXPECT_TRUE(layout.is_intermediate(1, 8));
+  EXPECT_TRUE(layout.is_virtual(4, 0));
+  EXPECT_TRUE(layout.is_outside_global(4, 8));    // g_{0,0}
+  EXPECT_TRUE(layout.is_outside_global(5, 10));   // g_{1,2}
+  EXPECT_TRUE(layout.is_dummy(5, 8));             // e_0 = 1 < 2
+  EXPECT_TRUE(layout.is_dummy(5, 9));
+
+  // Inside globals: Figure 5's hat-g placement.
+  EXPECT_EQ(layout.global_column(0), 3u);
+  EXPECT_EQ(layout.global_column(2), 5u);
+  EXPECT_TRUE(layout.is_inside_global(3, 3));   // ĝ_{0,0}
+  EXPECT_TRUE(layout.is_inside_global(3, 4));   // ĝ_{0,1}
+  EXPECT_TRUE(layout.is_inside_global(2, 5));   // ĝ_{0,2}
+  EXPECT_TRUE(layout.is_inside_global(3, 5));   // ĝ_{1,2}
+  EXPECT_FALSE(layout.is_inside_global(2, 4));
+  EXPECT_FALSE(layout.is_inside_global(3, 2));
+
+  EXPECT_EQ(layout.data_ids().size(), 20u);
+  EXPECT_EQ(layout.parity_ids().size(), 2u * 4u + 4u);
+  EXPECT_EQ(layout.outside_global_ids().size(), 4u);
+}
+
+TEST(StairLayoutTest, OutsideModeHasNoInsideGlobals) {
+  const StairLayout layout(exemplar(), GlobalParityMode::kOutside);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 8; ++j) EXPECT_FALSE(layout.is_inside_global(i, j));
+  EXPECT_EQ(layout.data_ids().size(), 24u);  // all r*(n-m) positions are data
+  // Parities: 8 row parities + 4 outside globals.
+  EXPECT_EQ(layout.parity_ids().size(), 12u);
+}
+
+TEST(StairLayoutTest, SlotOfColumnInvertsGlobalColumn) {
+  const StairLayout layout(exemplar(), GlobalParityMode::kInside);
+  for (std::size_t l = 0; l < 3; ++l)
+    EXPECT_EQ(layout.slot_of_column(layout.global_column(l)), l);
+  EXPECT_EQ(layout.slot_of_column(0), 3u);  // not a stair column
+  EXPECT_EQ(layout.slot_of_column(6), 3u);  // row parity column
+}
+
+TEST(StairLayoutTest, IdRowColRoundTrip) {
+  const StairLayout layout(exemplar(), GlobalParityMode::kInside);
+  for (std::size_t row = 0; row < layout.canonical_rows(); ++row)
+    for (std::size_t col = 0; col < layout.canonical_cols(); ++col) {
+      const auto sid = layout.id(row, col);
+      EXPECT_EQ(layout.row_of(sid), row);
+      EXPECT_EQ(layout.col_of(sid), col);
+    }
+}
+
+}  // namespace
+}  // namespace stair

@@ -1,0 +1,208 @@
+// STAIR encoding tests (§3, §5): the three methods produce identical
+// parities; upstairs/downstairs schedule sizes equal Eqs. 5/6 exactly;
+// method auto-selection picks the cheapest; inside- and outside-global modes
+// are consistent; Cauchy and Vandermonde row/column codes both work.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "stair/cost_model.h"
+#include "stair/stair_code.h"
+#include "util/rng.h"
+
+namespace stair {
+namespace {
+
+struct EncCase {
+  StairConfig cfg;
+  GlobalParityMode mode = GlobalParityMode::kInside;
+
+  std::string name() const {
+    std::string s = "n" + std::to_string(cfg.n) + "r" + std::to_string(cfg.r) + "m" +
+                    std::to_string(cfg.m) + "e";
+    for (std::size_t v : cfg.e) s += std::to_string(v) + "_";
+    s += mode == GlobalParityMode::kInside ? "in" : "out";
+    return s;
+  }
+};
+
+std::vector<EncCase> encoding_cases() {
+  std::vector<EncCase> cases;
+  const std::vector<StairConfig> cfgs{
+      {.n = 8, .r = 4, .m = 2, .e = {1, 1, 2}},   // the paper's exemplar
+      {.n = 8, .r = 4, .m = 2, .e = {4}},
+      {.n = 8, .r = 4, .m = 2, .e = {1, 3}},
+      {.n = 8, .r = 4, .m = 2, .e = {2, 2}},
+      {.n = 8, .r = 4, .m = 2, .e = {1, 1, 1, 1}},
+      {.n = 6, .r = 6, .m = 1, .e = {1, 2}},
+      {.n = 6, .r = 5, .m = 3, .e = {2}},
+      {.n = 5, .r = 4, .m = 0, .e = {1, 2}},      // no row parity chunks at all
+      {.n = 9, .r = 3, .m = 2, .e = {1, 1, 3}},
+      {.n = 16, .r = 16, .m = 2, .e = {1, 4}},
+      {.n = 6, .r = 4, .m = 2, .e = {1, 1, 1, 1}},  // m' = n - m (IDR-like)
+      {.n = 8, .r = 4, .m = 2, .e = {1}},           // PMDS/SD-equivalent s = 1
+  };
+  for (const auto& cfg : cfgs) {
+    cases.push_back({cfg, GlobalParityMode::kInside});
+    cases.push_back({cfg, GlobalParityMode::kOutside});
+  }
+  return cases;
+}
+
+class StairEncodingTest : public ::testing::TestWithParam<EncCase> {
+ protected:
+  // Encodes a seeded random stripe with `method` and returns all bytes
+  // (stored symbols followed by outside globals, if any).
+  std::vector<std::uint8_t> encode_bytes(const StairCode& code, EncodingMethod method,
+                                         std::size_t symbol = 16) const {
+    StripeBuffer stripe(code, symbol);
+    std::vector<std::uint8_t> data(stripe.data_size());
+    Rng rng(2024);
+    rng.fill(data);
+    stripe.set_data(data);
+    code.encode(stripe.view(), method);
+
+    std::vector<std::uint8_t> out;
+    for (const auto& region : stripe.view().stored)
+      out.insert(out.end(), region.begin(), region.end());
+    for (const auto& region : stripe.view().outside_globals)
+      out.insert(out.end(), region.begin(), region.end());
+    return out;
+  }
+};
+
+TEST_P(StairEncodingTest, ThreeMethodsProduceIdenticalParities) {
+  const StairCode code(GetParam().cfg, GetParam().mode);
+  const auto up = encode_bytes(code, EncodingMethod::kUpstairs);
+  const auto down = encode_bytes(code, EncodingMethod::kDownstairs);
+  const auto std_bytes = encode_bytes(code, EncodingMethod::kStandard);
+  EXPECT_EQ(up, down) << "§5.1.3: upstairs and downstairs must agree";
+  EXPECT_EQ(up, std_bytes) << "standard encoding must agree with parity reuse";
+}
+
+TEST_P(StairEncodingTest, ScheduleCostsMatchClosedForms) {
+  const StairCode code(GetParam().cfg, GetParam().mode);
+  EXPECT_EQ(code.mult_xor_count(EncodingMethod::kUpstairs),
+            upstairs_mult_xors(GetParam().cfg))
+      << "Eq. 5";
+  EXPECT_EQ(code.mult_xor_count(EncodingMethod::kDownstairs),
+            downstairs_mult_xors(GetParam().cfg))
+      << "Eq. 6";
+}
+
+TEST_P(StairEncodingTest, AutoSelectionPicksCheapestMethod) {
+  const StairCode code(GetParam().cfg, GetParam().mode);
+  const EncodingCosts costs = analyze_costs(code);
+  const EncodingMethod best = code.select_method();
+  const std::size_t best_cost = code.mult_xor_count(best);
+  EXPECT_LE(best_cost, costs.standard);
+  EXPECT_LE(best_cost, costs.upstairs);
+  EXPECT_LE(best_cost, costs.downstairs);
+  EXPECT_EQ(best, costs.best);
+}
+
+TEST_P(StairEncodingTest, EncodeIsDeterministicAndDataPreserving) {
+  const StairCode code(GetParam().cfg, GetParam().mode);
+  StripeBuffer stripe(code, 24);
+  std::vector<std::uint8_t> data(stripe.data_size());
+  Rng rng(5);
+  rng.fill(data);
+  stripe.set_data(data);
+  code.encode(stripe.view());
+
+  std::vector<std::uint8_t> roundtrip(stripe.data_size());
+  stripe.get_data(roundtrip);
+  EXPECT_EQ(roundtrip, data) << "systematic: encoding must not disturb data";
+
+  // Re-encoding is idempotent.
+  std::vector<std::uint8_t> before;
+  for (const auto& region : stripe.view().stored)
+    before.insert(before.end(), region.begin(), region.end());
+  code.encode(stripe.view());
+  std::vector<std::uint8_t> after;
+  for (const auto& region : stripe.view().stored)
+    after.insert(after.end(), region.begin(), region.end());
+  EXPECT_EQ(before, after);
+}
+
+TEST_P(StairEncodingTest, WorkspaceReuseMatchesFreshWorkspace) {
+  const StairCode code(GetParam().cfg, GetParam().mode);
+  Workspace ws;
+  StripeBuffer a(code, 16), b(code, 16);
+  std::vector<std::uint8_t> data(a.data_size());
+  Rng rng(6);
+  rng.fill(data);
+  a.set_data(data);
+  b.set_data(data);
+  code.encode(a.view(), EncodingMethod::kUpstairs, &ws);
+  code.encode(a.view(), EncodingMethod::kDownstairs, &ws);  // dirty the scratch
+  code.encode(a.view(), EncodingMethod::kUpstairs, &ws);
+  code.encode(b.view(), EncodingMethod::kUpstairs);
+  for (std::size_t i = 0; i < a.view().stored.size(); ++i)
+    ASSERT_EQ(0, std::memcmp(a.view().stored[i].data(), b.view().stored[i].data(), 16));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StairEncodingTest, ::testing::ValuesIn(encoding_cases()),
+                         [](const auto& info) { return info.param.name(); });
+
+TEST(StairEncodingSpecial, VandermondeKindAgreesWithItself) {
+  const StairConfig cfg{.n = 8, .r = 4, .m = 2, .e = {1, 2}};
+  const StairCode code(cfg, GlobalParityMode::kInside,
+                       SystematicMdsCode::Kind::kVandermonde);
+  StripeBuffer stripe(code, 16);
+  std::vector<std::uint8_t> data(stripe.data_size());
+  Rng rng(1);
+  rng.fill(data);
+  stripe.set_data(data);
+  code.encode(stripe.view(), EncodingMethod::kUpstairs);
+  std::vector<std::uint8_t> up;
+  for (const auto& r : stripe.view().stored) up.insert(up.end(), r.begin(), r.end());
+  code.encode(stripe.view(), EncodingMethod::kDownstairs);
+  std::vector<std::uint8_t> down;
+  for (const auto& r : stripe.view().stored) down.insert(down.end(), r.begin(), r.end());
+  EXPECT_EQ(up, down);
+}
+
+TEST(StairEncodingSpecial, Figure9CostOrderingHolds) {
+  // §5.3's qualitative claim: small m' favours downstairs, large m' upstairs.
+  const StairConfig down_friendly{.n = 8, .r = 16, .m = 2, .e = {4}};     // m' = 1
+  const StairConfig up_friendly{.n = 8, .r = 16, .m = 2, .e = {1, 1, 1, 1}};  // m' = 4
+  EXPECT_LT(downstairs_mult_xors(down_friendly), upstairs_mult_xors(down_friendly));
+  EXPECT_LT(upstairs_mult_xors(up_friendly), downstairs_mult_xors(up_friendly));
+}
+
+TEST(StairEncodingSpecial, ZeroSkippedScheduleStillCorrectAndSmaller) {
+  const StairConfig cfg{.n = 8, .r = 4, .m = 2, .e = {1, 1, 2}};
+  const StairCode code(cfg);
+  const Schedule& up = code.encoding_schedule(EncodingMethod::kUpstairs);
+
+  // Mark the outside-global ids (fixed zeros in inside mode) as zero symbols.
+  std::vector<bool> zeros(code.layout().total_symbols(), false);
+  for (std::uint32_t g : code.layout().outside_global_ids()) zeros[g] = true;
+  const Schedule trimmed = up.optimized(zeros);
+  EXPECT_LT(trimmed.mult_xor_count(), up.mult_xor_count());
+
+  StripeBuffer a(code, 16), b(code, 16);
+  std::vector<std::uint8_t> data(a.data_size());
+  Rng rng(9);
+  rng.fill(data);
+  a.set_data(data);
+  b.set_data(data);
+  code.execute(up, a.view());
+  code.execute(trimmed, b.view());
+  for (std::size_t i = 0; i < a.view().stored.size(); ++i)
+    ASSERT_EQ(0, std::memcmp(a.view().stored[i].data(), b.view().stored[i].data(), 16));
+}
+
+TEST(StairEncodingSpecial, StripeBufferValidatesSizes) {
+  const StairCode code({.n = 8, .r = 4, .m = 2, .e = {1, 2}});
+  EXPECT_THROW(StripeBuffer(code, 0), std::invalid_argument);
+  StripeBuffer stripe(code, 16);
+  std::vector<std::uint8_t> wrong(stripe.data_size() + 1);
+  EXPECT_THROW(stripe.set_data(wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stair

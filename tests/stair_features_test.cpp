@@ -1,0 +1,335 @@
+// Tests for the production-path features layered on the core construction:
+// incremental updates (UpdateEngine), degraded reads (schedule slicing), and
+// the decode-plan cache.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "stair/plan_cache.h"
+#include "stair/stair_code.h"
+#include "stair/update_analysis.h"
+#include "stair/update_engine.h"
+#include "util/rng.h"
+
+namespace stair {
+namespace {
+
+std::vector<std::uint8_t> all_bytes(const StripeView& view) {
+  std::vector<std::uint8_t> out;
+  for (const auto& r : view.stored) out.insert(out.end(), r.begin(), r.end());
+  for (const auto& r : view.outside_globals) out.insert(out.end(), r.begin(), r.end());
+  return out;
+}
+
+class UpdateEngineTest : public ::testing::TestWithParam<GlobalParityMode> {};
+
+TEST_P(UpdateEngineTest, IncrementalUpdateMatchesFullReencode) {
+  const StairConfig cfg{.n = 8, .r = 6, .m = 2, .e = {1, 2}};
+  const StairCode code(cfg, GetParam());
+  const UpdateEngine engine(code);
+
+  StripeBuffer incremental(code, 32), reencoded(code, 32);
+  std::vector<std::uint8_t> data(incremental.data_size());
+  Rng rng(10);
+  rng.fill(data);
+  incremental.set_data(data);
+  reencoded.set_data(data);
+  code.encode(incremental.view());
+  code.encode(reencoded.view());
+
+  std::vector<std::uint8_t> fresh(32);
+  for (std::size_t idx = 0; idx < code.data_symbol_count(); idx += 5) {
+    rng.fill(fresh);
+    // Path 1: incremental patch.
+    engine.update(incremental.view(), idx, fresh);
+    // Path 2: full re-encode with the updated data.
+    std::memcpy(data.data() + idx * 32, fresh.data(), 32);
+    reencoded.set_data(data);
+    code.encode(reencoded.view());
+    ASSERT_EQ(all_bytes(incremental.view()), all_bytes(reencoded.view()))
+        << "data symbol " << idx;
+  }
+}
+
+TEST_P(UpdateEngineTest, ParityWritesEqualUpdatePenalty) {
+  const StairConfig cfg{.n = 8, .r = 6, .m = 1, .e = {1, 1, 2}};
+  const StairCode code(cfg, GetParam());
+  const UpdateEngine engine(code);
+  const UpdatePenaltyStats stats = update_penalty(code);
+  for (std::size_t idx = 0; idx < code.data_symbol_count(); ++idx)
+    EXPECT_EQ(engine.parity_writes(idx), stats.per_symbol[idx]) << idx;
+}
+
+TEST_P(UpdateEngineTest, UpdatedStripeStillDecodes) {
+  const StairConfig cfg{.n = 8, .r = 6, .m = 2, .e = {1, 2}};
+  const StairCode code(cfg, GetParam());
+  const UpdateEngine engine(code);
+
+  StripeBuffer stripe(code, 16);
+  std::vector<std::uint8_t> data(stripe.data_size());
+  Rng rng(11);
+  rng.fill(data);
+  stripe.set_data(data);
+  code.encode(stripe.view());
+
+  std::vector<std::uint8_t> fresh(16);
+  rng.fill(fresh);
+  engine.update(stripe.view(), 7, fresh);
+  std::memcpy(data.data() + 7 * 16, fresh.data(), 16);
+
+  // Kill two devices + a sector; the incrementally patched parity must carry.
+  std::vector<bool> lost(cfg.n * cfg.r, false);
+  for (std::size_t i = 0; i < cfg.r; ++i) {
+    lost[i * cfg.n + 0] = true;
+    lost[i * cfg.n + 7] = true;
+  }
+  lost[3 * cfg.n + 4] = true;
+  Rng garbage(3);
+  for (std::size_t idx = 0; idx < lost.size(); ++idx)
+    if (lost[idx]) garbage.fill(stripe.view().stored[idx]);
+  ASSERT_TRUE(code.decode(stripe.view(), lost));
+
+  std::vector<std::uint8_t> out(stripe.data_size());
+  stripe.get_data(out);
+  EXPECT_EQ(out, data);
+}
+
+TEST_P(UpdateEngineTest, RejectsBadArguments) {
+  const StairCode code({.n = 6, .r = 4, .m = 1, .e = {1}}, GetParam());
+  const UpdateEngine engine(code);
+  StripeBuffer stripe(code, 16);
+  std::vector<std::uint8_t> wrong(8);
+  EXPECT_THROW(engine.update(stripe.view(), 0, wrong), std::invalid_argument);
+  std::vector<std::uint8_t> right(16);
+  EXPECT_THROW(engine.update(stripe.view(), code.data_symbol_count(), right),
+               std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, UpdateEngineTest,
+                         ::testing::Values(GlobalParityMode::kInside,
+                                           GlobalParityMode::kOutside),
+                         [](const auto& info) {
+                           return info.param == GlobalParityMode::kInside ? "inside"
+                                                                          : "outside";
+                         });
+
+// ---------------------------------------------------------------------------
+// Degraded reads
+// ---------------------------------------------------------------------------
+
+TEST(DegradedRead, RecoversOnlyTheWantedSymbolCheaply) {
+  const StairConfig cfg{.n = 16, .r = 16, .m = 2, .e = {1, 1, 2}};
+  const StairCode code(cfg);
+  StripeBuffer stripe(code, 64);
+  std::vector<std::uint8_t> data(stripe.data_size());
+  Rng rng(21);
+  rng.fill(data);
+  stripe.set_data(data);
+  code.encode(stripe.view());
+
+  std::vector<std::uint8_t> golden;
+  for (const auto& r : stripe.view().stored) golden.insert(golden.end(), r.begin(), r.end());
+
+  // One dead device; read one of its sectors.
+  std::vector<bool> lost(cfg.n * cfg.r, false);
+  for (std::size_t i = 0; i < cfg.r; ++i) lost[i * cfg.n + 3] = true;
+  Rng garbage(5);
+  for (std::size_t idx = 0; idx < lost.size(); ++idx)
+    if (lost[idx]) garbage.fill(stripe.view().stored[idx]);
+
+  const std::size_t wanted = 9 * cfg.n + 3;
+  auto degraded = code.build_degraded_read_schedule(lost, {wanted});
+  ASSERT_TRUE(degraded.has_value());
+  auto full = code.build_decode_schedule(lost);
+  ASSERT_TRUE(full.has_value());
+  EXPECT_LT(degraded->mult_xor_count(), full->mult_xor_count() / 4)
+      << "reading one sector must cost far less than repairing the device";
+
+  code.execute(*degraded, stripe.view());
+  EXPECT_EQ(0, std::memcmp(stripe.view().stored[wanted].data(),
+                           golden.data() + wanted * 64, 64));
+  // Another lost sector of the same device stays unrepaired (still garbage).
+  const std::size_t untouched = 2 * cfg.n + 3;
+  EXPECT_NE(0, std::memcmp(stripe.view().stored[untouched].data(),
+                           golden.data() + untouched * 64, 64));
+}
+
+TEST(DegradedRead, WorksThroughTheGlobalPath) {
+  // The wanted symbol sits in a chunk that needs the upstairs pass.
+  const StairConfig cfg{.n = 8, .r = 8, .m = 2, .e = {1, 2}};
+  const StairCode code(cfg);
+  StripeBuffer stripe(code, 32);
+  std::vector<std::uint8_t> data(stripe.data_size());
+  Rng rng(22);
+  rng.fill(data);
+  stripe.set_data(data);
+  code.encode(stripe.view());
+  std::vector<std::uint8_t> golden;
+  for (const auto& r : stripe.view().stored) golden.insert(golden.end(), r.begin(), r.end());
+
+  // Three sectors lost in one row (> m): global path. Want the middle one.
+  std::vector<bool> lost(cfg.n * cfg.r, false);
+  for (std::size_t j : {1, 3, 5}) lost[7 * cfg.n + j] = true;
+  Rng garbage(6);
+  for (std::size_t idx = 0; idx < lost.size(); ++idx)
+    if (lost[idx]) garbage.fill(stripe.view().stored[idx]);
+
+  const std::size_t wanted = 7 * cfg.n + 3;
+  auto degraded = code.build_degraded_read_schedule(lost, {wanted});
+  ASSERT_TRUE(degraded.has_value());
+  code.execute(*degraded, stripe.view());
+  EXPECT_EQ(0, std::memcmp(stripe.view().stored[wanted].data(),
+                           golden.data() + wanted * 32, 32));
+}
+
+TEST(DegradedRead, OutsideCoverageStillRejected) {
+  const StairCode code({.n = 6, .r = 4, .m = 1, .e = {1}});
+  std::vector<bool> lost(24, false);
+  for (std::size_t i = 0; i < 4; ++i) {
+    lost[i * 6 + 0] = true;
+    lost[i * 6 + 1] = true;
+  }
+  EXPECT_FALSE(code.build_degraded_read_schedule(lost, {0}).has_value());
+  EXPECT_THROW(code.build_degraded_read_schedule(std::vector<bool>(24, false), {999}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Decode-plan cache
+// ---------------------------------------------------------------------------
+
+TEST(PlanCache, HitsReturnTheSamePlan) {
+  const StairCode code({.n = 8, .r = 4, .m = 2, .e = {1, 2}});
+  DecodePlanCache cache(code, 4);
+
+  std::vector<bool> mask(32, false);
+  for (std::size_t i = 0; i < 4; ++i) mask[i * 8 + 2] = true;
+  const Schedule* first = cache.plan(mask);
+  ASSERT_NE(first, nullptr);
+  const Schedule* second = cache.plan(mask);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(PlanCache, NegativeResultsAreCached) {
+  const StairCode code({.n = 6, .r = 4, .m = 1, .e = {1}});
+  DecodePlanCache cache(code, 4);
+  std::vector<bool> bad(24, false);
+  for (std::size_t i = 0; i < 4; ++i) {
+    bad[i * 6 + 0] = true;
+    bad[i * 6 + 1] = true;
+  }
+  EXPECT_EQ(cache.plan(bad), nullptr);
+  EXPECT_EQ(cache.plan(bad), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(PlanCache, EvictsLeastRecentlyUsed) {
+  const StairCode code({.n = 8, .r = 4, .m = 2, .e = {1, 2}});
+  DecodePlanCache cache(code, 2);
+
+  auto mask_for = [&](std::size_t col) {
+    std::vector<bool> mask(32, false);
+    for (std::size_t i = 0; i < 4; ++i) mask[i * 8 + col] = true;
+    return mask;
+  };
+  cache.plan(mask_for(0));  // miss
+  cache.plan(mask_for(1));  // miss
+  cache.plan(mask_for(0));  // hit, refreshes 0
+  cache.plan(mask_for(2));  // miss, evicts 1
+  cache.plan(mask_for(1));  // miss again (was evicted)
+  EXPECT_EQ(cache.misses(), 4u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(PlanCache, CachedPlansDecodeCorrectly) {
+  const StairConfig cfg{.n = 8, .r = 4, .m = 2, .e = {1, 2}};
+  const StairCode code(cfg);
+  DecodePlanCache cache(code, 8);
+  StripeBuffer stripe(code, 16);
+  std::vector<std::uint8_t> data(stripe.data_size());
+  Rng rng(30);
+  rng.fill(data);
+  stripe.set_data(data);
+  code.encode(stripe.view());
+
+  std::vector<bool> mask(32, false);
+  for (std::size_t i = 0; i < 4; ++i) mask[i * 8 + 1] = true;
+  mask[3 * 8 + 4] = true;
+  Rng garbage(31);
+  for (std::size_t idx = 0; idx < mask.size(); ++idx)
+    if (mask[idx]) garbage.fill(stripe.view().stored[idx]);
+
+  const Schedule* plan = cache.plan(mask);
+  ASSERT_NE(plan, nullptr);
+  code.execute(*plan, stripe.view());
+  std::vector<std::uint8_t> out(stripe.data_size());
+  stripe.get_data(out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(PlanCache, ZeroCapacityRejected) {
+  const StairCode code({.n = 6, .r = 4, .m = 1, .e = {1}});
+  EXPECT_THROW(DecodePlanCache(code, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel execution
+// ---------------------------------------------------------------------------
+
+class ParallelEncodeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelEncodeTest, MatchesSerialEncodeExactly) {
+  const StairConfig cfg{.n = 8, .r = 8, .m = 2, .e = {1, 2}};
+  const StairCode code(cfg);
+  // Symbol size deliberately not a multiple of 64 * threads to exercise the
+  // ragged final slice.
+  const std::size_t symbol = 1000 * 16;
+  StripeBuffer serial(code, symbol), parallel(code, symbol);
+  std::vector<std::uint8_t> data(serial.data_size());
+  Rng rng(91);
+  rng.fill(data);
+  serial.set_data(data);
+  parallel.set_data(data);
+
+  code.encode(serial.view());
+  code.encode_parallel(parallel.view(), GetParam());
+  ASSERT_EQ(all_bytes(serial.view()), all_bytes(parallel.view()));
+}
+
+TEST_P(ParallelEncodeTest, ParallelDecodePlansWork) {
+  const StairConfig cfg{.n = 8, .r = 8, .m = 2, .e = {1, 2}};
+  const StairCode code(cfg);
+  StripeBuffer stripe(code, 64 * 32);
+  std::vector<std::uint8_t> data(stripe.data_size());
+  Rng rng(92);
+  rng.fill(data);
+  stripe.set_data(data);
+  code.encode(stripe.view());
+
+  std::vector<bool> lost(cfg.n * cfg.r, false);
+  for (std::size_t i = 0; i < cfg.r; ++i) lost[i * cfg.n + 2] = true;
+  lost[5 * cfg.n + 4] = true;
+  Rng garbage(93);
+  for (std::size_t idx = 0; idx < lost.size(); ++idx)
+    if (lost[idx]) garbage.fill(stripe.view().stored[idx]);
+
+  auto plan = code.build_decode_schedule(lost);
+  ASSERT_TRUE(plan.has_value());
+  code.execute_parallel(*plan, stripe.view(), GetParam());
+  std::vector<std::uint8_t> out(stripe.data_size());
+  stripe.get_data(out);
+  EXPECT_EQ(out, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelEncodeTest, ::testing::Values(1, 2, 3, 8),
+                         [](const auto& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace stair

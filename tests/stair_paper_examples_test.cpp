@@ -1,0 +1,291 @@
+// Fidelity tests against the paper's worked examples: the Table 2 upstairs
+// decoding and Table 3 downstairs encoding step structure for the exemplar
+// configuration (n=8, r=4, m=2, e=(1,1,2)), and the §2 configuration-space
+// claims (wide arrays, long bursts, equivalences) that SD codes cannot cover.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "sd/sd_code.h"
+#include "stair/stair_code.h"
+#include "util/rng.h"
+
+namespace stair {
+namespace {
+
+StairConfig exemplar() { return {.n = 8, .r = 4, .m = 2, .e = {1, 1, 2}}; }
+
+// Groups schedule outputs by kind for structural comparison with the paper's
+// step tables.
+struct OpCensus {
+  std::size_t row_parity = 0;   // p_{i,k}
+  std::size_t inside_global = 0;  // hat-g
+  std::size_t intermediate = 0;   // p'_{i,l}
+  std::size_t virtual_sym = 0;    // d*/p*
+  std::size_t outside_global = 0; // g (outside mode)
+  std::size_t data = 0;           // recovered data symbols (decode only)
+};
+
+OpCensus census(const StairCode& code, const Schedule& sch) {
+  const StairLayout& layout = code.layout();
+  OpCensus c;
+  for (const auto& op : sch.ops()) {
+    const std::size_t row = layout.row_of(op.output);
+    const std::size_t col = layout.col_of(op.output);
+    if (layout.is_row_parity(row, col)) ++c.row_parity;
+    else if (layout.is_inside_global(row, col)) ++c.inside_global;
+    else if (layout.is_intermediate(row, col)) ++c.intermediate;
+    else if (layout.is_virtual(row, col)) ++c.virtual_sym;
+    else if (row >= code.config().r) ++c.outside_global;
+    else ++c.data;
+  }
+  return c;
+}
+
+TEST(PaperExemplar, UpstairsEncodingReproducesFigure4Structure) {
+  // Figure 4 / §5.1.1 for the exemplar: the upstairs encode generates
+  //  - 2 virtual symbols for each of the 3 good data columns (steps 1-3) and
+  //    per stair column the remainder: total (n-m)*e_max = 12 column outputs,
+  //    of which s = 4 are the inside globals;
+  //  - s = 4 virtual symbols via augmented-row decodes (steps 4, 7);
+  //  - m*r = 8 row parities (steps 9-12).
+  const StairCode code(exemplar());
+  const Schedule& up = code.encoding_schedule(EncodingMethod::kUpstairs);
+  const OpCensus c = census(code, up);
+  EXPECT_EQ(c.inside_global, 4u);
+  EXPECT_EQ(c.row_parity, 8u);
+  EXPECT_EQ(c.virtual_sym, (8u - 2u) * 2u - 4u + 4u);  // 12 col outputs - 4 globals + 4 row-decoded
+  EXPECT_EQ(c.intermediate, 0u);
+  EXPECT_EQ(c.data, 0u);
+  EXPECT_EQ(up.mult_xor_count(), 6u * (2u * 4u + 4u) + 4u * 6u * 2u);  // Eq. 5 = 120
+}
+
+TEST(PaperExemplar, DownstairsEncodingReproducesTable3Structure) {
+  // Table 3: steps 1, 2, 4, 7 are Crow row solves producing 5 outputs each
+  // (20 total: 8 row parities + 4 inside globals + 8 intermediates); steps
+  // 3, 5, 6 are Ccol column solves producing the other s = 4 intermediates.
+  const StairCode code(exemplar());
+  const Schedule& down = code.encoding_schedule(EncodingMethod::kDownstairs);
+  const OpCensus c = census(code, down);
+  EXPECT_EQ(c.row_parity, 8u);
+  EXPECT_EQ(c.inside_global, 4u);
+  EXPECT_EQ(c.intermediate, 3u * 4u);  // m' * r
+  EXPECT_EQ(c.virtual_sym, 0u);
+  EXPECT_EQ(down.mult_xor_count(), 6u * 5u * 4u + 4u * 4u);  // Eq. 6 = 136
+}
+
+TEST(PaperExemplar, UpstairsDecodingReproducesTable2Structure) {
+  // Table 2's worst case: chunks 6, 7 dead; chunk 3, 4 lose 1 bottom sector,
+  // chunk 5 loses 2. The schedule must contain: 6 virtual symbols from the
+  // good columns (steps 1-3), 4 virtual symbols from augmented-row decodes
+  // (steps 4, 7), the 4 lost sectors (steps 5, 6, 8), 2 spare virtuals from
+  // the stair-column repairs, and 8 row-decoded symbols of the dead chunks
+  // (steps 9-12).
+  // (The paper's Table 2 uses the outside-global layout with failures at the
+  // chunk bottoms; with inside globals those positions hold the globals, so
+  // we keep the same counts but at the chunk tops — positions are WLOG.)
+  const StairConfig cfg = exemplar();
+  const StairCode code(cfg);
+  std::vector<bool> mask(cfg.n * cfg.r, false);
+  for (std::size_t j : {6, 7})
+    for (std::size_t i = 0; i < cfg.r; ++i) mask[i * cfg.n + j] = true;
+  mask[0 * cfg.n + 3] = true;
+  mask[0 * cfg.n + 4] = true;
+  mask[0 * cfg.n + 5] = true;
+  mask[1 * cfg.n + 5] = true;
+
+  auto sch = code.build_decode_schedule(mask);
+  ASSERT_TRUE(sch.has_value());
+  const OpCensus c = census(code, *sch);
+  EXPECT_EQ(c.data, 4u);        // the four lost sectors
+  EXPECT_EQ(c.row_parity, 8u);  // both dead chunks are parity chunks here
+  // Virtual symbols: good cols 0,1,2 contribute 2 each; augmented-row
+  // decodes produce d*_{0,3..5} and d*_{1,5}; stair repairs of cols 3 and 4
+  // produce their row-1 virtuals. Total 6 + 4 + 2 = 12.
+  EXPECT_EQ(c.virtual_sym, 12u);
+}
+
+TEST(PaperScope, WideArrayBeyondByteFieldWorks) {
+  // §2/§6: STAIR has no restriction on array size — a 300-device stripe
+  // needs w = 16 and just works (SD constructions stop at s <= 3 and small
+  // fields; nothing like this exists for them).
+  StairConfig cfg{.n = 300, .r = 4, .m = 2, .e = {1, 2}};
+  cfg.w = cfg.minimum_w();
+  EXPECT_EQ(cfg.w, 16);
+  const StairCode code(cfg);
+  StripeBuffer stripe(code, 8);
+  std::vector<std::uint8_t> data(stripe.data_size());
+  Rng rng(1);
+  rng.fill(data);
+  stripe.set_data(data);
+  code.encode(stripe.view());
+
+  std::vector<bool> lost(cfg.n * cfg.r, false);
+  for (std::size_t i = 0; i < cfg.r; ++i) {
+    lost[i * cfg.n + 17] = true;
+    lost[i * cfg.n + 200] = true;
+  }
+  lost[1 * cfg.n + 5] = true;
+  lost[2 * cfg.n + 90] = true;
+  lost[3 * cfg.n + 90] = true;
+  Rng garbage(2);
+  for (std::size_t idx = 0; idx < lost.size(); ++idx)
+    if (lost[idx]) garbage.fill(stripe.view().stored[idx]);
+  ASSERT_TRUE(code.decode(stripe.view(), lost));
+  std::vector<std::uint8_t> out(stripe.data_size());
+  stripe.get_data(out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(PaperScope, LongBurstBeyondSdLimitWorks) {
+  // §2's beta = 4 example: e = (1, 4) tolerates a burst of four sector
+  // failures plus one more elsewhere — beyond any known SD construction.
+  const StairConfig cfg{.n = 8, .r = 16, .m = 2, .e = {1, 4}};
+  const StairCode code(cfg);
+  StripeBuffer stripe(code, 16);
+  std::vector<std::uint8_t> data(stripe.data_size());
+  Rng rng(3);
+  rng.fill(data);
+  stripe.set_data(data);
+  code.encode(stripe.view());
+
+  std::vector<bool> lost(cfg.n * cfg.r, false);
+  for (std::size_t i = 0; i < cfg.r; ++i) {
+    lost[i * cfg.n + 6] = true;  // dead device
+    lost[i * cfg.n + 7] = true;  // dead device
+  }
+  for (std::size_t q = 0; q < 4; ++q) lost[(6 + q) * cfg.n + 2] = true;  // beta=4 burst
+  lost[11 * cfg.n + 4] = true;                                           // plus one
+  Rng garbage(4);
+  for (std::size_t idx = 0; idx < lost.size(); ++idx)
+    if (lost[idx]) garbage.fill(stripe.view().stored[idx]);
+  ASSERT_TRUE(code.decode(stripe.view(), lost));
+  std::vector<std::uint8_t> out(stripe.data_size());
+  stripe.get_data(out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(PaperScope, EqualsExtraParityChunkWhenEIsR) {
+  // §2: e = (r) has the same function as a systematic (n, n-m-1)-code — it
+  // tolerates m + 1 whole-chunk failures.
+  const StairConfig cfg{.n = 8, .r = 4, .m = 2, .e = {4}};
+  const StairCode code(cfg);
+  StripeBuffer stripe(code, 16);
+  std::vector<std::uint8_t> data(stripe.data_size());
+  Rng rng(7);
+  rng.fill(data);
+  stripe.set_data(data);
+  code.encode(stripe.view());
+
+  std::vector<bool> lost(cfg.n * cfg.r, false);
+  for (std::size_t j : {0, 4, 7})  // m + 1 = 3 dead chunks
+    for (std::size_t i = 0; i < cfg.r; ++i) lost[i * cfg.n + j] = true;
+  EXPECT_TRUE(code.is_recoverable(lost));
+  Rng garbage(8);
+  for (std::size_t idx = 0; idx < lost.size(); ++idx)
+    if (lost[idx]) garbage.fill(stripe.view().stored[idx]);
+  ASSERT_TRUE(code.decode(stripe.view(), lost));
+  std::vector<std::uint8_t> out(stripe.data_size());
+  stripe.get_data(out);
+  EXPECT_EQ(out, data);
+
+  // But m + 2 dead chunks exceed it.
+  for (std::size_t i = 0; i < cfg.r; ++i) lost[i * cfg.n + 2] = true;
+  EXPECT_FALSE(code.is_recoverable(lost));
+}
+
+TEST(PaperScope, EqualsIdrWhenEIsUniformFull) {
+  // §2: e = (eps, ..., eps) with m' = n - m matches the IDR scheme's
+  // coverage — every surviving chunk may lose up to eps sectors at once.
+  const std::size_t eps = 2;
+  const StairConfig cfg{.n = 6, .r = 6, .m = 2, .e = {eps, eps, eps, eps}};
+  const StairCode code(cfg);
+  StripeBuffer stripe(code, 8);
+  std::vector<std::uint8_t> data(stripe.data_size());
+  Rng rng(9);
+  rng.fill(data);
+  stripe.set_data(data);
+  code.encode(stripe.view());
+
+  std::vector<bool> lost(cfg.n * cfg.r, false);
+  for (std::size_t i = 0; i < cfg.r; ++i) {
+    lost[i * cfg.n + 1] = true;  // dead data chunk
+    lost[i * cfg.n + 5] = true;  // dead parity chunk
+  }
+  for (std::size_t j : {0, 2, 3, 4})  // every surviving chunk: eps losses
+    for (std::size_t q = 0; q < eps; ++q) lost[((j + q) % cfg.r) * cfg.n + j] = true;
+  EXPECT_TRUE(code.is_recoverable(lost));
+  Rng garbage(10);
+  for (std::size_t idx = 0; idx < lost.size(); ++idx)
+    if (lost[idx]) garbage.fill(stripe.view().stored[idx]);
+  ASSERT_TRUE(code.decode(stripe.view(), lost));
+  std::vector<std::uint8_t> out(stripe.data_size());
+  stripe.get_data(out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(PaperScope, StairE1CoversEverySdS1Pattern) {
+  // §2: e = (1) is a new construction of a PMDS/SD code with s = 1: every
+  // pattern inside SD's nominal coverage (m disks + any 1 further sector)
+  // must be recoverable by the STAIR code. (STAIR's practical decoder also
+  // accepts extra patterns — e.g. singletons spread over distinct rows that
+  // row-local repair absorbs — so the containment is strict, not equality.)
+  const StairConfig scfg{.n = 6, .r = 3, .m = 1, .e = {1}};
+  const StairCode stair(scfg);
+  const SdCode sd({.n = 6, .r = 3, .m = 1, .s = 1});
+
+  Rng rng(11);
+  std::size_t covered = 0, extra = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    std::vector<bool> mask(18, false);
+    const std::size_t losses = rng.next_below(7);
+    for (std::size_t q = 0; q < losses; ++q) {
+      if (rng.chance(0.3)) {
+        const std::size_t j = rng.next_below(6);
+        for (std::size_t i = 0; i < 3; ++i) mask[i * 6 + j] = true;
+      } else {
+        mask[rng.next_below(18)] = true;
+      }
+    }
+    if (sd.within_coverage(mask)) {
+      ++covered;
+      EXPECT_TRUE(stair.is_recoverable(mask)) << "trial " << trial;
+    } else if (stair.is_recoverable(mask)) {
+      ++extra;
+    }
+  }
+  EXPECT_GT(covered, 50u);
+  EXPECT_GT(extra, 0u) << "the practical decoder should beat the nominal coverage";
+}
+
+TEST(PaperScope, TallChunksNeedW16ColumnCode) {
+  // r + e_max > 256 forces w = 16 through the column code; still works.
+  StairConfig cfg{.n = 6, .r = 255, .m = 1, .e = {1, 2}};
+  cfg.w = cfg.minimum_w();
+  EXPECT_EQ(cfg.w, 16);
+  const StairCode code(cfg);
+  StripeBuffer stripe(code, 4);
+  std::vector<std::uint8_t> data(stripe.data_size());
+  Rng rng(5);
+  rng.fill(data);
+  stripe.set_data(data);
+  code.encode(stripe.view());
+
+  std::vector<bool> lost(cfg.n * cfg.r, false);
+  for (std::size_t i = 0; i < cfg.r; ++i) lost[i * cfg.n + 0] = true;
+  lost[100 * cfg.n + 2] = true;
+  lost[101 * cfg.n + 2] = true;
+  lost[250 * cfg.n + 3] = true;
+  Rng garbage(6);
+  for (std::size_t idx = 0; idx < lost.size(); ++idx)
+    if (lost[idx]) garbage.fill(stripe.view().stored[idx]);
+  ASSERT_TRUE(code.decode(stripe.view(), lost));
+  std::vector<std::uint8_t> out(stripe.data_size());
+  stripe.get_data(out);
+  EXPECT_EQ(out, data);
+}
+
+}  // namespace
+}  // namespace stair

@@ -1,0 +1,130 @@
+// Randomized configuration sweep: a wide net over the (n, r, m, e, w, mode,
+// MDS-kind) space asserting the core invariants on every sampled code —
+// encoding-method equivalence, Eq. 5/6 cost exactness, systematic data
+// preservation, and recovery of randomly drawn within-coverage patterns.
+// This is the property-test safety net behind the targeted suites.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "stair/cost_model.h"
+#include "stair/stair_code.h"
+#include "util/rng.h"
+
+namespace stair {
+namespace {
+
+struct SweepCase {
+  std::uint64_t seed;
+  std::string name() const { return "seed" + std::to_string(seed); }
+};
+
+StairConfig random_config(Rng& rng) {
+  for (;;) {
+    StairConfig cfg;
+    cfg.n = 4 + rng.next_below(12);          // 4..15
+    cfg.r = 2 + rng.next_below(9);           // 2..10
+    cfg.m = rng.next_below(std::min<std::size_t>(cfg.n - 1, 3) + 1);  // 0..3
+    const std::size_t max_mp = std::min<std::size_t>(cfg.n - cfg.m, 4);
+    const std::size_t mp = 1 + rng.next_below(max_mp);
+    cfg.e.clear();
+    for (std::size_t l = 0; l < mp; ++l) cfg.e.push_back(1 + rng.next_below(cfg.r));
+    std::sort(cfg.e.begin(), cfg.e.end());
+    cfg.w = rng.chance(0.15) ? 16 : 8;
+    if (cfg.minimum_w() > cfg.w) cfg.w = cfg.minimum_w();
+    try {
+      cfg.validate();
+      return cfg;
+    } catch (...) {
+      continue;  // redraw (e.g. coverage ate all the data)
+    }
+  }
+}
+
+class StairSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(StairSweepTest, CoreInvariantsHoldOnRandomConfigs) {
+  Rng rng(GetParam().seed);
+  for (int round = 0; round < 6; ++round) {
+    const StairConfig cfg = random_config(rng);
+    const GlobalParityMode mode =
+        rng.chance(0.5) ? GlobalParityMode::kInside : GlobalParityMode::kOutside;
+    const auto kind = rng.chance(0.25) ? SystematicMdsCode::Kind::kVandermonde
+                                       : SystematicMdsCode::Kind::kCauchy;
+    SCOPED_TRACE(cfg.to_string() +
+                 (mode == GlobalParityMode::kInside ? " inside" : " outside"));
+    const StairCode code(cfg, mode, kind);
+
+    // Invariant 1: Eq. 5/6 equal the actual schedule sizes.
+    ASSERT_EQ(code.mult_xor_count(EncodingMethod::kUpstairs), upstairs_mult_xors(cfg));
+    ASSERT_EQ(code.mult_xor_count(EncodingMethod::kDownstairs), downstairs_mult_xors(cfg));
+
+    // Invariant 2: the three methods produce identical stripes and encoding
+    // preserves the data region.
+    const std::size_t symbol = 8;
+    StripeBuffer stripe(code, symbol);
+    std::vector<std::uint8_t> data(stripe.data_size());
+    rng.fill(data);
+    stripe.set_data(data);
+
+    std::vector<std::uint8_t> reference;
+    for (EncodingMethod method : {EncodingMethod::kUpstairs, EncodingMethod::kDownstairs,
+                                  EncodingMethod::kStandard}) {
+      code.encode(stripe.view(), method);
+      std::vector<std::uint8_t> bytes;
+      for (const auto& region : stripe.view().stored)
+        bytes.insert(bytes.end(), region.begin(), region.end());
+      for (const auto& region : stripe.view().outside_globals)
+        bytes.insert(bytes.end(), region.begin(), region.end());
+      if (reference.empty())
+        reference = std::move(bytes);
+      else
+        ASSERT_EQ(bytes, reference);
+    }
+    std::vector<std::uint8_t> out(stripe.data_size());
+    stripe.get_data(out);
+    ASSERT_EQ(out, data);
+
+    // Invariant 3: a random within-coverage pattern decodes byte-exactly.
+    std::vector<bool> mask(cfg.n * cfg.r, false);
+    std::vector<std::size_t> chunks(cfg.n);
+    for (std::size_t j = 0; j < cfg.n; ++j) chunks[j] = j;
+    for (std::size_t j = cfg.n - 1; j > 0; --j)
+      std::swap(chunks[j], chunks[rng.next_below(j + 1)]);
+    std::size_t next = 0;
+    const std::size_t dead = rng.next_below(cfg.m + 1);
+    for (std::size_t d = 0; d < dead; ++d) {
+      const std::size_t j = chunks[next++];
+      for (std::size_t i = 0; i < cfg.r; ++i) mask[i * cfg.n + j] = true;
+    }
+    const std::size_t hit = rng.next_below(cfg.m_prime() + 1);
+    for (std::size_t l = 0; l < hit; ++l) {
+      const std::size_t j = chunks[next++];
+      const std::size_t budget = cfg.e[cfg.m_prime() - 1 - l];  // descending slots
+      const std::size_t losses = 1 + rng.next_below(budget);
+      for (std::size_t q = 0; q < losses; ++q)
+        mask[rng.next_below(cfg.r) * cfg.n + j] = true;  // dups fine
+    }
+    ASSERT_TRUE(code.is_recoverable(mask));
+    Rng garbage(GetParam().seed * 7 + round);
+    for (std::size_t idx = 0; idx < mask.size(); ++idx)
+      if (mask[idx]) garbage.fill(stripe.view().stored[idx]);
+    ASSERT_TRUE(code.decode(stripe.view(), mask));
+    stripe.get_data(out);
+    ASSERT_EQ(out, data);
+  }
+}
+
+std::vector<SweepCase> sweep_seeds() {
+  std::vector<SweepCase> cases;
+  for (std::uint64_t s = 1; s <= 24; ++s) cases.push_back({s});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigs, StairSweepTest, ::testing::ValuesIn(sweep_seeds()),
+                         [](const auto& info) { return info.param.name(); });
+
+}  // namespace
+}  // namespace stair

@@ -1,0 +1,135 @@
+// Utility tests: RNG determinism and distribution sanity, aligned buffers,
+// and the table printer the benchmark binaries rely on.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+
+#include "util/buffer.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace stair {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next_u64() == b.next_u64();
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(RngTest, NextBelowIsRoughlyUniform) {
+  Rng rng(8);
+  int counts[10] = {};
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.next_below(10)];
+  for (int c : counts) EXPECT_NEAR(c, trials / 10, trials / 50);
+}
+
+TEST(RngTest, DoublesInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, ExponentialHasConfiguredMean) {
+  Rng rng(10);
+  double sum = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) sum += rng.next_exponential(42.0);
+  EXPECT_NEAR(sum / trials, 42.0, 1.5);
+}
+
+TEST(RngTest, FillCoversOddSizes) {
+  Rng rng(11);
+  for (std::size_t size : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 65u}) {
+    std::vector<std::uint8_t> buf(size, 0);
+    rng.fill(buf);
+    if (size >= 16) {
+      // Extremely unlikely to be all zeros.
+      bool any = false;
+      for (auto b : buf) any |= b != 0;
+      EXPECT_TRUE(any);
+    }
+  }
+}
+
+TEST(AlignedBufferTest, AlignmentAndZeroInit) {
+  for (std::size_t size : {1u, 64u, 100u, 4096u}) {
+    AlignedBuffer buf(size);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % AlignedBuffer::kAlignment, 0u);
+    for (std::size_t i = 0; i < size; ++i) EXPECT_EQ(buf[i], 0);
+  }
+}
+
+TEST(AlignedBufferTest, MoveTransfersOwnership) {
+  AlignedBuffer a(128);
+  a[5] = 42;
+  const std::uint8_t* ptr = a.data();
+  AlignedBuffer b = std::move(a);
+  EXPECT_EQ(b.data(), ptr);
+  EXPECT_EQ(b[5], 42);
+  EXPECT_EQ(b.size(), 128u);
+}
+
+TEST(AlignedBufferTest, RegionAndClear) {
+  AlignedBuffer buf(64);
+  auto region = buf.region(16, 8);
+  EXPECT_EQ(region.size(), 8u);
+  region[0] = 7;
+  EXPECT_EQ(buf[16], 7);
+  buf.clear();
+  EXPECT_EQ(buf[16], 0);
+}
+
+TEST(TablePrinterTest, AlignsColumnsAndPadsRaggedRows) {
+  TablePrinter t("demo");
+  t.set_header({"a", "long_header"});
+  t.add_row({"xx", "1"});
+  t.add_row({"y"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("## demo"), std::string::npos);
+  EXPECT_NE(out.find("long_header"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter t;
+  t.set_header({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(FormatSigTest, Formats) {
+  EXPECT_EQ(format_sig(0.0), "0");
+  EXPECT_EQ(format_sig(1234.5678, 4), "1235");
+  EXPECT_EQ(format_sig(0.00012345, 3), "0.000123");
+  EXPECT_EQ(format_sig(1e300 * 1e300), "inf");
+}
+
+}  // namespace
+}  // namespace stair
