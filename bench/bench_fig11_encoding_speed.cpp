@@ -6,18 +6,37 @@
 // Expected shape: STAIR well above SD throughout (paper: +106% on average);
 // both rise with n and r as the parity fraction shrinks; SD dips further
 // when n*r > 255 forces it onto w = 16.
+//
+// Besides the human-readable tables, every measured cell is appended to
+// BENCH_encoding_speed.json (machine-readable, for the perf trajectory the
+// CI tracks). STAIR_BENCH_SMOKE=1 (or --smoke) runs a reduced matrix on
+// smaller stripes — the CI smoke configuration.
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
+#include "gf/kernel.h"
 
 using namespace stair;
 using namespace stair::bench;
 
 namespace {
 
-constexpr std::size_t kStripeBytes = 32u << 20;
+bool g_smoke = false;
+std::size_t stripe_bytes() { return g_smoke ? (8u << 20) : (32u << 20); }
+
+struct Cell {
+  std::string code;  // "stair" | "sd"
+  char axis;         // 'n' or 'r' sweep
+  std::size_t n, r, m, s;
+  double mbps;
+};
+std::vector<Cell> g_cells;
 
 double stair_speed(std::size_t n, std::size_t r, std::size_t m, std::size_t s) {
   const auto e = worst_e_for_s(n, r, m, s, 8);
@@ -25,50 +44,90 @@ double stair_speed(std::size_t n, std::size_t r, std::size_t m, std::size_t s) {
   StairConfig cfg{.n = n, .r = r, .m = m, .e = e};
   if (cfg.minimum_w() > 8) cfg.w = cfg.minimum_w();
   const StairCode code(cfg);
-  const std::size_t symbol = symbol_size_for_stripe(kStripeBytes, n, r);
+  const std::size_t symbol = symbol_size_for_stripe(stripe_bytes(), n, r);
   StripeBuffer stripe = make_encoded_stripe(code, symbol);
   Workspace ws;
-  const std::size_t stripe_bytes = symbol * n * r;
+  const std::size_t bytes = symbol * n * r;
   return measure_mbps([&] { code.encode(stripe.view(), EncodingMethod::kAuto, &ws); },
-                      stripe_bytes);
+                      bytes);
 }
 
 std::optional<double> sd_speed(std::size_t n, std::size_t r, std::size_t m, std::size_t s) {
   if (s > n - m) return std::nullopt;
   const SdCode code({.n = n, .r = r, .m = m, .s = s});
-  const std::size_t symbol = symbol_size_for_stripe(kStripeBytes, n, r);
+  const std::size_t symbol = symbol_size_for_stripe(stripe_bytes(), n, r);
   SdStripe stripe(code, symbol);
-  const std::size_t stripe_bytes = symbol * n * r;
-  return measure_mbps([&] { code.encode(stripe.regions); }, stripe_bytes);
+  const std::size_t bytes = symbol * n * r;
+  return measure_mbps([&] { code.encode(stripe.regions); }, bytes);
 }
 
 void run_axis(const std::string& title, bool vary_n) {
-  for (std::size_t m : {1, 2, 3}) {
+  const std::vector<std::size_t> ms = g_smoke ? std::vector<std::size_t>{2}
+                                              : std::vector<std::size_t>{1, 2, 3};
+  const std::vector<std::size_t> vs =
+      g_smoke ? std::vector<std::size_t>{8, 16}
+              : std::vector<std::size_t>{4, 8, 12, 16, 20, 24, 28, 32};
+  const std::size_t max_stair_s = g_smoke ? 2 : 4;
+  const std::size_t max_sd_s = g_smoke ? 1 : 3;
+
+  for (std::size_t m : ms) {
     TablePrinter table(title + ", m = " + std::to_string(m) + "  (MB/s)");
-    table.set_header({vary_n ? "n" : "r", "SD s=1", "SD s=2", "SD s=3", "STAIR s=1",
-                      "STAIR s=2", "STAIR s=3", "STAIR s=4"});
-    for (std::size_t v : {4, 8, 12, 16, 20, 24, 28, 32}) {
+    std::vector<std::string> header{vary_n ? "n" : "r"};
+    for (std::size_t s = 1; s <= max_sd_s; ++s) header.push_back("SD s=" + std::to_string(s));
+    for (std::size_t s = 1; s <= max_stair_s; ++s)
+      header.push_back("STAIR s=" + std::to_string(s));
+    table.set_header(header);
+    for (std::size_t v : vs) {
       const std::size_t n = vary_n ? v : 16;
       const std::size_t r = vary_n ? 16 : v;
       if (n <= m + 4) continue;  // leave room for data chunks
       std::vector<std::string> row{std::to_string(v)};
-      for (std::size_t s = 1; s <= 3; ++s) {
+      for (std::size_t s = 1; s <= max_sd_s; ++s) {
         const auto speed = sd_speed(n, r, m, s);
+        if (speed) g_cells.push_back({"sd", vary_n ? 'n' : 'r', n, r, m, s, *speed});
         row.push_back(speed ? format_sig(*speed, 4) : "-");
       }
-      for (std::size_t s = 1; s <= 4; ++s) row.push_back(format_sig(stair_speed(n, r, m, s), 4));
+      for (std::size_t s = 1; s <= max_stair_s; ++s) {
+        const double speed = stair_speed(n, r, m, s);
+        if (speed > 0) g_cells.push_back({"stair", vary_n ? 'n' : 'r', n, r, m, s, speed});
+        row.push_back(format_sig(speed, 4));
+      }
       table.add_row(row);
     }
     table.print(std::cout);
   }
 }
 
+void write_json(const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"fig11_encoding_speed\",\n"
+      << "  \"backend\": \"" << gf::backend_name(gf::active_backend()) << "\",\n"
+      << "  \"smoke\": " << (g_smoke ? "true" : "false") << ",\n"
+      << "  \"stripe_bytes\": " << stripe_bytes() << ",\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < g_cells.size(); ++i) {
+    const Cell& c = g_cells[i];
+    out << "    {\"code\": \"" << c.code << "\", \"axis\": \"" << c.axis
+        << "\", \"n\": " << c.n << ", \"r\": " << c.r << ", \"m\": " << c.m
+        << ", \"s\": " << c.s << ", \"mbps\": " << c.mbps << "}"
+        << (i + 1 < g_cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "\nWrote " << g_cells.size() << " cells to " << path << "\n";
+}
+
 }  // namespace
 
-int main() {
-  std::cout << "=== Figure 11: encoding speed, STAIR (worst e per s) vs SD ===\n\n";
+int main(int argc, char** argv) {
+  if (std::getenv("STAIR_BENCH_SMOKE")) g_smoke = true;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--smoke") g_smoke = true;
+
+  std::cout << "=== Figure 11: encoding speed, STAIR (worst e per s) vs SD ===\n";
+  std::cout << "GF region backend: " << gf::backend_name(gf::active_backend())
+            << (g_smoke ? "  [smoke matrix]" : "") << "\n\n";
   run_axis("(a) varying n, r = 16", /*vary_n=*/true);
   run_axis("(b) varying r, n = 16", /*vary_n=*/false);
+  write_json("BENCH_encoding_speed.json");
   std::cout << "Shape check: STAIR > SD in every cell; speeds rise with n and r;\n"
                "STAIR mostly above 1000 MB/s.\n";
   return 0;

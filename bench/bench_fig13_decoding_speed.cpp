@@ -42,9 +42,10 @@ double stair_decode_speed(std::size_t n, std::size_t r, std::size_t m, std::size
   const auto mask = worst_mask(cfg);
   auto schedule = code.build_decode_schedule(mask);
   if (!schedule) return 0.0;
+  const CompiledSchedule plan(*schedule);  // compile once, replay many times
   Workspace ws;
   const std::size_t stripe_bytes = symbol * n * r;
-  return measure_mbps([&] { code.execute(*schedule, stripe.view(), &ws); }, stripe_bytes);
+  return measure_mbps([&] { code.execute(plan, stripe.view(), &ws); }, stripe_bytes);
 }
 
 std::optional<double> sd_decode_speed(std::size_t n, std::size_t r, std::size_t m,
@@ -72,8 +73,9 @@ double stair_device_only_speed(std::size_t n, std::size_t r, std::size_t m) {
   for (std::size_t d = 0; d < m; ++d)
     for (std::size_t i = 0; i < r; ++i) mask[i * n + d] = true;
   auto schedule = code.build_decode_schedule(mask);
+  const CompiledSchedule plan(*schedule);
   Workspace ws;
-  return measure_mbps([&] { code.execute(*schedule, stripe.view(), &ws); },
+  return measure_mbps([&] { code.execute(plan, stripe.view(), &ws); },
                       symbol * n * r);
 }
 

@@ -15,6 +15,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -180,8 +181,11 @@ int cmd_decode(const fs::path& dir, const fs::path& output) {
     std::fprintf(stderr, "losses exceed the code's coverage; cannot recover\n");
     return 1;
   }
-  // Reuse one plan for every stripe (all stripes share the failure pattern).
-  auto plan = code.build_decode_schedule(mask);
+  // Reuse one compiled plan for every stripe (all stripes share the failure
+  // pattern), so schedule build and kernel-table costs are paid once.
+  auto schedule = code.build_decode_schedule(mask);
+  std::optional<CompiledSchedule> plan;
+  if (schedule) plan.emplace(*schedule);
 
   StripeBuffer stripe(code, kSymbolBytes);
   Workspace ws;

@@ -1,5 +1,6 @@
 #include "gf/bitmatrix.h"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <cstring>
@@ -36,6 +37,30 @@ void bitmatrix_mult_xor_region(std::span<const std::uint32_t> rows, int w,
     for (int j = 0; j < w; ++j)
       if (rows[i] & (std::uint32_t{1} << j))
         xor_region(src.subspan(j * packet, packet), out);
+  }
+}
+
+void bitmatrix_mult_region(std::span<const std::uint32_t> rows, int w,
+                           std::span<const std::uint8_t> src,
+                           std::span<std::uint8_t> dst) {
+  assert(src.size() == dst.size());
+  assert(src.size() % w == 0 && "region must split into w packets");
+  const std::size_t packet = dst.size() / w;
+  if (packet == 0) return;
+  for (int i = 0; i < w; ++i) {
+    auto out = dst.subspan(i * packet, packet);
+    bool first = true;
+    for (int j = 0; j < w; ++j) {
+      if (!(rows[i] & (std::uint32_t{1} << j))) continue;
+      auto in = src.subspan(j * packet, packet);
+      if (first) {
+        std::copy(in.begin(), in.end(), out.begin());
+        first = false;
+      } else {
+        xor_region(in, out);
+      }
+    }
+    if (first) std::memset(out.data(), 0, packet);  // empty row
   }
 }
 

@@ -36,6 +36,14 @@ void bitmatrix_mult_xor_region(std::span<const std::uint32_t> rows, int w,
                                std::span<const std::uint8_t> src,
                                std::span<std::uint8_t> dst);
 
+/// dst (bit-plane layout) = M * src (bit-plane layout): the first packet
+/// feeding each output packet is copied instead of XORed, so dst's prior
+/// contents are never read (and need no zero-fill). src and dst must not
+/// overlap.
+void bitmatrix_mult_region(std::span<const std::uint32_t> rows, int w,
+                           std::span<const std::uint8_t> src,
+                           std::span<std::uint8_t> dst);
+
 /// Converts an ordinary-layout region (consecutive little-endian w-bit
 /// symbols) into the bit-plane packet layout. size must be divisible by w.
 void to_bitplane(const Field& f, std::span<const std::uint8_t> in,

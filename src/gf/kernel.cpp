@@ -1,0 +1,277 @@
+#include "gf/kernel.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "gf/region.h"
+
+namespace stair::gf {
+
+namespace {
+
+int widx_for(int w) {
+  switch (w) {
+    case 4: return 0;
+    case 8: return 1;
+    case 16: return 2;
+    case 32: return 3;
+    default: assert(false && "unsupported w"); return 0;
+  }
+}
+
+bool cpu_supports(Backend b) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (b) {
+    case Backend::kScalar: return true;
+    case Backend::kSsse3: return __builtin_cpu_supports("ssse3");
+    case Backend::kAvx2: return __builtin_cpu_supports("avx2");
+    case Backend::kGfni:
+      return __builtin_cpu_supports("gfni") && __builtin_cpu_supports("avx2");
+  }
+  return false;
+#else
+  return b == Backend::kScalar;
+#endif
+}
+
+// -1 = not yet detected; otherwise the int value of the active Backend.
+std::atomic<int> g_backend{-1};
+
+Backend detect_backend() {
+  if (const char* env = std::getenv("STAIR_GF_BACKEND")) {
+    const std::string want(env);
+    for (Backend b : {Backend::kScalar, Backend::kSsse3, Backend::kAvx2, Backend::kGfni})
+      if (want == backend_name(b) && backend_supported(b)) return b;
+    // Unknown or unsupported request: fall through to auto-detection.
+  }
+  for (Backend b : {Backend::kGfni, Backend::kAvx2, Backend::kSsse3})
+    if (backend_supported(b)) return b;
+  return Backend::kScalar;
+}
+
+const KernelFns& fns_for(Backend b) {
+  static const KernelFns scalar = detail::scalar_kernel_fns();
+#ifdef STAIR_HAVE_SSSE3
+  static const KernelFns ssse3 = detail::ssse3_kernel_fns();
+  if (b == Backend::kSsse3) return ssse3;
+#endif
+#ifdef STAIR_HAVE_AVX2
+  static const KernelFns avx2 = detail::avx2_kernel_fns();
+  if (b == Backend::kAvx2) return avx2;
+#endif
+#ifdef STAIR_HAVE_GFNI
+  static const KernelFns gfni = detail::gfni_kernel_fns();
+  if (b == Backend::kGfni) return gfni;
+#endif
+  (void)b;
+  return scalar;
+}
+
+const KernelFns& active_fns() { return fns_for(active_backend()); }
+
+}  // namespace
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kScalar: return "scalar";
+    case Backend::kSsse3: return "ssse3";
+    case Backend::kAvx2: return "avx2";
+    case Backend::kGfni: return "gfni";
+  }
+  return "?";
+}
+
+bool backend_compiled(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kSsse3:
+#ifdef STAIR_HAVE_SSSE3
+      return true;
+#else
+      return false;
+#endif
+    case Backend::kAvx2:
+#ifdef STAIR_HAVE_AVX2
+      return true;
+#else
+      return false;
+#endif
+    case Backend::kGfni:
+#ifdef STAIR_HAVE_GFNI
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool backend_supported(Backend b) { return backend_compiled(b) && cpu_supports(b); }
+
+Backend active_backend() {
+  int b = g_backend.load(std::memory_order_relaxed);
+  if (b < 0) {
+    b = static_cast<int>(detect_backend());
+    g_backend.store(b, std::memory_order_relaxed);
+  }
+  return static_cast<Backend>(b);
+}
+
+bool force_backend(Backend b) {
+  if (!backend_supported(b)) return false;
+  g_backend.store(static_cast<int>(b), std::memory_order_relaxed);
+  return true;
+}
+
+void reset_backend() { g_backend.store(-1, std::memory_order_relaxed); }
+
+// ---------------------------------------------------------------------------
+// CompiledKernel: split-table construction (backend-independent)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// The GF2P8AFFINEQB matrix operand for the byte-linear map x -> product(x):
+// output bit i of a byte is parity(matrix.byte[7-i] & x), so byte 7-i holds,
+// at bit j, bit i of the map's image of the unit byte 1 << j.
+std::uint64_t affine_matrix(const std::uint8_t (&unit_image)[8]) {
+  std::uint64_t m = 0;
+  for (int i = 0; i < 8; ++i) {
+    std::uint8_t row = 0;
+    for (int j = 0; j < 8; ++j)
+      if ((unit_image[j] >> i) & 1) row |= static_cast<std::uint8_t>(1u << j);
+    m |= static_cast<std::uint64_t>(row) << (8 * (7 - i));
+  }
+  return m;
+}
+
+}  // namespace
+
+CompiledKernel::CompiledKernel(const Field& f, std::uint32_t a)
+    : a_(a), w_(f.w()), widx_(widx_for(f.w())) {
+  std::memset(t_.nib, 0, sizeof t_.nib);
+  std::memset(t_.pack4, 0, sizeof t_.pack4);
+  std::memset(t_.row8, 0, sizeof t_.row8);
+
+  switch (w_) {
+    case 4: {
+      for (std::uint32_t x = 0; x < 256; ++x)
+        t_.pack4[x] = static_cast<std::uint8_t>(f.mul(a, x & 0xf) | (f.mul(a, x >> 4) << 4));
+      for (std::uint32_t v = 0; v < 16; ++v) {
+        t_.nib[0][0][v] = static_cast<std::uint8_t>(f.mul(a, v));
+        t_.nib[1][0][v] = static_cast<std::uint8_t>(f.mul(a, v) << 4);
+      }
+      std::uint8_t unit[8];  // both packed nibbles transform independently
+      for (int j = 0; j < 8; ++j) unit[j] = t_.pack4[1u << j];
+      t_.affine8 = affine_matrix(unit);
+      break;
+    }
+    case 8: {
+      std::memcpy(t_.row8, f.product_row8(a), sizeof t_.row8);
+      for (std::uint32_t v = 0; v < 16; ++v) {
+        t_.nib[0][0][v] = static_cast<std::uint8_t>(f.mul(a, v));
+        t_.nib[1][0][v] = static_cast<std::uint8_t>(f.mul(a, v << 4));
+      }
+      std::uint8_t unit[8];
+      for (int j = 0; j < 8; ++j) unit[j] = static_cast<std::uint8_t>(f.mul(a, 1u << j));
+      t_.affine8 = affine_matrix(unit);
+      break;
+    }
+    case 16:
+      t_.wide16.resize(512);
+      for (std::uint32_t x = 0; x < 256; ++x) {
+        t_.wide16[x] = static_cast<std::uint16_t>(f.mul(a, x));
+        t_.wide16[256 + x] = static_cast<std::uint16_t>(f.mul(a, x << 8));
+      }
+      for (int k = 0; k < 4; ++k)
+        for (std::uint32_t v = 0; v < 16; ++v) {
+          const std::uint32_t prod = f.mul(a, v << (4 * k));
+          t_.nib[k][0][v] = static_cast<std::uint8_t>(prod);
+          t_.nib[k][1][v] = static_cast<std::uint8_t>(prod >> 8);
+        }
+      break;
+    case 32:
+      t_.wide32.resize(1024);
+      for (std::uint32_t b = 0; b < 4; ++b)
+        for (std::uint32_t x = 0; x < 256; ++x)
+          t_.wide32[b * 256 + x] = f.mul(a, x << (8 * b));
+      for (int k = 0; k < 8; ++k)
+        for (std::uint32_t v = 0; v < 16; ++v) {
+          const std::uint32_t prod = f.mul(a, v << (4 * k));
+          for (int b = 0; b < 4; ++b)
+            t_.nib[k][b][v] = static_cast<std::uint8_t>(prod >> (8 * b));
+        }
+      break;
+    default:
+      assert(false && "unsupported w");
+  }
+}
+
+void CompiledKernel::mult_xor(std::span<const std::uint8_t> src,
+                              std::span<std::uint8_t> dst) const {
+  assert(src.size() == dst.size());
+  assert(src.size() % (w_ >= 8 ? static_cast<std::size_t>(w_ / 8) : 1) == 0);
+  if (src.empty() || a_ == 0) return;
+  if (a_ == 1) {
+    xor_region(src, dst);
+    return;
+  }
+  active_fns().mult_xor[widx_](t_, src.data(), dst.data(), src.size());
+}
+
+void CompiledKernel::mult(std::span<const std::uint8_t> src,
+                          std::span<std::uint8_t> dst) const {
+  assert(src.size() == dst.size());
+  if (src.empty()) return;
+  if (a_ == 0) {
+    std::memset(dst.data(), 0, dst.size());
+    return;
+  }
+  if (a_ == 1) {
+    if (dst.data() != src.data()) std::memcpy(dst.data(), src.data(), src.size());
+    return;
+  }
+  active_fns().mult[widx_](t_, src.data(), dst.data(), src.size());
+}
+
+// ---------------------------------------------------------------------------
+// Kernel cache
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Bounds the cache footprint (a w = 16 kernel is ~1.5 KiB); real schedules
+// use at most a few hundred distinct coefficients, so the cap is a backstop
+// against adversarial coefficient streams, not a working-set limit.
+constexpr std::size_t kMaxCachedKernels = 4096;
+
+struct KernelCache {
+  std::mutex mu;
+  std::unordered_map<std::uint32_t, std::shared_ptr<const CompiledKernel>> map;
+};
+
+KernelCache& cache_for(int w) {
+  static KernelCache caches[4];
+  return caches[widx_for(w)];
+}
+
+}  // namespace
+
+std::shared_ptr<const CompiledKernel> compiled_kernel(const Field& f, std::uint32_t a) {
+  KernelCache& cache = cache_for(f.w());
+  std::lock_guard<std::mutex> lock(cache.mu);
+  auto it = cache.map.find(a);
+  if (it != cache.map.end()) return it->second;
+  if (cache.map.size() >= kMaxCachedKernels) cache.map.clear();
+  auto kernel = std::make_shared<const CompiledKernel>(f, a);
+  cache.map.emplace(a, kernel);
+  return kernel;
+}
+
+}  // namespace stair::gf

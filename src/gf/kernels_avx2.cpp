@@ -1,0 +1,15 @@
+// AVX2 backend: this translation unit is compiled with -mavx2 (see the
+// per-file flags in CMakeLists.txt), turning the kernels_impl.h bodies into
+// vpshufb split-table kernels at 32 bytes per iteration. Only dispatched to
+// after a runtime CPUID check.
+#include "gf/kernels_impl.h"
+
+#ifndef __AVX2__
+#error "kernels_avx2.cpp must be compiled with AVX2 enabled (-mavx2)"
+#endif
+
+namespace stair::gf::detail {
+
+KernelFns avx2_kernel_fns() { return impl_kernel_fns(); }
+
+}  // namespace stair::gf::detail

@@ -1,0 +1,15 @@
+// GFNI backend: compiled with -mavx2 -mgfni (see CMakeLists.txt). The
+// byte-linear widths (w = 4/8) become single GF2P8AFFINEQB instructions per
+// 32 bytes; w = 16 keeps the AVX2 shuffle kernel and w = 32 the wide-table
+// loop. Only dispatched to after a runtime CPUID check.
+#include "gf/kernels_impl.h"
+
+#if !defined(__GFNI__) || !defined(__AVX2__)
+#error "kernels_gfni.cpp must be compiled with GFNI and AVX2 enabled (-mgfni -mavx2)"
+#endif
+
+namespace stair::gf::detail {
+
+KernelFns gfni_kernel_fns() { return impl_kernel_fns(); }
+
+}  // namespace stair::gf::detail

@@ -1,0 +1,346 @@
+// Region-kernel bodies, compiled once per backend translation unit.
+//
+// Included by kernels_scalar.cpp / kernels_ssse3.cpp / kernels_avx2.cpp,
+// each built with different ISA flags; the preprocessor selects the widest
+// loop those flags allow, so one source yields three distinct binary kernel
+// sets. Every function here is `static` on purpose: each TU must get its own
+// copy compiled under its own flags — a shared inline definition would let
+// the linker pick, say, the AVX2 instantiation for the scalar backend and
+// fault on pre-AVX2 machines.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "gf/kernel.h"
+
+#if defined(__SSSE3__)
+#include <tmmintrin.h>
+#endif
+#if defined(__AVX2__) || defined(__GFNI__)
+#include <immintrin.h>
+#endif
+
+namespace stair::gf::detail {
+
+// ---------------------------------------------------------------------------
+// Scalar loops. Full kernels for the scalar backend; tail handlers (resuming
+// at byte `i`) for the SIMD backends.
+// ---------------------------------------------------------------------------
+
+template <bool Accum>
+static void scalar_w4(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+                      std::size_t n, std::size_t i = 0) {
+  for (; i < n; ++i) {
+    const std::uint8_t p = t.pack4[src[i]];
+    dst[i] = Accum ? static_cast<std::uint8_t>(dst[i] ^ p) : p;
+  }
+}
+
+template <bool Accum>
+static void scalar_w8(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+                      std::size_t n, std::size_t i = 0) {
+  const std::uint8_t* row = t.row8;
+  for (; i < n; ++i) {
+    const std::uint8_t p = row[src[i]];
+    dst[i] = Accum ? static_cast<std::uint8_t>(dst[i] ^ p) : p;
+  }
+}
+
+template <bool Accum>
+static void scalar_w16(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+                       std::size_t n, std::size_t i = 0) {
+  const std::uint16_t* lo = t.wide16.data();
+  const std::uint16_t* hi = t.wide16.data() + 256;
+  for (; i < n; i += 2) {
+    std::uint16_t x;
+    std::memcpy(&x, src + i, 2);
+    std::uint16_t p = static_cast<std::uint16_t>(lo[x & 0xff] ^ hi[x >> 8]);
+    if (Accum) {
+      std::uint16_t d;
+      std::memcpy(&d, dst + i, 2);
+      p ^= d;
+    }
+    std::memcpy(dst + i, &p, 2);
+  }
+}
+
+template <bool Accum>
+static void scalar_w32(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+                       std::size_t n, std::size_t i = 0) {
+  const std::uint32_t* tb = t.wide32.data();
+  for (; i < n; i += 4) {
+    std::uint32_t x;
+    std::memcpy(&x, src + i, 4);
+    std::uint32_t p = tb[x & 0xff] ^ tb[256 + ((x >> 8) & 0xff)] ^
+                      tb[512 + ((x >> 16) & 0xff)] ^ tb[768 + (x >> 24)];
+    if (Accum) {
+      std::uint32_t d;
+      std::memcpy(&d, dst + i, 4);
+      p ^= d;
+    }
+    std::memcpy(dst + i, &p, 4);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2: 32 bytes per iteration, vpshufb over 128-bit-broadcast nibble tables.
+// ---------------------------------------------------------------------------
+
+#if defined(__AVX2__)
+
+static inline __m256i bcast128(const std::uint8_t* table16) {
+  return _mm256_broadcastsi128_si256(_mm_load_si128(reinterpret_cast<const __m128i*>(table16)));
+}
+
+template <bool Accum>
+static inline void store_prod256(std::uint8_t* dst, __m256i prod) {
+  if (Accum)
+    prod = _mm256_xor_si256(prod, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst)));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst), prod);
+}
+
+#if defined(__GFNI__)
+
+// GFNI: multiplication by a constant is an 8x8 GF(2) matrix per byte (any
+// primitive polynomial), so GF2P8AFFINEQB computes 32 products in one
+// instruction — w = 4 packs two independent 4x4 blocks into the same matrix.
+template <bool Accum>
+static inline void gfni_byte_linear(std::uint64_t matrix, const std::uint8_t* src,
+                                    std::uint8_t* dst, std::size_t n, std::size_t& done) {
+  const __m256i m = _mm256_set1_epi64x(static_cast<long long>(matrix));
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    store_prod256<Accum>(dst + i, _mm256_gf2p8affine_epi64_epi8(x, m, 0));
+  }
+  done = i;
+}
+
+template <bool Accum>
+static void kernel_w4(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+                      std::size_t n) {
+  std::size_t i = 0;
+  gfni_byte_linear<Accum>(t.affine8, src, dst, n, i);
+  scalar_w4<Accum>(t, src, dst, n, i);
+}
+
+template <bool Accum>
+static void kernel_w8(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+                      std::size_t n) {
+  std::size_t i = 0;
+  gfni_byte_linear<Accum>(t.affine8, src, dst, n, i);
+  scalar_w8<Accum>(t, src, dst, n, i);
+}
+
+#else
+
+// w = 4/8 share one shape: two 16-entry tables, one lookup per nibble. For
+// w = 4, nib[1][0] holds the high-nibble product pre-shifted left 4 so the
+// two pshufb results just OR/XOR together. Only the scalar tail differs
+// between the widths.
+template <bool Accum>
+static void nib2_loop(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+                      std::size_t n, std::size_t& done) {
+  const __m256i tlo = bcast128(t.nib[0][0]);
+  const __m256i thi = bcast128(t.nib[1][0]);
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i plo = _mm256_shuffle_epi8(tlo, _mm256_and_si256(x, mask));
+    const __m256i phi =
+        _mm256_shuffle_epi8(thi, _mm256_and_si256(_mm256_srli_epi64(x, 4), mask));
+    store_prod256<Accum>(dst + i, _mm256_xor_si256(plo, phi));
+  }
+  done = i;
+}
+
+template <bool Accum>
+static void kernel_w4(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+                      std::size_t n) {
+  std::size_t i = 0;
+  nib2_loop<Accum>(t, src, dst, n, i);
+  scalar_w4<Accum>(t, src, dst, n, i);
+}
+
+template <bool Accum>
+static void kernel_w8(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+                      std::size_t n) {
+  std::size_t i = 0;
+  nib2_loop<Accum>(t, src, dst, n, i);
+  scalar_w8<Accum>(t, src, dst, n, i);
+}
+
+#endif  // __GFNI__
+
+// w = 16: nibble indices extracted in 16-bit lanes (odd bytes zero; every
+// table maps 0 -> 0 so they contribute nothing), low/high product bytes
+// looked up separately and recombined with a lane shift.
+template <bool Accum>
+static void kernel_w16(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+                       std::size_t n) {
+  __m256i lo[4], hi[4];
+  for (int k = 0; k < 4; ++k) {
+    lo[k] = bcast128(t.nib[k][0]);
+    hi[k] = bcast128(t.nib[k][1]);
+  }
+  const __m256i nibm = _mm256_set1_epi16(0x000f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i plo = _mm256_setzero_si256(), phi = _mm256_setzero_si256();
+    const __m256i idx[4] = {
+        _mm256_and_si256(x, nibm), _mm256_and_si256(_mm256_srli_epi16(x, 4), nibm),
+        _mm256_and_si256(_mm256_srli_epi16(x, 8), nibm),
+        _mm256_and_si256(_mm256_srli_epi16(x, 12), nibm)};
+    for (int k = 0; k < 4; ++k) {
+      plo = _mm256_xor_si256(plo, _mm256_shuffle_epi8(lo[k], idx[k]));
+      phi = _mm256_xor_si256(phi, _mm256_shuffle_epi8(hi[k], idx[k]));
+    }
+    store_prod256<Accum>(dst + i, _mm256_xor_si256(plo, _mm256_slli_epi16(phi, 8)));
+  }
+  scalar_w16<Accum>(t, src, dst, n, i);
+}
+
+// w = 32: the nibble-split shuffle needs 8 positions x 4 product bytes =
+// 32 table loads + shuffles + lane shifts per vector, which measures *slower*
+// than the four 256-entry wide tables (~1.9 vs ~3.4 GB/s on AVX2 hardware),
+// so every backend uses the scalar wide-table loop for this width.
+template <bool Accum>
+static void kernel_w32(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+                       std::size_t n) {
+  scalar_w32<Accum>(t, src, dst, n);
+}
+
+// ---------------------------------------------------------------------------
+// SSSE3: same algorithms at 16 bytes per iteration.
+// ---------------------------------------------------------------------------
+
+#elif defined(__SSSE3__)
+
+static inline __m128i load_table(const std::uint8_t* table16) {
+  return _mm_load_si128(reinterpret_cast<const __m128i*>(table16));
+}
+
+template <bool Accum>
+static inline void store_prod128(std::uint8_t* dst, __m128i prod) {
+  if (Accum)
+    prod = _mm_xor_si128(prod, _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst)));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(dst), prod);
+}
+
+// Shared two-nibble-table loop for w = 4/8; only the scalar tail differs.
+template <bool Accum>
+static void nib2_loop(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+                      std::size_t n, std::size_t& done) {
+  const __m128i tlo = load_table(t.nib[0][0]);
+  const __m128i thi = load_table(t.nib[1][0]);
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i plo = _mm_shuffle_epi8(tlo, _mm_and_si128(x, mask));
+    const __m128i phi = _mm_shuffle_epi8(thi, _mm_and_si128(_mm_srli_epi64(x, 4), mask));
+    store_prod128<Accum>(dst + i, _mm_xor_si128(plo, phi));
+  }
+  done = i;
+}
+
+template <bool Accum>
+static void kernel_w4(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+                      std::size_t n) {
+  std::size_t i = 0;
+  nib2_loop<Accum>(t, src, dst, n, i);
+  scalar_w4<Accum>(t, src, dst, n, i);
+}
+
+template <bool Accum>
+static void kernel_w8(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+                      std::size_t n) {
+  std::size_t i = 0;
+  nib2_loop<Accum>(t, src, dst, n, i);
+  scalar_w8<Accum>(t, src, dst, n, i);
+}
+
+template <bool Accum>
+static void kernel_w16(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+                       std::size_t n) {
+  __m128i lo[4], hi[4];
+  for (int k = 0; k < 4; ++k) {
+    lo[k] = load_table(t.nib[k][0]);
+    hi[k] = load_table(t.nib[k][1]);
+  }
+  const __m128i nibm = _mm_set1_epi16(0x000f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i idx[4] = {_mm_and_si128(x, nibm),
+                            _mm_and_si128(_mm_srli_epi16(x, 4), nibm),
+                            _mm_and_si128(_mm_srli_epi16(x, 8), nibm),
+                            _mm_and_si128(_mm_srli_epi16(x, 12), nibm)};
+    __m128i plo = _mm_setzero_si128(), phi = _mm_setzero_si128();
+    for (int k = 0; k < 4; ++k) {
+      plo = _mm_xor_si128(plo, _mm_shuffle_epi8(lo[k], idx[k]));
+      phi = _mm_xor_si128(phi, _mm_shuffle_epi8(hi[k], idx[k]));
+    }
+    store_prod128<Accum>(dst + i, _mm_xor_si128(plo, _mm_slli_epi16(phi, 8)));
+  }
+  scalar_w16<Accum>(t, src, dst, n, i);
+}
+
+// See the AVX2 note: the 32-shuffle nibble split loses to the wide tables
+// for w = 32, so the scalar loop is the kernel here too.
+template <bool Accum>
+static void kernel_w32(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+                       std::size_t n) {
+  scalar_w32<Accum>(t, src, dst, n);
+}
+
+// ---------------------------------------------------------------------------
+// No SIMD flags: the scalar loops are the kernels.
+// ---------------------------------------------------------------------------
+
+#else
+
+template <bool Accum>
+static void kernel_w4(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+                      std::size_t n) {
+  scalar_w4<Accum>(t, src, dst, n);
+}
+
+template <bool Accum>
+static void kernel_w8(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+                      std::size_t n) {
+  scalar_w8<Accum>(t, src, dst, n);
+}
+
+template <bool Accum>
+static void kernel_w16(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+                       std::size_t n) {
+  scalar_w16<Accum>(t, src, dst, n);
+}
+
+template <bool Accum>
+static void kernel_w32(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+                       std::size_t n) {
+  scalar_w32<Accum>(t, src, dst, n);
+}
+
+#endif
+
+static KernelFns impl_kernel_fns() {
+  KernelFns fns;
+  fns.mult_xor[0] = kernel_w4<true>;
+  fns.mult_xor[1] = kernel_w8<true>;
+  fns.mult_xor[2] = kernel_w16<true>;
+  fns.mult_xor[3] = kernel_w32<true>;
+  fns.mult[0] = kernel_w4<false>;
+  fns.mult[1] = kernel_w8<false>;
+  fns.mult[2] = kernel_w16<false>;
+  fns.mult[3] = kernel_w32<false>;
+  return fns;
+}
+
+}  // namespace stair::gf::detail

@@ -1,0 +1,9 @@
+// Scalar backend: kernels_impl.h compiled with the project's baseline flags
+// (no SIMD ISA extensions), so this kernel set runs on any CPU.
+#include "gf/kernels_impl.h"
+
+namespace stair::gf::detail {
+
+KernelFns scalar_kernel_fns() { return impl_kernel_fns(); }
+
+}  // namespace stair::gf::detail

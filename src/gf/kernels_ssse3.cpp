@@ -1,0 +1,15 @@
+// SSSE3 backend: this translation unit is compiled with -mssse3 (see the
+// per-file flags in CMakeLists.txt), turning the kernels_impl.h bodies into
+// pshufb split-table kernels at 16 bytes per iteration. Only dispatched to
+// after a runtime CPUID check.
+#include "gf/kernels_impl.h"
+
+#ifndef __SSSE3__
+#error "kernels_ssse3.cpp must be compiled with SSSE3 enabled (-mssse3)"
+#endif
+
+namespace stair::gf::detail {
+
+KernelFns ssse3_kernel_fns() { return impl_kernel_fns(); }
+
+}  // namespace stair::gf::detail

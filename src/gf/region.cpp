@@ -3,166 +3,9 @@
 #include <cassert>
 #include <cstring>
 
-#ifdef __SSSE3__
-#include <tmmintrin.h>
-#endif
+#include "gf/kernel.h"
 
 namespace stair::gf {
-
-namespace {
-
-// ---------------------------------------------------------------------------
-// w = 8
-// ---------------------------------------------------------------------------
-
-#ifdef __SSSE3__
-// pshufb split-table kernel: the product a*x for byte x splits as
-// a*(x_lo ^ x_hi<<4) = table_lo[x_lo] ^ table_hi[x_hi]; both tables have 16
-// entries, so one _mm_shuffle_epi8 each computes 16 products per iteration.
-void mult_xor_w8_ssse3(const Field& f, std::uint8_t a,
-                       const std::uint8_t* src, std::uint8_t* dst, std::size_t n) {
-  alignas(16) std::uint8_t lo[16], hi[16];
-  for (int i = 0; i < 16; ++i) {
-    lo[i] = static_cast<std::uint8_t>(f.mul(a, static_cast<std::uint32_t>(i)));
-    hi[i] = static_cast<std::uint8_t>(f.mul(a, static_cast<std::uint32_t>(i) << 4));
-  }
-  const __m128i tlo = _mm_load_si128(reinterpret_cast<const __m128i*>(lo));
-  const __m128i thi = _mm_load_si128(reinterpret_cast<const __m128i*>(hi));
-  const __m128i mask = _mm_set1_epi8(0x0f);
-
-  std::size_t i = 0;
-  for (; i + 16 <= n; i += 16) {
-    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
-    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
-    const __m128i plo = _mm_shuffle_epi8(tlo, _mm_and_si128(x, mask));
-    const __m128i phi = _mm_shuffle_epi8(thi, _mm_and_si128(_mm_srli_epi64(x, 4), mask));
-    const __m128i prod = _mm_xor_si128(plo, phi);
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(d, prod));
-  }
-  const std::uint8_t* row = f.product_row8(a);
-  for (; i < n; ++i) dst[i] ^= row[src[i]];
-}
-#endif
-
-#ifndef __SSSE3__
-void mult_xor_w8_scalar(const Field& f, std::uint8_t a,
-                        const std::uint8_t* src, std::uint8_t* dst, std::size_t n) {
-  const std::uint8_t* row = f.product_row8(a);
-  for (std::size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
-}
-#endif
-
-// ---------------------------------------------------------------------------
-// w = 4 (two packed nibbles per byte)
-// ---------------------------------------------------------------------------
-
-void mult_xor_w4(const Field& f, std::uint32_t a,
-                 const std::uint8_t* src, std::uint8_t* dst, std::size_t n) {
-  // 256-entry table over the packed byte: both nibbles multiplied at once.
-  std::uint8_t table[256];
-  for (int x = 0; x < 256; ++x) {
-    const std::uint32_t lo = f.mul(a, static_cast<std::uint32_t>(x) & 0xf);
-    const std::uint32_t hi = f.mul(a, static_cast<std::uint32_t>(x) >> 4);
-    table[x] = static_cast<std::uint8_t>(lo | (hi << 4));
-  }
-  for (std::size_t i = 0; i < n; ++i) dst[i] ^= table[src[i]];
-}
-
-// ---------------------------------------------------------------------------
-// w = 16 / w = 32: per-call split product tables over source bytes
-// ---------------------------------------------------------------------------
-
-#ifdef __SSSE3__
-// Nibble split-table kernel for w = 16 (GF-Complete's SPLIT(16,4) idea,
-// without the altmap layout): a * x decomposes over x's four nibbles, so
-// eight 16-entry byte tables (low/high product byte per nibble position)
-// turn 8 symbols per iteration into 8 pshufbs. Nibble indices are extracted
-// in 16-bit lanes, leaving zero in the odd bytes; since every table maps
-// index 0 to 0, the odd-byte lookups contribute nothing.
-void mult_xor_w16_ssse3(const Field& f, std::uint32_t a,
-                        const std::uint8_t* src, std::uint8_t* dst, std::size_t n,
-                        std::size_t& done) {
-  alignas(16) std::uint8_t tlo[4][16], thi[4][16];
-  for (int k = 0; k < 4; ++k)
-    for (std::uint32_t v = 0; v < 16; ++v) {
-      const std::uint32_t prod = f.mul(a, v << (4 * k));
-      tlo[k][v] = static_cast<std::uint8_t>(prod);
-      thi[k][v] = static_cast<std::uint8_t>(prod >> 8);
-    }
-  __m128i lo[4], hi[4];
-  for (int k = 0; k < 4; ++k) {
-    lo[k] = _mm_load_si128(reinterpret_cast<const __m128i*>(tlo[k]));
-    hi[k] = _mm_load_si128(reinterpret_cast<const __m128i*>(thi[k]));
-  }
-  const __m128i nib = _mm_set1_epi16(0x000f);
-
-  std::size_t i = 0;
-  for (; i + 16 <= n; i += 16) {
-    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
-    const __m128i idx0 = _mm_and_si128(x, nib);
-    const __m128i idx1 = _mm_and_si128(_mm_srli_epi16(x, 4), nib);
-    const __m128i idx2 = _mm_and_si128(_mm_srli_epi16(x, 8), nib);
-    const __m128i idx3 = _mm_and_si128(_mm_srli_epi16(x, 12), nib);
-    __m128i plo = _mm_shuffle_epi8(lo[0], idx0);
-    plo = _mm_xor_si128(plo, _mm_shuffle_epi8(lo[1], idx1));
-    plo = _mm_xor_si128(plo, _mm_shuffle_epi8(lo[2], idx2));
-    plo = _mm_xor_si128(plo, _mm_shuffle_epi8(lo[3], idx3));
-    __m128i phi = _mm_shuffle_epi8(hi[0], idx0);
-    phi = _mm_xor_si128(phi, _mm_shuffle_epi8(hi[1], idx1));
-    phi = _mm_xor_si128(phi, _mm_shuffle_epi8(hi[2], idx2));
-    phi = _mm_xor_si128(phi, _mm_shuffle_epi8(hi[3], idx3));
-    const __m128i prod = _mm_xor_si128(plo, _mm_slli_epi16(phi, 8));
-    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(d, prod));
-  }
-  done = i;
-}
-#endif
-
-void mult_xor_w16(const Field& f, std::uint32_t a,
-                  const std::uint8_t* src, std::uint8_t* dst, std::size_t n) {
-  assert(n % 2 == 0 && "w=16 region size must be a multiple of 2 bytes");
-  std::size_t start = 0;
-#ifdef __SSSE3__
-  mult_xor_w16_ssse3(f, a, src, dst, n, start);
-  if (start == n) return;
-#endif
-  // a * x = a*(x_lo) ^ a*(x_hi << 8): two 256-entry tables of 16-bit products.
-  std::uint16_t tlo[256], thi[256];
-  for (std::uint32_t x = 0; x < 256; ++x) {
-    tlo[x] = static_cast<std::uint16_t>(f.mul(a, x));
-    thi[x] = static_cast<std::uint16_t>(f.mul(a, x << 8));
-  }
-  for (std::size_t i = start; i < n; i += 2) {
-    std::uint16_t x;
-    std::memcpy(&x, src + i, 2);
-    std::uint16_t d;
-    std::memcpy(&d, dst + i, 2);
-    d = static_cast<std::uint16_t>(d ^ tlo[x & 0xff] ^ thi[x >> 8]);
-    std::memcpy(dst + i, &d, 2);
-  }
-}
-
-void mult_xor_w32(const Field& f, std::uint32_t a,
-                  const std::uint8_t* src, std::uint8_t* dst, std::size_t n) {
-  assert(n % 4 == 0 && "w=32 region size must be a multiple of 4 bytes");
-  // Four byte-indexed split tables.
-  static thread_local std::uint32_t table[4][256];
-  for (std::uint32_t b = 0; b < 4; ++b)
-    for (std::uint32_t x = 0; x < 256; ++x)
-      table[b][x] = f.mul(a, x << (8 * b));
-  for (std::size_t i = 0; i < n; i += 4) {
-    std::uint32_t x;
-    std::memcpy(&x, src + i, 4);
-    std::uint32_t d;
-    std::memcpy(&d, dst + i, 4);
-    d ^= table[0][x & 0xff] ^ table[1][(x >> 8) & 0xff] ^
-         table[2][(x >> 16) & 0xff] ^ table[3][x >> 24];
-    std::memcpy(dst + i, &d, 4);
-  }
-}
-
-}  // namespace
 
 void xor_region(std::span<const std::uint8_t> src, std::span<std::uint8_t> dst) {
   assert(src.size() == dst.size());
@@ -187,26 +30,7 @@ void mult_xor_region(const Field& f, std::uint32_t a,
     xor_region(src, dst);
     return;
   }
-  switch (f.w()) {
-    case 4:
-      mult_xor_w4(f, a, src.data(), dst.data(), src.size());
-      break;
-    case 8:
-#ifdef __SSSE3__
-      mult_xor_w8_ssse3(f, static_cast<std::uint8_t>(a), src.data(), dst.data(), src.size());
-#else
-      mult_xor_w8_scalar(f, static_cast<std::uint8_t>(a), src.data(), dst.data(), src.size());
-#endif
-      break;
-    case 16:
-      mult_xor_w16(f, a, src.data(), dst.data(), src.size());
-      break;
-    case 32:
-      mult_xor_w32(f, a, src.data(), dst.data(), src.size());
-      break;
-    default:
-      assert(false && "unsupported w");
-  }
+  compiled_kernel(f, a)->mult_xor(src, dst);
 }
 
 void mult_region(const Field& f, std::uint32_t a,
@@ -220,38 +44,12 @@ void mult_region(const Field& f, std::uint32_t a,
     if (dst.data() != src.data()) std::memcpy(dst.data(), src.data(), src.size());
     return;
   }
-  if (dst.data() == src.data()) {
-    // In-place scale: the XOR-accumulating kernels cannot be reused because
-    // clearing dst would destroy src. Symbol-at-a-time is fine here; in-place
-    // scaling only appears on small scratch buffers, never on the data path.
-    const int bytes = f.w() / 8;
-    if (bytes == 0) {  // w = 4, packed nibbles
-      for (std::size_t i = 0; i < dst.size(); ++i) {
-        const std::uint32_t lo = f.mul(a, dst[i] & 0xf);
-        const std::uint32_t hi = f.mul(a, dst[i] >> 4);
-        dst[i] = static_cast<std::uint8_t>(lo | (hi << 4));
-      }
-      return;
-    }
-    for (std::size_t i = 0; i < dst.size(); i += bytes) {
-      std::uint32_t x = 0;
-      std::memcpy(&x, dst.data() + i, bytes);
-      x = f.mul(a, x);
-      std::memcpy(dst.data() + i, &x, bytes);
-    }
-    return;
-  }
-  // mult = clear + mult_xor; region kernels are XOR-accumulating by design.
-  std::memset(dst.data(), 0, dst.size());
-  mult_xor_region(f, a, src, dst);
+  if (src.empty()) return;
+  // The overwrite kernels never read dst, so exact aliasing (in-place scale)
+  // is safe: every block is fully loaded before it is stored.
+  compiled_kernel(f, a)->mult(src, dst);
 }
 
-bool has_simd_w8() {
-#ifdef __SSSE3__
-  return true;
-#else
-  return false;
-#endif
-}
+bool has_simd_w8() { return active_backend() != Backend::kScalar; }
 
 }  // namespace stair::gf

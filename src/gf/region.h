@@ -9,10 +9,11 @@
 // of w/8 bytes). For w = 4, two field elements are packed per byte and the
 // kernel operates on both nibbles at once.
 //
-// Fast paths: w = 8 uses an SSSE3 pshufb split-table kernel when compiled
-// with SSSE3 (the same technique GF-Complete's SPLIT w8 implementation uses);
-// w = 16/32 use per-call 256-entry split product tables. Every path has a
-// scalar fallback and all paths produce bit-identical results.
+// Fast paths: every word size dispatches to runtime-selected split-table
+// kernels (scalar / SSSE3 pshufb / AVX2 vpshufb — the technique GF-Complete's
+// SPLIT implementations use) with per-coefficient tables cached across calls.
+// Backend selection, overrides, and the kernel cache live in gf/kernel.h;
+// all backends produce bit-identical results.
 #pragma once
 
 #include <cstddef>
@@ -28,7 +29,8 @@ namespace stair::gf {
 void mult_xor_region(const Field& f, std::uint32_t a,
                      std::span<const std::uint8_t> src, std::span<std::uint8_t> dst);
 
-/// dst[i] = a * src[i] (overwrites dst).
+/// dst[i] = a * src[i] (overwrites dst; never reads it, so exact aliasing
+/// src == dst is allowed — partial overlap is not).
 void mult_region(const Field& f, std::uint32_t a,
                  std::span<const std::uint8_t> src, std::span<std::uint8_t> dst);
 
@@ -36,7 +38,7 @@ void mult_region(const Field& f, std::uint32_t a,
 /// needs no tables and vectorizes trivially.
 void xor_region(std::span<const std::uint8_t> src, std::span<std::uint8_t> dst);
 
-/// True if this build dispatches the w = 8 kernel to SSSE3 pshufb.
+/// True if the active backend (see gf/kernel.h) is a SIMD one.
 bool has_simd_w8();
 
 }  // namespace stair::gf

@@ -1,0 +1,100 @@
+#include "stair/compiled_schedule.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_set>
+
+namespace stair {
+
+namespace {
+
+// Combined footprint budget for one strip of every referenced symbol. Half a
+// typical L2 so the split tables and replay bookkeeping fit alongside.
+std::size_t strip_cache_budget() {
+  static const std::size_t budget = [] {
+    if (const char* env = std::getenv("STAIR_STRIP_BYTES")) {
+      const long v = std::atol(env);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return std::size_t{768} * 1024;
+  }();
+  return budget;
+}
+
+}  // namespace
+
+CompiledSchedule::CompiledSchedule(const Schedule& schedule, std::size_t strip_bytes)
+    : forced_strip_(strip_bytes) {
+  std::unordered_set<std::uint32_t> touched;
+  const gf::Field& f = schedule.field();
+  ops_.reserve(schedule.ops().size());
+  for (const auto& op : schedule.ops()) {
+    Op compiled;
+    compiled.output = op.output;
+    touched.insert(op.output);
+    bool self_ref = false;
+    for (const auto& term : op.terms) {
+      if (term.coeff == 0) continue;  // contributes nothing under replay
+      if (term.input == op.output) self_ref = true;
+      compiled.terms.push_back({gf::compiled_kernel(f, term.coeff), term.input});
+      touched.insert(term.input);
+    }
+    compiled.zero_fill = self_ref || compiled.terms.empty();
+    ops_.push_back(std::move(compiled));
+  }
+  touched_symbols_ = touched.size();
+}
+
+std::size_t CompiledSchedule::mult_xor_count() const {
+  std::size_t count = 0;
+  for (const auto& op : ops_) count += op.terms.size();
+  return count;
+}
+
+std::size_t CompiledSchedule::strip_size(std::size_t symbol_size) const {
+  std::size_t strip = forced_strip_
+                          ? forced_strip_
+                          : strip_cache_budget() / std::max<std::size_t>(1, touched_symbols_);
+  strip &= ~std::size_t{63};  // keep strips 64-byte-granular (symbol-aligned for all w)
+  if (strip < 64) strip = 64;
+  return std::min(strip, symbol_size);
+}
+
+void CompiledSchedule::execute(std::span<const std::span<std::uint8_t>> symbols) const {
+  if (ops_.empty()) return;
+  const std::size_t size = symbols[ops_.front().output].size();
+  if (size == 0) return;
+  const std::size_t strip = strip_size(size);
+
+  for (std::size_t offset = 0; offset < size; offset += strip) {
+    const std::size_t len = std::min(strip, size - offset);
+    for (const Op& op : ops_) {
+      assert(op.output < symbols.size() && symbols[op.output].size() == size);
+      auto dst = symbols[op.output].subspan(offset, len);
+      if (op.zero_fill) {
+        std::memset(dst.data(), 0, len);
+        for (const Term& term : op.terms) {
+          assert(term.input < symbols.size() && symbols[term.input].size() == size);
+          term.kernel->mult_xor(symbols[term.input].subspan(offset, len), dst);
+        }
+        continue;
+      }
+      const Term& first = op.terms.front();
+      assert(first.input < symbols.size() && symbols[first.input].size() == size);
+      first.kernel->mult(symbols[first.input].subspan(offset, len), dst);
+      for (std::size_t t = 1; t < op.terms.size(); ++t) {
+        const Term& term = op.terms[t];
+        assert(term.input < symbols.size() && symbols[term.input].size() == size);
+        term.kernel->mult_xor(symbols[term.input].subspan(offset, len), dst);
+      }
+    }
+  }
+}
+
+CompiledSchedule Schedule::compile(std::size_t strip_bytes) const {
+  return CompiledSchedule(*this, strip_bytes);
+}
+
+}  // namespace stair

@@ -1,0 +1,72 @@
+// Compiled schedule replay — the hot-path execution format.
+//
+// Schedule (stair/schedule.h) is the portable description of a coding plan:
+// symbol ids and GF coefficients. Replaying one directly re-resolves every
+// coefficient on every call and walks each output region twice (zero-fill,
+// then per-term XOR passes). CompiledSchedule lowers a Schedule once into the
+// form the machine actually wants to run:
+//
+//  * every coefficient is resolved up front to a cached split-table kernel
+//    (gf/kernel.h), so replay performs zero table construction;
+//  * the first term of each op overwrites its output (copy-mult) instead of
+//    zero-fill + XOR, saving one full pass over every output region;
+//  * the whole op list is strip-mined into L2-sized byte strips (region ops
+//    are pointwise, so any byte slicing is exact): all terms of an op run
+//    back-to-back on a strip while the destination is cache-resident, and
+//    inputs reused by later ops are still hot — large stripes stream from
+//    DRAM once instead of once per referencing op.
+//
+// Replay is byte-identical to Schedule::execute on the same symbol table.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "gf/kernel.h"
+#include "stair/schedule.h"
+
+namespace stair {
+
+class CompiledSchedule {
+ public:
+  CompiledSchedule() = default;
+
+  /// Lowers `schedule`. `strip_bytes` pins the replay strip size (rounded to
+  /// 64-byte granularity; mainly for tests); 0 derives it from the number of
+  /// distinct symbols so one strip of every referenced region fits in L2
+  /// together (STAIR_STRIP_BYTES overrides the cache budget).
+  explicit CompiledSchedule(const Schedule& schedule, std::size_t strip_bytes = 0);
+
+  bool empty() const { return ops_.empty(); }
+
+  /// Resolved Mult_XOR region operations per replay (zero-coefficient terms
+  /// are dropped at compile time).
+  std::size_t mult_xor_count() const;
+
+  /// Replays over `symbols` — same contract and same bytes as
+  /// Schedule::execute on the source schedule.
+  void execute(std::span<const std::span<std::uint8_t>> symbols) const;
+
+ private:
+  struct Term {
+    std::shared_ptr<const gf::CompiledKernel> kernel;
+    std::uint32_t input = 0;
+  };
+  struct Op {
+    std::uint32_t output = 0;
+    // True when the op must keep the legacy zero-fill + accumulate order:
+    // no surviving terms, or a self-referencing term (input == output).
+    bool zero_fill = false;
+    std::vector<Term> terms;
+  };
+
+  std::size_t strip_size(std::size_t symbol_size) const;
+
+  std::vector<Op> ops_;
+  std::size_t forced_strip_ = 0;     // nonzero = caller-pinned strip size
+  std::size_t touched_symbols_ = 0;  // distinct symbol ids referenced
+};
+
+}  // namespace stair

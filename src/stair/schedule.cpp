@@ -15,8 +15,27 @@ void Schedule::execute(std::span<const std::span<std::uint8_t>> symbols) const {
   for (const auto& op : ops_) {
     assert(op.output < symbols.size());
     auto dst = symbols[op.output];
-    std::fill(dst.begin(), dst.end(), std::uint8_t{0});
+    // The first surviving term overwrites dst (copy-mult) instead of the
+    // historical zero-fill + XOR, saving one full pass over every output
+    // region. Ops with no nonzero term — or a self-referencing one, whose
+    // value depends on the zeroed output — keep the zero-fill order.
+    std::size_t first = 0;
+    bool self_ref = false;
     for (const auto& term : op.terms) {
+      if (term.coeff != 0 && term.input == op.output) self_ref = true;
+    }
+    while (first < op.terms.size() && op.terms[first].coeff == 0) ++first;
+    if (self_ref || first == op.terms.size()) {
+      std::fill(dst.begin(), dst.end(), std::uint8_t{0});
+      first = 0;
+    } else {
+      const auto& lead = op.terms[first];
+      assert(lead.input < symbols.size());
+      gf::mult_region(*field_, lead.coeff, symbols[lead.input], dst);
+      ++first;
+    }
+    for (std::size_t t = first; t < op.terms.size(); ++t) {
+      const auto& term = op.terms[t];
       assert(term.input < symbols.size());
       gf::mult_xor_region(*field_, term.coeff, symbols[term.input], dst);
     }

@@ -15,6 +15,8 @@
 
 namespace stair {
 
+class CompiledSchedule;
+
 /// One linear combination: symbols[output] = XOR over terms of coeff * symbols[input].
 struct ScheduleOp {
   std::uint32_t output = 0;
@@ -43,8 +45,15 @@ class Schedule {
   std::size_t mult_xor_count() const;
 
   /// Replays the schedule over `symbols`; symbols[id] must be valid for every
-  /// id any op references. Output regions are overwritten.
+  /// id any op references. Output regions are overwritten. This is the
+  /// straightforward reference replay; hot paths compile() once and replay
+  /// the CompiledSchedule (identical bytes, cached kernels, cache-blocked).
   void execute(std::span<const std::span<std::uint8_t>> symbols) const;
+
+  /// Lowers this schedule for fast repeated replay (see
+  /// stair/compiled_schedule.h). `strip_bytes` = 0 picks the strip size
+  /// automatically.
+  CompiledSchedule compile(std::size_t strip_bytes = 0) const;
 
   /// Copy with all zero-coefficient terms removed — the "don't multiply by
   /// known zeros" optimization the ablation benchmark measures against the

@@ -31,6 +31,20 @@ const Schedule& StairCode::encoding_schedule(EncodingMethod method) const {
   throw std::invalid_argument("encoding_schedule: pass a concrete method, not kAuto");
 }
 
+const CompiledSchedule& StairCode::compiled_encoding_schedule(EncodingMethod method) const {
+  std::unique_ptr<CompiledSchedule>* slot = nullptr;
+  switch (method) {
+    case EncodingMethod::kUpstairs: slot = &upstairs_c_; break;
+    case EncodingMethod::kDownstairs: slot = &downstairs_c_; break;
+    case EncodingMethod::kStandard: slot = &standard_c_; break;
+    case EncodingMethod::kAuto:
+      throw std::invalid_argument(
+          "compiled_encoding_schedule: pass a concrete method, not kAuto");
+  }
+  if (!*slot) *slot = std::make_unique<CompiledSchedule>(encoding_schedule(method));
+  return **slot;
+}
+
 EncodingMethod StairCode::select_method() const {
   // §5.3: pre-compute the Mult_XOR count of every method, keep the cheapest.
   // Up/downstairs counts come from the closed forms, so selection does not
@@ -95,7 +109,41 @@ void StairCode::prepare_workspace(const StripeView& stripe, Workspace& ws) const
   }
 }
 
+namespace {
+
+// Shared slicing loop for the parallel replays: region ops are pointwise, so
+// running the full schedule on disjoint byte slices is exact. 64-byte
+// granularity keeps slices word- and cache-line-aligned for every supported w.
+template <typename Sched>
+void replay_sliced(const Sched& schedule, const std::vector<std::span<std::uint8_t>>& symbols,
+                   std::size_t size, std::size_t threads) {
+  std::size_t chunk = (size + threads - 1) / threads;
+  chunk = (chunk + 63) / 64 * 64;
+
+  std::vector<std::thread> workers;
+  for (std::size_t offset = 0; offset < size; offset += chunk) {
+    const std::size_t len = std::min(chunk, size - offset);
+    workers.emplace_back([&schedule, &symbols, offset, len] {
+      std::vector<std::span<std::uint8_t>> sliced(symbols.size());
+      for (std::size_t id = 0; id < symbols.size(); ++id)
+        sliced[id] = symbols[id].subspan(offset, len);
+      schedule.execute(sliced);
+    });
+  }
+  for (auto& t : workers) t.join();
+}
+
+}  // namespace
+
 void StairCode::execute(const Schedule& schedule, const StripeView& stripe,
+                        Workspace* ws) const {
+  Workspace local;
+  Workspace& w = ws ? *ws : local;
+  prepare_workspace(stripe, w);
+  schedule.execute(w.symbols_);
+}
+
+void StairCode::execute(const CompiledSchedule& schedule, const StripeView& stripe,
                         Workspace* ws) const {
   Workspace local;
   Workspace& w = ws ? *ws : local;
@@ -112,37 +160,30 @@ void StairCode::execute_parallel(const Schedule& schedule, const StripeView& str
   Workspace local;
   Workspace& w = ws ? *ws : local;
   prepare_workspace(stripe, w);
+  replay_sliced(schedule, w.symbols_, stripe.symbol_size, threads);
+}
 
-  // Slice every symbol region into equal byte ranges (64-byte granularity
-  // keeps slices word- and cache-line-aligned for every supported w) and run
-  // the full schedule on each slice: region ops are pointwise, so slices are
-  // independent.
-  const std::size_t size = stripe.symbol_size;
-  std::size_t chunk = (size + threads - 1) / threads;
-  chunk = (chunk + 63) / 64 * 64;
-
-  std::vector<std::thread> workers;
-  for (std::size_t offset = 0; offset < size; offset += chunk) {
-    const std::size_t len = std::min(chunk, size - offset);
-    workers.emplace_back([&schedule, &w, offset, len] {
-      std::vector<std::span<std::uint8_t>> sliced(w.symbols_.size());
-      for (std::size_t id = 0; id < w.symbols_.size(); ++id)
-        sliced[id] = w.symbols_[id].subspan(offset, len);
-      schedule.execute(sliced);
-    });
+void StairCode::execute_parallel(const CompiledSchedule& schedule, const StripeView& stripe,
+                                 std::size_t threads, Workspace* ws) const {
+  if (threads <= 1) {
+    execute(schedule, stripe, ws);
+    return;
   }
-  for (auto& t : workers) t.join();
+  Workspace local;
+  Workspace& w = ws ? *ws : local;
+  prepare_workspace(stripe, w);
+  replay_sliced(schedule, w.symbols_, stripe.symbol_size, threads);
 }
 
 void StairCode::encode(const StripeView& stripe, EncodingMethod method, Workspace* ws) const {
   if (method == EncodingMethod::kAuto) method = select_method();
-  execute(encoding_schedule(method), stripe, ws);
+  execute(compiled_encoding_schedule(method), stripe, ws);
 }
 
 void StairCode::encode_parallel(const StripeView& stripe, std::size_t threads,
                                 EncodingMethod method, Workspace* ws) const {
   if (method == EncodingMethod::kAuto) method = select_method();
-  execute_parallel(encoding_schedule(method), stripe, threads, ws);
+  execute_parallel(compiled_encoding_schedule(method), stripe, threads, ws);
 }
 
 bool StairCode::is_recoverable(const std::vector<bool>& erased) const {
@@ -157,7 +198,9 @@ bool StairCode::decode(const StripeView& stripe, const std::vector<bool>& erased
                        Workspace* ws) const {
   auto schedule = build_decode_schedule(erased);
   if (!schedule) return false;
-  execute(*schedule, stripe, ws);
+  // Compiling resolves coefficients against the shared kernel cache, so for
+  // the recurring masks of a failure epoch the tables are already built.
+  execute(CompiledSchedule(*schedule), stripe, ws);
   return true;
 }
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "rs/mds_code.h"
+#include "stair/compiled_schedule.h"
 #include "stair/schedule.h"
 #include "stair/stair_layout.h"
 #include "util/buffer.h"
@@ -83,9 +84,12 @@ class StairCode {
 
   // --- encoding -------------------------------------------------------------
 
-  /// The compiled schedule for a concrete method (not kAuto); built lazily
-  /// and cached.
+  /// The schedule for a concrete method (not kAuto); built lazily and cached.
   const Schedule& encoding_schedule(EncodingMethod method) const;
+
+  /// The compiled (kernel-resolved, cache-blocked) form of a concrete
+  /// method's schedule; built lazily and cached. encode() replays this.
+  const CompiledSchedule& compiled_encoding_schedule(EncodingMethod method) const;
 
   /// Method kAuto resolves to: the fewest-Mult_XORs schedule (§5.3).
   EncodingMethod select_method() const;
@@ -130,8 +134,15 @@ class StairCode {
   /// method, Figure 9's standard cost, and Figures 14-15's update penalty).
   const Matrix& coefficients() const;
 
-  /// Executes `schedule` over this stripe (advanced: pre-built decode plans).
+  /// Executes `schedule` over this stripe via the uncompiled reference
+  /// replay (advanced: one-shot plans, equivalence tests). Repeated replays
+  /// should compile() once and use the CompiledSchedule overload.
   void execute(const Schedule& schedule, const StripeView& stripe,
+               Workspace* ws = nullptr) const;
+
+  /// Executes a pre-compiled schedule over this stripe — the hot path all
+  /// encode/decode calls use. Byte-identical to the Schedule overload.
+  void execute(const CompiledSchedule& schedule, const StripeView& stripe,
                Workspace* ws = nullptr) const;
 
   /// Multi-threaded execute: region operations are pointwise, so the symbol
@@ -139,6 +150,10 @@ class StairCode {
   /// (§6.2.1's "encoding can be parallelized with modern multi-core CPUs").
   /// Identical output to execute(); worthwhile once stripes are megabytes.
   void execute_parallel(const Schedule& schedule, const StripeView& stripe,
+                        std::size_t threads, Workspace* ws = nullptr) const;
+
+  /// Multi-threaded compiled replay; identical output to execute().
+  void execute_parallel(const CompiledSchedule& schedule, const StripeView& stripe,
                         std::size_t threads, Workspace* ws = nullptr) const;
 
   /// encode() on `threads` cores.
@@ -153,6 +168,7 @@ class StairCode {
   SystematicMdsCode crow_, ccol_;
 
   mutable std::unique_ptr<Schedule> standard_, upstairs_, downstairs_;
+  mutable std::unique_ptr<CompiledSchedule> standard_c_, upstairs_c_, downstairs_c_;
   mutable std::unique_ptr<Matrix> coefficients_;
 };
 

@@ -37,6 +37,7 @@ UpdateEngine::UpdateEngine(const StairCode& code) : code_(&code) {
       if (coeff.at(p, k) == 0) continue;
       Patch patch = proto;
       patch.coeff = coeff.at(p, k);
+      patch.kernel = gf::compiled_kernel(code.field(), patch.coeff);
       patches_[k].push_back(patch);
     }
   }
@@ -60,11 +61,10 @@ void UpdateEngine::update(const StripeView& stripe, std::size_t data_index,
   gf::xor_region(new_content, delta.span());
   std::memcpy(data_region.data(), new_content.data(), stripe.symbol_size);
 
-  const gf::Field& f = code_->field();
   for (const Patch& patch : patches_[data_index]) {
     auto parity = patch.stored_index != SIZE_MAX ? stripe.stored[patch.stored_index]
                                                  : stripe.outside_globals[patch.global_index];
-    gf::mult_xor_region(f, patch.coeff, delta.span(), parity);
+    patch.kernel->mult_xor(delta.span(), parity);
   }
 }
 

@@ -48,6 +48,9 @@ class UpdateEngine {
  private:
   struct Patch {
     std::uint32_t coeff;
+    // The coefficient resolved to its cached split-table kernel at engine
+    // build time, so the per-update patch loop performs no table work.
+    std::shared_ptr<const gf::CompiledKernel> kernel;
     std::size_t stored_index;  // row * n + col of the parity symbol
     std::size_t global_index;  // index into outside_globals, or SIZE_MAX
   };

@@ -24,8 +24,23 @@ void XorExecutor::execute(std::span<const std::span<std::uint8_t>> symbols) cons
   for (const auto& op : ops_) {
     assert(op.output < symbols.size());
     auto dst = symbols[op.output];
-    std::fill(dst.begin(), dst.end(), std::uint8_t{0});
-    for (const auto& term : op.terms) {
+    // First term writes dst directly (copy-mult) rather than zero-fill +
+    // XOR — one fewer full pass per output. Self-referencing ops would read
+    // what they just wrote, so they keep the zero-fill order.
+    bool self_ref = false;
+    for (const auto& term : op.terms)
+      if (term.input == op.output) self_ref = true;
+    std::size_t first = 0;
+    if (self_ref || op.terms.empty()) {
+      std::fill(dst.begin(), dst.end(), std::uint8_t{0});
+    } else {
+      const auto& lead = op.terms.front();
+      assert(lead.input < symbols.size());
+      gf::bitmatrix_mult_region(lead.bitmatrix, field_->w(), symbols[lead.input], dst);
+      first = 1;
+    }
+    for (std::size_t t = first; t < op.terms.size(); ++t) {
+      const auto& term = op.terms[t];
       assert(term.input < symbols.size());
       gf::bitmatrix_mult_xor_region(term.bitmatrix, field_->w(), symbols[term.input], dst);
     }

@@ -1,0 +1,120 @@
+// CompiledSchedule equivalence: the compiled (kernel-resolved, copy-mult,
+// strip-mined) replay must be byte-identical to the reference
+// Schedule::execute on the same symbol table — including edge ops (no terms,
+// zero coefficients, a = 1 terms, chained outputs) and strip sizes that
+// force multiple passes over the regions.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "stair/compiled_schedule.h"
+#include "stair/schedule.h"
+#include "util/buffer.h"
+#include "util/rng.h"
+
+namespace stair {
+namespace {
+
+class CompiledScheduleTest : public ::testing::TestWithParam<int> {
+ protected:
+  const gf::Field& f() const { return gf::field(GetParam()); }
+  std::size_t symbol_bytes() const { return GetParam() >= 8 ? GetParam() / 8 : 1; }
+
+  // Builds a random schedule over `symbols` ids with chained dependencies:
+  // later ops may read earlier outputs, like real up/downstairs schedules.
+  Schedule random_schedule(Rng& rng, std::size_t symbols, std::size_t ops) const {
+    Schedule s(f());
+    for (std::size_t o = 0; o < ops; ++o) {
+      ScheduleOp op;
+      op.output = static_cast<std::uint32_t>(rng.next_below(symbols));
+      const std::size_t terms = 1 + rng.next_below(5);
+      for (std::size_t t = 0; t < terms; ++t) {
+        ScheduleOp::Term term;
+        term.coeff = static_cast<std::uint32_t>(rng.next_u64()) & f().max_element();
+        do {
+          term.input = static_cast<std::uint32_t>(rng.next_below(symbols));
+        } while (term.input == op.output);
+        op.terms.push_back(term);
+      }
+      s.add_op(std::move(op));
+    }
+    return s;
+  }
+
+  void expect_equivalent(const Schedule& s, std::size_t symbols, std::size_t size,
+                         std::size_t strip_bytes, Rng& rng) {
+    std::vector<AlignedBuffer> ref_bufs, cmp_bufs;
+    std::vector<std::span<std::uint8_t>> ref, cmp;
+    for (std::size_t i = 0; i < symbols; ++i) {
+      ref_bufs.emplace_back(size);
+      cmp_bufs.emplace_back(size);
+      rng.fill(ref_bufs.back().span());
+      std::memcpy(cmp_bufs.back().data(), ref_bufs.back().data(), size);
+      ref.push_back(ref_bufs.back().span());
+      cmp.push_back(cmp_bufs.back().span());
+    }
+
+    s.execute(ref);
+    const CompiledSchedule compiled(s, strip_bytes);
+    compiled.execute(cmp);
+
+    for (std::size_t i = 0; i < symbols; ++i)
+      ASSERT_EQ(std::memcmp(ref_bufs[i].data(), cmp_bufs[i].data(), size), 0)
+          << "symbol " << i << " w=" << GetParam() << " size=" << size
+          << " strip=" << strip_bytes;
+  }
+};
+
+TEST_P(CompiledScheduleTest, RandomSchedulesMatchReferenceReplay) {
+  Rng rng(23 + GetParam());
+  for (std::size_t size : {std::size_t{64}, std::size_t{96}, std::size_t{256},
+                           std::size_t{1024}}) {
+    if (size % symbol_bytes() != 0) continue;
+    const Schedule s = random_schedule(rng, /*symbols=*/10, /*ops=*/12);
+    // strip 0 = auto; 64 forces many strips; huge = single pass.
+    for (std::size_t strip : {std::size_t{0}, std::size_t{64}, std::size_t{1} << 20})
+      expect_equivalent(s, 10, size, strip, rng);
+  }
+}
+
+TEST_P(CompiledScheduleTest, EdgeOpsMatchReferenceReplay) {
+  Rng rng(41 + GetParam());
+  Schedule s(f());
+
+  // Op with no terms: output must be zeroed.
+  s.add_op({.output = 0, .terms = {}});
+  // Op whose terms are all zero coefficients: also zeroed.
+  s.add_op({.output = 1, .terms = {{0, 2}, {0, 3}}});
+  // Leading zero coefficient before a real term (copy-mult must skip it).
+  s.add_op({.output = 2, .terms = {{0, 3}, {1, 4}, {3 & f().max_element() ? 3u : 2u, 5}}});
+  // Pure a = 1 chain (XOR/copy shortcut path).
+  s.add_op({.output = 3, .terms = {{1, 4}, {1, 5}}});
+  // Chained dependency on an output written above.
+  s.add_op({.output = 6, .terms = {{2, 2}, {1, 3}}});
+
+  for (std::size_t strip : {std::size_t{0}, std::size_t{64}})
+    expect_equivalent(s, 8, 192, strip, rng);
+}
+
+TEST_P(CompiledScheduleTest, MultXorCountDropsZeroCoefficients) {
+  Schedule s(f());
+  s.add_op({.output = 0, .terms = {{0, 1}, {1, 2}, {2, 3}}});
+  s.add_op({.output = 4, .terms = {{0, 1}}});
+  EXPECT_EQ(s.mult_xor_count(), 4u);  // the paper metric counts listed terms
+  EXPECT_EQ(CompiledSchedule(s).mult_xor_count(), 2u);  // replay work
+}
+
+TEST_P(CompiledScheduleTest, PrunedScheduleCompilesAndMatches) {
+  Rng rng(59 + GetParam());
+  Schedule s = random_schedule(rng, 10, 12);
+  const Schedule sliced = s.pruned_for({s.ops().back().output});
+  expect_equivalent(sliced, 10, 256, 0, rng);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWordSizes, CompiledScheduleTest, ::testing::Values(4, 8, 16, 32),
+                         [](const auto& info) { return "w" + std::to_string(info.param); });
+
+}  // namespace
+}  // namespace stair

@@ -1,0 +1,205 @@
+// Region-kernel backend equivalence: every compiled backend (scalar, SSSE3,
+// AVX2 — selected via force_backend) must produce bit-identical results to
+// plain scalar GF arithmetic for every word size, including unaligned
+// buffers, odd tail lengths, aliasing, and the a = 0 / a = 1 edge
+// coefficients. This is the safety net under the runtime dispatcher.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "gf/gf.h"
+#include "gf/kernel.h"
+#include "gf/region.h"
+#include "util/buffer.h"
+#include "util/rng.h"
+
+namespace stair::gf {
+namespace {
+
+std::vector<Backend> available_backends() {
+  std::vector<Backend> v;
+  for (Backend b : {Backend::kScalar, Backend::kSsse3, Backend::kAvx2, Backend::kGfni})
+    if (backend_supported(b)) v.push_back(b);
+  return v;
+}
+
+// Independent reference: symbol-at-a-time multiply via Field::mul only.
+void reference_mult_xor(const Field& f, std::uint32_t a,
+                        std::span<const std::uint8_t> src, std::span<std::uint8_t> dst) {
+  if (f.w() == 4) {
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      const std::uint32_t lo = f.mul(a, src[i] & 0xf);
+      const std::uint32_t hi = f.mul(a, src[i] >> 4);
+      dst[i] ^= static_cast<std::uint8_t>(lo | (hi << 4));
+    }
+    return;
+  }
+  const std::size_t bytes = static_cast<std::size_t>(f.w()) / 8;
+  for (std::size_t i = 0; i < src.size(); i += bytes) {
+    std::uint32_t x = 0, d = 0;
+    std::memcpy(&x, src.data() + i, bytes);
+    std::memcpy(&d, dst.data() + i, bytes);
+    d ^= f.mul(a, x);
+    std::memcpy(dst.data() + i, &d, bytes);
+  }
+}
+
+// Pins a backend for the duration of one test, restoring auto-detect after.
+struct BackendGuard {
+  explicit BackendGuard(Backend b) { EXPECT_TRUE(force_backend(b)); }
+  ~BackendGuard() { reset_backend(); }
+};
+
+class RegionBackendTest : public ::testing::TestWithParam<std::tuple<int, Backend>> {
+ protected:
+  int w() const { return std::get<0>(GetParam()); }
+  Backend backend() const { return std::get<1>(GetParam()); }
+  const Field& f() const { return field(w()); }
+  std::size_t symbol_bytes() const { return w() >= 8 ? w() / 8 : 1; }
+
+  std::vector<std::uint32_t> coefficients(Rng& rng) const {
+    std::vector<std::uint32_t> v{0, 1, 2, 3, f().max_element()};
+    for (int i = 0; i < 6; ++i) {
+      const std::uint32_t a = static_cast<std::uint32_t>(rng.next_u64()) & f().max_element();
+      v.push_back(a ? a : 2);
+    }
+    return v;
+  }
+};
+
+TEST_P(RegionBackendTest, MultXorMatchesScalarArithmetic) {
+  if (!backend_supported(backend())) GTEST_SKIP() << "backend not supported here";
+  BackendGuard guard(backend());
+  Rng rng(101 + w());
+
+  // Sizes straddle the 16- and 32-byte SIMD block sizes and leave odd tails.
+  for (std::size_t base : {std::size_t{4}, std::size_t{16}, std::size_t{32},
+                           std::size_t{60}, std::size_t{100}, std::size_t{1000},
+                           std::size_t{4096}}) {
+    const std::size_t size = base - base % symbol_bytes();
+    if (size == 0) continue;
+    AlignedBuffer src(size), dst(size), ref(size);
+    rng.fill(src.span());
+    rng.fill(dst.span());
+    std::memcpy(ref.data(), dst.data(), size);
+
+    for (std::uint32_t a : coefficients(rng)) {
+      mult_xor_region(f(), a, src.span(), dst.span());
+      reference_mult_xor(f(), a, src.span(), ref.span());
+      ASSERT_EQ(std::memcmp(dst.data(), ref.data(), size), 0)
+          << backend_name(backend()) << " w=" << w() << " a=" << a << " size=" << size;
+    }
+  }
+}
+
+TEST_P(RegionBackendTest, UnalignedBuffersAndOddTails) {
+  if (!backend_supported(backend())) GTEST_SKIP() << "backend not supported here";
+  BackendGuard guard(backend());
+  Rng rng(211 + w());
+  const std::size_t bytes = symbol_bytes();
+
+  AlignedBuffer src(1024), dst(1024), ref(1024);
+  rng.fill(src.span());
+  rng.fill(dst.span());
+  std::memcpy(ref.data(), dst.data(), 1024);
+
+  // Offsets misalign the pointers relative to any SIMD width while keeping
+  // lengths symbol-granular; lengths avoid multiples of 16/32 to force tails.
+  for (std::size_t offset : {bytes, 3 * bytes, 5 * bytes, 9 * bytes}) {
+    for (std::size_t symbols : {std::size_t{1}, std::size_t{7}, std::size_t{33},
+                                std::size_t{101}}) {
+      const std::size_t len = symbols * bytes;
+      if (offset + len > 1024) continue;
+      const std::uint32_t a =
+          1 + static_cast<std::uint32_t>(rng.next_below(f().max_element()));
+      mult_xor_region(f(), a, src.region(offset, len), dst.region(offset, len));
+      reference_mult_xor(f(), a, src.region(offset, len), ref.region(offset, len));
+      ASSERT_EQ(std::memcmp(dst.data(), ref.data(), 1024), 0)
+          << backend_name(backend()) << " w=" << w() << " offset=" << offset
+          << " len=" << len;
+    }
+  }
+}
+
+TEST_P(RegionBackendTest, MultOverwritesAndAllowsExactAliasing) {
+  if (!backend_supported(backend())) GTEST_SKIP() << "backend not supported here";
+  BackendGuard guard(backend());
+  Rng rng(307 + w());
+  const std::size_t size = 480;  // multiple of 32 plus none: 480 = 15*32
+
+  AlignedBuffer src(size), dst(size), inplace(size), expect(size);
+  rng.fill(src.span());
+  rng.fill(dst.span());  // stale contents must be ignored by mult
+  std::memcpy(inplace.data(), src.data(), size);
+
+  for (std::uint32_t a : coefficients(rng)) {
+    std::memset(expect.data(), 0, size);
+    reference_mult_xor(f(), a, src.span(), expect.span());
+
+    mult_region(f(), a, src.span(), dst.span());
+    ASSERT_EQ(std::memcmp(dst.data(), expect.data(), size), 0)
+        << backend_name(backend()) << " w=" << w() << " a=" << a;
+
+    std::memcpy(inplace.data(), src.data(), size);
+    mult_region(f(), a, inplace.span(), inplace.span());
+    ASSERT_EQ(std::memcmp(inplace.data(), expect.data(), size), 0)
+        << "in-place, " << backend_name(backend()) << " w=" << w() << " a=" << a;
+  }
+}
+
+TEST_P(RegionBackendTest, CompiledKernelCacheReturnsWorkingKernels) {
+  if (!backend_supported(backend())) GTEST_SKIP() << "backend not supported here";
+  BackendGuard guard(backend());
+  Rng rng(401 + w());
+  const std::size_t size = 256;
+
+  for (std::uint32_t a : coefficients(rng)) {
+    auto k1 = compiled_kernel(f(), a);
+    auto k2 = compiled_kernel(f(), a);
+    EXPECT_EQ(k1.get(), k2.get()) << "cache must return the same kernel instance";
+
+    AlignedBuffer src(size), dst(size), ref(size);
+    rng.fill(src.span());
+    rng.fill(dst.span());
+    std::memcpy(ref.data(), dst.data(), size);
+    k1->mult_xor(src.span(), dst.span());
+    reference_mult_xor(f(), a, src.span(), ref.span());
+    ASSERT_EQ(std::memcmp(dst.data(), ref.data(), size), 0)
+        << backend_name(backend()) << " w=" << w() << " a=" << a;
+  }
+}
+
+TEST(RegionBackendDispatchTest, ScalarAlwaysSupportedAndActiveIsSupported) {
+  EXPECT_TRUE(backend_supported(Backend::kScalar));
+  EXPECT_TRUE(backend_supported(active_backend()));
+  EXPECT_TRUE(backend_compiled(active_backend()));
+}
+
+TEST(RegionBackendDispatchTest, ForceBackendRoundTrips) {
+  const Backend original = active_backend();
+  for (Backend b : available_backends()) {
+    ASSERT_TRUE(force_backend(b));
+    EXPECT_EQ(active_backend(), b);
+  }
+  reset_backend();
+  EXPECT_EQ(active_backend(), original);
+}
+
+std::string case_name(const ::testing::TestParamInfo<std::tuple<int, Backend>>& info) {
+  return "w" + std::to_string(std::get<0>(info.param)) + "_" +
+         backend_name(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWidthsAllBackends, RegionBackendTest,
+    ::testing::Combine(::testing::Values(4, 8, 16, 32),
+                       ::testing::Values(Backend::kScalar, Backend::kSsse3, Backend::kAvx2,
+                                         Backend::kGfni)),
+    case_name);
+
+}  // namespace
+}  // namespace stair::gf

@@ -62,22 +62,31 @@ TEST_P(StairSweepTest, CoreInvariantsHoldOnRandomConfigs) {
     ASSERT_EQ(code.mult_xor_count(EncodingMethod::kDownstairs), downstairs_mult_xors(cfg));
 
     // Invariant 2: the three methods produce identical stripes and encoding
-    // preserves the data region.
+    // preserves the data region. Each method is run twice — through the
+    // compiled replay (encode()) and the uncompiled reference replay
+    // (execute(Schedule)) — which must produce byte-identical stripes.
     const std::size_t symbol = 8;
     StripeBuffer stripe(code, symbol);
     std::vector<std::uint8_t> data(stripe.data_size());
     rng.fill(data);
     stripe.set_data(data);
 
-    std::vector<std::uint8_t> reference;
-    for (EncodingMethod method : {EncodingMethod::kUpstairs, EncodingMethod::kDownstairs,
-                                  EncodingMethod::kStandard}) {
-      code.encode(stripe.view(), method);
+    auto stripe_bytes = [&] {
       std::vector<std::uint8_t> bytes;
       for (const auto& region : stripe.view().stored)
         bytes.insert(bytes.end(), region.begin(), region.end());
       for (const auto& region : stripe.view().outside_globals)
         bytes.insert(bytes.end(), region.begin(), region.end());
+      return bytes;
+    };
+
+    std::vector<std::uint8_t> reference;
+    for (EncodingMethod method : {EncodingMethod::kUpstairs, EncodingMethod::kDownstairs,
+                                  EncodingMethod::kStandard}) {
+      code.encode(stripe.view(), method);
+      std::vector<std::uint8_t> bytes = stripe_bytes();
+      code.execute(code.encoding_schedule(method), stripe.view());
+      ASSERT_EQ(stripe_bytes(), bytes) << "compiled replay diverged from reference";
       if (reference.empty())
         reference = std::move(bytes);
       else
