@@ -6,18 +6,37 @@
 //
 // Expected shape: mirrors Figure 11 — STAIR above SD, rising with n and r;
 // device-only decode speedup of tens of percent at n = r = 16.
+//
+// Every measured cell is appended to BENCH_decoding_speed.json (machine-
+// readable, for the perf trajectory the CI tracks alongside
+// BENCH_encoding_speed.json). STAIR_BENCH_SMOKE=1 (or --smoke) runs a
+// reduced matrix on smaller stripes — the CI smoke configuration.
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
+#include "gf/kernel.h"
 
 using namespace stair;
 using namespace stair::bench;
 
 namespace {
 
-constexpr std::size_t kStripeBytes = 32u << 20;
+bool g_smoke = false;
+std::size_t stripe_budget() { return g_smoke ? (8u << 20) : (32u << 20); }
+
+struct Cell {
+  std::string code;  // "stair" | "sd" | "stair_device_only"
+  char axis;         // 'n' or 'r' sweep ('-' for the device-only section)
+  std::size_t n, r, m, s;
+  double mbps;
+};
+std::vector<Cell> g_cells;
 
 // Worst-case mask per the paper: m leftmost chunks dead; the following m'
 // chunks lose e_l sectors each at the bottom.
@@ -37,7 +56,7 @@ double stair_decode_speed(std::size_t n, std::size_t r, std::size_t m, std::size
   StairConfig cfg{.n = n, .r = r, .m = m, .e = e};
   if (cfg.minimum_w() > 8) cfg.w = cfg.minimum_w();
   const StairCode code(cfg);
-  const std::size_t symbol = symbol_size_for_stripe(kStripeBytes, n, r);
+  const std::size_t symbol = symbol_size_for_stripe(stripe_budget(), n, r);
   StripeBuffer stripe = make_encoded_stripe(code, symbol);
   const auto mask = worst_mask(cfg);
   auto schedule = code.build_decode_schedule(mask);
@@ -52,7 +71,7 @@ std::optional<double> sd_decode_speed(std::size_t n, std::size_t r, std::size_t 
                                       std::size_t s) {
   if (s > n - m) return std::nullopt;
   const SdCode code({.n = n, .r = r, .m = m, .s = s});
-  const std::size_t symbol = symbol_size_for_stripe(kStripeBytes, n, r);
+  const std::size_t symbol = symbol_size_for_stripe(stripe_budget(), n, r);
   SdStripe stripe(code, symbol);
   std::vector<bool> mask(n * r, false);
   for (std::size_t d = 0; d < m; ++d)
@@ -67,7 +86,7 @@ std::optional<double> sd_decode_speed(std::size_t n, std::size_t r, std::size_t 
 double stair_device_only_speed(std::size_t n, std::size_t r, std::size_t m) {
   StairConfig cfg{.n = n, .r = r, .m = m, .e = {1}};
   const StairCode code(cfg);
-  const std::size_t symbol = symbol_size_for_stripe(kStripeBytes, n, r);
+  const std::size_t symbol = symbol_size_for_stripe(stripe_budget(), n, r);
   StripeBuffer stripe = make_encoded_stripe(code, symbol);
   std::vector<bool> mask(n * r, false);
   for (std::size_t d = 0; d < m; ++d)
@@ -80,45 +99,86 @@ double stair_device_only_speed(std::size_t n, std::size_t r, std::size_t m) {
 }
 
 void run_axis(const std::string& title, bool vary_n) {
-  for (std::size_t m : {1, 2, 3}) {
+  const std::vector<std::size_t> ms = g_smoke ? std::vector<std::size_t>{2}
+                                              : std::vector<std::size_t>{1, 2, 3};
+  const std::vector<std::size_t> vs =
+      g_smoke ? std::vector<std::size_t>{8, 16}
+              : std::vector<std::size_t>{4, 8, 12, 16, 20, 24, 28, 32};
+  const std::size_t max_stair_s = g_smoke ? 2 : 4;
+  const std::size_t max_sd_s = g_smoke ? 1 : 3;
+
+  for (std::size_t m : ms) {
     TablePrinter table(title + ", m = " + std::to_string(m) + "  (MB/s)");
-    table.set_header({vary_n ? "n" : "r", "SD s=1", "SD s=2", "SD s=3", "STAIR s=1",
-                      "STAIR s=2", "STAIR s=3", "STAIR s=4"});
-    for (std::size_t v : {4, 8, 12, 16, 20, 24, 28, 32}) {
+    std::vector<std::string> header{vary_n ? "n" : "r"};
+    for (std::size_t s = 1; s <= max_sd_s; ++s) header.push_back("SD s=" + std::to_string(s));
+    for (std::size_t s = 1; s <= max_stair_s; ++s)
+      header.push_back("STAIR s=" + std::to_string(s));
+    table.set_header(header);
+    for (std::size_t v : vs) {
       const std::size_t n = vary_n ? v : 16;
       const std::size_t r = vary_n ? 16 : v;
       if (n <= m + 4) continue;
       std::vector<std::string> row{std::to_string(v)};
-      for (std::size_t s = 1; s <= 3; ++s) {
+      for (std::size_t s = 1; s <= max_sd_s; ++s) {
         const auto speed = sd_decode_speed(n, r, m, s);
+        if (speed) g_cells.push_back({"sd", vary_n ? 'n' : 'r', n, r, m, s, *speed});
         row.push_back(speed ? format_sig(*speed, 4) : "-");
       }
-      for (std::size_t s = 1; s <= 4; ++s)
-        row.push_back(format_sig(stair_decode_speed(n, r, m, s), 4));
+      for (std::size_t s = 1; s <= max_stair_s; ++s) {
+        const double speed = stair_decode_speed(n, r, m, s);
+        if (speed > 0) g_cells.push_back({"stair", vary_n ? 'n' : 'r', n, r, m, s, speed});
+        row.push_back(format_sig(speed, 4));
+      }
       table.add_row(row);
     }
     table.print(std::cout);
   }
 }
 
+void write_json(const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"fig13_decoding_speed\",\n"
+      << "  \"backend\": \"" << gf::backend_name(gf::active_backend()) << "\",\n"
+      << "  \"smoke\": " << (g_smoke ? "true" : "false") << ",\n"
+      << "  \"stripe_bytes\": " << stripe_budget() << ",\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < g_cells.size(); ++i) {
+    const Cell& c = g_cells[i];
+    out << "    {\"code\": \"" << c.code << "\", \"axis\": \"" << c.axis
+        << "\", \"n\": " << c.n << ", \"r\": " << c.r << ", \"m\": " << c.m
+        << ", \"s\": " << c.s << ", \"mbps\": " << c.mbps << "}"
+        << (i + 1 < g_cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "\nWrote " << g_cells.size() << " cells to " << path << "\n";
+}
+
 }  // namespace
 
-int main() {
-  std::cout << "=== Figure 13: worst-case decoding speed, STAIR vs SD ===\n\n";
+int main(int argc, char** argv) {
+  if (std::getenv("STAIR_BENCH_SMOKE")) g_smoke = true;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--smoke") g_smoke = true;
+
+  std::cout << "=== Figure 13: worst-case decoding speed, STAIR vs SD ===\n";
+  std::cout << "GF region backend: " << gf::backend_name(gf::active_backend())
+            << (g_smoke ? "  [smoke matrix]" : "") << "\n\n";
   run_axis("(a) varying n, r = 16", /*vary_n=*/true);
   run_axis("(b) varying r, n = 16", /*vary_n=*/false);
 
   // §6.2.2: device-only decoding vs the s = 1 worst case at n = r = 16.
   TablePrinter table("§6.2.2: device-only decode speedup vs s=1 worst case, n=r=16");
   table.set_header({"m", "device-only MB/s", "worst-case s=1 MB/s", "speedup %"});
-  for (std::size_t m : {1, 2, 3}) {
+  for (std::size_t m : g_smoke ? std::vector<std::size_t>{2}
+                               : std::vector<std::size_t>{1, 2, 3}) {
     const double dev = stair_device_only_speed(16, 16, m);
     const double worst = stair_decode_speed(16, 16, m, 1);
+    g_cells.push_back({"stair_device_only", '-', 16, 16, m, 0, dev});
     table.add_row({std::to_string(m), format_sig(dev, 4), format_sig(worst, 4),
                    format_sig((dev / worst - 1.0) * 100.0, 3)});
   }
   table.print(std::cout);
 
+  write_json("BENCH_decoding_speed.json");
   std::cout << "Shape check: STAIR > SD; speeds rise with n, r; device-only decode\n"
                "is noticeably faster than the worst case (paper: +79/+29/+12%).\n";
   return 0;

@@ -153,8 +153,15 @@ std::uint64_t affine_matrix(const std::uint8_t (&unit_image)[8]) {
 
 }  // namespace
 
+namespace {
+std::atomic<std::uint64_t> g_kernel_builds{0};
+}  // namespace
+
+std::uint64_t kernel_build_count() { return g_kernel_builds.load(std::memory_order_relaxed); }
+
 CompiledKernel::CompiledKernel(const Field& f, std::uint32_t a)
     : a_(a), w_(f.w()), widx_(widx_for(f.w())) {
+  g_kernel_builds.fetch_add(1, std::memory_order_relaxed);
   std::memset(t_.nib, 0, sizeof t_.nib);
   std::memset(t_.pack4, 0, sizeof t_.pack4);
   std::memset(t_.row8, 0, sizeof t_.row8);

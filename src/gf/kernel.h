@@ -138,4 +138,9 @@ class CompiledKernel {
 /// schedule replay and incremental update in the process.
 std::shared_ptr<const CompiledKernel> compiled_kernel(const Field& f, std::uint32_t a);
 
+/// Process-lifetime count of CompiledKernel constructions (split-table
+/// builds). Tests snapshot it around hot paths to prove replay performs zero
+/// table construction — e.g. a plan-cache hit must not move it.
+std::uint64_t kernel_build_count();
+
 }  // namespace stair::gf

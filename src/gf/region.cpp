@@ -1,6 +1,8 @@
 #include "gf/region.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <cstring>
 
 #include "gf/kernel.h"
@@ -51,5 +53,36 @@ void mult_region(const Field& f, std::uint32_t a,
 }
 
 bool has_simd_w8() { return active_backend() != Backend::kScalar; }
+
+std::size_t region_cache_budget() {
+  static const std::size_t budget = [] {
+    if (const char* env = std::getenv("STAIR_STRIP_BYTES")) {
+      const long v = std::atol(env);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return std::size_t{768} * 1024;
+  }();
+  return budget;
+}
+
+std::size_t cache_aware_slice_bytes(std::size_t region_bytes, std::size_t participants,
+                                    std::size_t touched_regions) {
+  if (participants == 0) participants = 1;
+  if (region_bytes <= 64) return region_bytes;
+  // ~2 slices per participant balances load; fewer would make the slowest
+  // slice the critical path, many more would pay per-slice dispatch.
+  std::size_t slice = (region_bytes + 2 * participants - 1) / (2 * participants);
+  // 64-byte granularity keeps slices symbol-aligned for every supported w.
+  std::size_t cache_cap = region_cache_budget() / (touched_regions ? touched_regions : 1);
+  cache_cap = std::max<std::size_t>(64, cache_cap & ~std::size_t{63});
+  if (slice > cache_cap) slice = cache_cap;
+  slice &= ~std::size_t{63};
+  if (slice < 64) slice = 64;
+  // Dispatch-overhead floor — don't shred big regions into tiny slices —
+  // capped by cache_cap so the budget guarantee above is never violated.
+  const std::size_t floor_bytes = std::min<std::size_t>(4096, cache_cap);
+  if (slice < floor_bytes && region_bytes > participants * floor_bytes) slice = floor_bytes;
+  return slice < region_bytes ? slice : region_bytes;
+}
 
 }  // namespace stair::gf

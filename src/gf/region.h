@@ -41,4 +41,24 @@ void xor_region(std::span<const std::uint8_t> src, std::span<std::uint8_t> dst);
 /// True if the active backend (see gf/kernel.h) is a SIMD one.
 bool has_simd_w8();
 
+/// Cache-aware byte-slice size for splitting region work across
+/// `participants` threads. Region ops are pointwise, so any 64-byte-granular
+/// slicing is exact; this picks the slice so that
+///  * there are at least ~2 slices per participant (load balance without a
+///    work-stealing scheduler), and
+///  * one slice of every one of the `touched_regions` regions a replay
+///    references fits an L2-sized budget together (STAIR_STRIP_BYTES
+///    overrides; same budget compiled-schedule strip-mining uses), so a
+///    slice's working set stays cache-resident instead of streaming the
+///    whole stripe through L3 per thread.
+/// Returns a multiple of 64 in [64, region_bytes] (region_bytes if smaller).
+std::size_t cache_aware_slice_bytes(std::size_t region_bytes, std::size_t participants,
+                                    std::size_t touched_regions);
+
+/// The cache budget behind cache_aware_slice_bytes and compiled-schedule
+/// strip-mining: the combined footprint allowed for one strip of every
+/// referenced region. Half a typical L2 by default so split tables and
+/// bookkeeping fit alongside; STAIR_STRIP_BYTES overrides (read once).
+std::size_t region_cache_budget();
+
 }  // namespace stair::gf

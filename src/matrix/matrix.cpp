@@ -1,5 +1,6 @@
 #include "matrix/matrix.h"
 
+#include <atomic>
 #include <cassert>
 #include <stdexcept>
 
@@ -45,8 +46,15 @@ std::vector<std::uint32_t> Matrix::mul_vec(std::span<const std::uint32_t> v) con
   return out;
 }
 
+namespace {
+std::atomic<std::uint64_t> g_inversions{0};
+}  // namespace
+
+std::uint64_t matrix_inversion_count() { return g_inversions.load(std::memory_order_relaxed); }
+
 std::optional<Matrix> Matrix::inverse() const {
   if (rows_ != cols_) throw std::invalid_argument("Matrix::inverse: not square");
+  g_inversions.fetch_add(1, std::memory_order_relaxed);
   const std::size_t n = rows_;
   Matrix work = *this;
   Matrix inv = identity(*field_, n);

@@ -74,4 +74,9 @@ class Matrix {
 std::optional<std::vector<std::uint32_t>> solve(const Matrix& a,
                                                 std::span<const std::uint32_t> b);
 
+/// Process-lifetime count of Matrix::inverse() runs. Plan construction is
+/// the only decode step that inverts matrices, so tests snapshot this to
+/// prove a cached-plan decode performs zero inversions.
+std::uint64_t matrix_inversion_count();
+
 }  // namespace stair

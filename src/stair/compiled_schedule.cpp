@@ -2,28 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cstdlib>
 #include <cstring>
 #include <unordered_set>
 
+#include "gf/region.h"
+
 namespace stair {
-
-namespace {
-
-// Combined footprint budget for one strip of every referenced symbol. Half a
-// typical L2 so the split tables and replay bookkeeping fit alongside.
-std::size_t strip_cache_budget() {
-  static const std::size_t budget = [] {
-    if (const char* env = std::getenv("STAIR_STRIP_BYTES")) {
-      const long v = std::atol(env);
-      if (v > 0) return static_cast<std::size_t>(v);
-    }
-    return std::size_t{768} * 1024;
-  }();
-  return budget;
-}
-
-}  // namespace
 
 CompiledSchedule::CompiledSchedule(const Schedule& schedule, std::size_t strip_bytes)
     : forced_strip_(strip_bytes) {
@@ -56,7 +40,7 @@ std::size_t CompiledSchedule::mult_xor_count() const {
 std::size_t CompiledSchedule::strip_size(std::size_t symbol_size) const {
   std::size_t strip = forced_strip_
                           ? forced_strip_
-                          : strip_cache_budget() / std::max<std::size_t>(1, touched_symbols_);
+                          : gf::region_cache_budget() / std::max<std::size_t>(1, touched_symbols_);
   strip &= ~std::size_t{63};  // keep strips 64-byte-granular (symbol-aligned for all w)
   if (strip < 64) strip = 64;
   return std::min(strip, symbol_size);
@@ -64,29 +48,40 @@ std::size_t CompiledSchedule::strip_size(std::size_t symbol_size) const {
 
 void CompiledSchedule::execute(std::span<const std::span<std::uint8_t>> symbols) const {
   if (ops_.empty()) return;
-  const std::size_t size = symbols[ops_.front().output].size();
-  if (size == 0) return;
-  const std::size_t strip = strip_size(size);
+  execute_range(symbols, 0, symbols[ops_.front().output].size());
+}
 
-  for (std::size_t offset = 0; offset < size; offset += strip) {
-    const std::size_t len = std::min(strip, size - offset);
+void CompiledSchedule::execute_range(std::span<const std::span<std::uint8_t>> symbols,
+                                     std::size_t range_offset, std::size_t length) const {
+  if (ops_.empty() || length == 0) return;
+  assert(range_offset % 64 == 0);
+  assert(range_offset + length <= symbols[ops_.front().output].size());
+  const std::size_t strip = strip_size(length);
+
+  for (std::size_t pos = 0; pos < length; pos += strip) {
+    const std::size_t offset = range_offset + pos;
+    const std::size_t len = std::min(strip, length - pos);
     for (const Op& op : ops_) {
-      assert(op.output < symbols.size() && symbols[op.output].size() == size);
+      assert(op.output < symbols.size() &&
+             symbols[op.output].size() >= range_offset + length);
       auto dst = symbols[op.output].subspan(offset, len);
       if (op.zero_fill) {
         std::memset(dst.data(), 0, len);
         for (const Term& term : op.terms) {
-          assert(term.input < symbols.size() && symbols[term.input].size() == size);
+          assert(term.input < symbols.size() &&
+                 symbols[term.input].size() >= range_offset + length);
           term.kernel->mult_xor(symbols[term.input].subspan(offset, len), dst);
         }
         continue;
       }
       const Term& first = op.terms.front();
-      assert(first.input < symbols.size() && symbols[first.input].size() == size);
+      assert(first.input < symbols.size() &&
+             symbols[first.input].size() >= range_offset + length);
       first.kernel->mult(symbols[first.input].subspan(offset, len), dst);
       for (std::size_t t = 1; t < op.terms.size(); ++t) {
         const Term& term = op.terms[t];
-        assert(term.input < symbols.size() && symbols[term.input].size() == size);
+        assert(term.input < symbols.size() &&
+               symbols[term.input].size() >= range_offset + length);
         term.kernel->mult_xor(symbols[term.input].subspan(offset, len), dst);
       }
     }

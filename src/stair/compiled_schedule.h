@@ -49,6 +49,19 @@ class CompiledSchedule {
   /// Schedule::execute on the source schedule.
   void execute(std::span<const std::span<std::uint8_t>> symbols) const;
 
+  /// Replays only bytes [offset, offset + length) of every region. Region
+  /// ops are pointwise, so running disjoint ranges (in any order, on any
+  /// threads) is byte-identical to one full execute(); this is the parallel
+  /// engine's building block — workers share one symbol table instead of
+  /// building per-thread sliced copies. `offset` must be a multiple of 64
+  /// (keeps every slice symbol-aligned for all w).
+  void execute_range(std::span<const std::span<std::uint8_t>> symbols,
+                     std::size_t offset, std::size_t length) const;
+
+  /// Distinct symbol ids referenced — the working-set width cache-aware
+  /// slicing divides its budget by.
+  std::size_t touched_symbols() const { return touched_symbols_; }
+
  private:
   struct Term {
     std::shared_ptr<const gf::CompiledKernel> kernel;

@@ -1,5 +1,6 @@
 #include "stair/plan_cache.h"
 
+#include <mutex>
 #include <stdexcept>
 
 namespace stair {
@@ -9,7 +10,7 @@ DecodePlanCache::DecodePlanCache(const StairCode& code, std::size_t capacity)
   if (capacity == 0) throw std::invalid_argument("DecodePlanCache: capacity must be >= 1");
 }
 
-std::uint64_t DecodePlanCache::hash_mask(const std::vector<bool>& mask) {
+std::size_t DecodePlanCache::MaskHash::operator()(const std::vector<bool>& mask) const {
   // FNV-1a over the bits, 64 per step.
   std::uint64_t h = 1469598103934665603ULL;
   std::uint64_t word = 0;
@@ -27,35 +28,62 @@ std::uint64_t DecodePlanCache::hash_mask(const std::vector<bool>& mask) {
     }
   }
   mix(word ^ (static_cast<std::uint64_t>(mask.size()) << 32));
-  return h;
+  return static_cast<std::size_t>(h);
 }
 
-const Schedule* DecodePlanCache::plan(const std::vector<bool>& erased) {
-  const std::uint64_t h = hash_mask(erased);
-  auto [begin, end] = index_.equal_range(h);
-  for (auto it = begin; it != end; ++it) {
-    if (it->second->mask != erased) continue;  // hash collision
-    ++hits_;
-    lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
-    return lru_.front().schedule ? &*lru_.front().schedule : nullptr;
+std::size_t DecodePlanCache::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return map_.size();
+}
+
+DecodePlanCache::PlanPtr DecodePlanCache::plan(const std::vector<bool>& erased) {
+  const std::uint64_t now = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = map_.find(erased);
+    if (it != map_.end()) {
+      it->second->stamp.store(now, std::memory_order_relaxed);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second->plan;
+    }
   }
 
-  ++misses_;
-  lru_.push_front({erased, code_->build_decode_schedule(erased)});
-  index_.emplace(h, lru_.begin());
+  // Miss: build and compile outside the lock so a slow construction never
+  // blocks other masks' hits. Two threads racing on the same fresh mask both
+  // build; the insert below keeps whichever landed first.
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  auto schedule = code_->build_decode_schedule(erased);
+  PlanPtr compiled =
+      schedule ? std::make_shared<const CompiledSchedule>(*schedule) : nullptr;
 
-  if (lru_.size() > capacity_) {
-    const auto victim = std::prev(lru_.end());
-    const std::uint64_t vh = hash_mask(victim->mask);
-    auto [vb, ve] = index_.equal_range(vh);
-    for (auto it = vb; it != ve; ++it)
-      if (it->second == victim) {
-        index_.erase(it);
-        break;
+  // Re-stamp with a fresh tick: the build above may have taken long enough
+  // that `now` is stale, and inserting with it would make this brand-new
+  // entry the immediate eviction victim under concurrent churn.
+  const std::uint64_t fresh = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = map_.find(erased);
+  if (it != map_.end()) {
+    it->second->stamp.store(fresh, std::memory_order_relaxed);
+    return it->second->plan;
+  }
+  if (map_.size() >= capacity_) {
+    // Evict the stalest entry. O(capacity) scan, but misses are once per
+    // epoch mask; replay hits never pay for this.
+    auto victim = map_.begin();
+    std::uint64_t oldest = victim->second->stamp.load(std::memory_order_relaxed);
+    for (auto scan = map_.begin(); scan != map_.end(); ++scan) {
+      const std::uint64_t s = scan->second->stamp.load(std::memory_order_relaxed);
+      if (s < oldest) {
+        oldest = s;
+        victim = scan;
       }
-    lru_.pop_back();
+    }
+    map_.erase(victim);
   }
-  return lru_.front().schedule ? &*lru_.front().schedule : nullptr;
+  map_.emplace(erased, std::make_unique<Entry>(compiled, fresh));
+  return compiled;
 }
 
 }  // namespace stair

@@ -1,14 +1,26 @@
 // Decode-plan cache.
 //
-// Building a decode schedule means matrix inversions; replaying one is pure
-// region arithmetic. Real arrays see the same erasure pattern for every
-// stripe of a failure epoch (a dead device yields one mask shape), so
-// caching plans by mask amortizes construction across millions of stripes.
-// A small LRU keyed by the erasure mask does it.
+// Building a decode schedule means matrix inversions, and compiling one
+// means kernel-table resolution; replaying a compiled plan is pure region
+// arithmetic. Real arrays see the same erasure pattern for every stripe of a
+// failure epoch (a dead device yields one mask shape), so caching *compiled*
+// plans by mask amortizes both construction steps across millions of
+// stripes: a cached-mask decode performs zero inversions and zero table
+// builds (tests assert this via matrix_inversion_count() /
+// gf::kernel_build_count()).
+//
+// Concurrency: one cache is meant to be shared by every decoder thread of a
+// failure epoch. Hits — the steady state — take a shared lock and update
+// recency with a relaxed atomic stamp, so concurrent replays of the hot mask
+// never serialize. Misses build the plan outside any lock (two racing
+// threads may both build; the first insert wins and the loser's work is
+// dropped), then take the exclusive lock only to insert/evict.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <list>
+#include <memory>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -16,34 +28,48 @@
 
 namespace stair {
 
-/// LRU cache of decode schedules keyed by erasure mask. Not thread-safe.
+/// LRU cache of compiled decode plans keyed by erasure mask. Thread-safe;
+/// share one instance across decoder threads.
 class DecodePlanCache {
  public:
+  /// A cached plan. shared_ptr (not a raw pointer) so a plan stays valid for
+  /// as long as any caller replays it, even after capacity evictions or
+  /// concurrent inserts; nullptr means the mask is unrecoverable.
+  using PlanPtr = std::shared_ptr<const CompiledSchedule>;
+
   /// `capacity` is the number of distinct masks kept (>= 1).
   explicit DecodePlanCache(const StairCode& code, std::size_t capacity = 64);
 
-  /// The decode schedule for `erased`, built on miss; nullptr if the pattern
-  /// is outside the coverage (negative results are cached too). The pointer
-  /// stays valid until the entry is evicted (capacity misses later).
-  const Schedule* plan(const std::vector<bool>& erased);
+  /// The compiled decode plan for `erased`, built and compiled on miss;
+  /// nullptr if the pattern is outside the coverage (negative results are
+  /// cached too, so a hot unrecoverable mask is rejected without re-analysis).
+  PlanPtr plan(const std::vector<bool>& erased);
 
-  std::size_t hits() const { return hits_; }
-  std::size_t misses() const { return misses_; }
+  std::size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::size_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Distinct masks currently cached (<= capacity()).
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
 
  private:
   struct Entry {
-    std::vector<bool> mask;
-    std::optional<Schedule> schedule;  // nullopt = unrecoverable
+    Entry(PlanPtr p, std::uint64_t s) : plan(std::move(p)), stamp(s) {}
+    PlanPtr plan;  // nullptr = cached negative result
+    std::atomic<std::uint64_t> stamp;  // recency; updated under the shared lock
   };
-  using Lru = std::list<Entry>;
 
-  static std::uint64_t hash_mask(const std::vector<bool>& mask);
+  struct MaskHash {
+    std::size_t operator()(const std::vector<bool>& mask) const;
+  };
 
   const StairCode* code_;
   std::size_t capacity_;
-  Lru lru_;  // front = most recent
-  std::unordered_multimap<std::uint64_t, Lru::iterator> index_;
-  std::size_t hits_ = 0, misses_ = 0;
+  mutable std::shared_mutex mu_;
+  // unique_ptr values keep Entry (with its atomic stamp) pinned in memory
+  // across rehashes and other threads' inserts.
+  std::unordered_map<std::vector<bool>, std::unique_ptr<Entry>, MaskHash> map_;
+  std::atomic<std::uint64_t> tick_{0};
+  std::atomic<std::size_t> hits_{0}, misses_{0};
 };
 
 }  // namespace stair

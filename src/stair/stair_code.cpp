@@ -1,10 +1,12 @@
 #include "stair/stair_code.h"
 
+#include <algorithm>
 #include <cstring>
-#include <thread>
 #include <stdexcept>
 
 #include "stair/builders.h"
+#include "stair/plan_cache.h"
+#include "util/thread_pool.h"
 
 namespace stair {
 
@@ -14,6 +16,7 @@ StairCode::StairCode(StairConfig cfg, GlobalParityMode mode, SystematicMdsCode::
       ccol_(gf::field(cfg.w), cfg.r, cfg.r + cfg.e_max(), kind) {}
 
 const Schedule& StairCode::encoding_schedule(EncodingMethod method) const {
+  std::lock_guard<std::recursive_mutex> lock(lazy_mu_);
   switch (method) {
     case EncodingMethod::kUpstairs:
       if (!upstairs_) upstairs_ = std::make_unique<Schedule>(internal::build_upstairs_schedule(*this));
@@ -32,6 +35,7 @@ const Schedule& StairCode::encoding_schedule(EncodingMethod method) const {
 }
 
 const CompiledSchedule& StairCode::compiled_encoding_schedule(EncodingMethod method) const {
+  std::lock_guard<std::recursive_mutex> lock(lazy_mu_);
   std::unique_ptr<CompiledSchedule>* slot = nullptr;
   switch (method) {
     case EncodingMethod::kUpstairs: slot = &upstairs_c_; break;
@@ -63,6 +67,7 @@ std::size_t StairCode::mult_xor_count(EncodingMethod method) const {
 }
 
 const Matrix& StairCode::coefficients() const {
+  std::lock_guard<std::recursive_mutex> lock(lazy_mu_);
   if (!coefficients_) coefficients_ = std::make_unique<Matrix>(internal::compute_coefficients(*this));
   return *coefficients_;
 }
@@ -112,25 +117,30 @@ void StairCode::prepare_workspace(const StripeView& stripe, Workspace& ws) const
 namespace {
 
 // Shared slicing loop for the parallel replays: region ops are pointwise, so
-// running the full schedule on disjoint byte slices is exact. 64-byte
-// granularity keeps slices word- and cache-line-aligned for every supported w.
+// running the full schedule on disjoint byte ranges is exact. Ranges are
+// claimed from the persistent pool (no per-call thread spawns) and sized by
+// gf::cache_aware_slice_bytes so one slice of every referenced region stays
+// cache-resident; workers replay directly against the shared symbol table
+// via execute_range — no per-thread sliced span vectors.
 template <typename Sched>
-void replay_sliced(const Sched& schedule, const std::vector<std::span<std::uint8_t>>& symbols,
-                   std::size_t size, std::size_t threads) {
-  std::size_t chunk = (size + threads - 1) / threads;
-  chunk = (chunk + 63) / 64 * 64;
-
-  std::vector<std::thread> workers;
-  for (std::size_t offset = 0; offset < size; offset += chunk) {
-    const std::size_t len = std::min(chunk, size - offset);
-    workers.emplace_back([&schedule, &symbols, offset, len] {
-      std::vector<std::span<std::uint8_t>> sliced(symbols.size());
-      for (std::size_t id = 0; id < symbols.size(); ++id)
-        sliced[id] = symbols[id].subspan(offset, len);
-      schedule.execute(sliced);
-    });
+void replay_pooled(const Sched& schedule, const std::vector<std::span<std::uint8_t>>& symbols,
+                   std::size_t size, std::size_t threads, std::size_t touched) {
+  ThreadPool& pool = ThreadPool::default_pool();
+  if (threads == 0) threads = pool.concurrency();
+  const std::size_t participants = std::min(threads, pool.concurrency());
+  if (participants <= 1 || size < 128) {
+    schedule.execute(symbols);
+    return;
   }
-  for (auto& t : workers) t.join();
+  const std::size_t slice = gf::cache_aware_slice_bytes(size, participants, touched);
+  const std::size_t slices = (size + slice - 1) / slice;
+  pool.parallel_for(
+      slices,
+      [&](std::size_t i) {
+        const std::size_t offset = i * slice;
+        schedule.execute_range(symbols, offset, std::min(slice, size - offset));
+      },
+      participants);
 }
 
 }  // namespace
@@ -153,26 +163,20 @@ void StairCode::execute(const CompiledSchedule& schedule, const StripeView& stri
 
 void StairCode::execute_parallel(const Schedule& schedule, const StripeView& stripe,
                                  std::size_t threads, Workspace* ws) const {
-  if (threads <= 1) {
-    execute(schedule, stripe, ws);
-    return;
-  }
   Workspace local;
   Workspace& w = ws ? *ws : local;
   prepare_workspace(stripe, w);
-  replay_sliced(schedule, w.symbols_, stripe.symbol_size, threads);
+  replay_pooled(schedule, w.symbols_, stripe.symbol_size, threads,
+                schedule.touched_symbol_count());
 }
 
 void StairCode::execute_parallel(const CompiledSchedule& schedule, const StripeView& stripe,
                                  std::size_t threads, Workspace* ws) const {
-  if (threads <= 1) {
-    execute(schedule, stripe, ws);
-    return;
-  }
   Workspace local;
   Workspace& w = ws ? *ws : local;
   prepare_workspace(stripe, w);
-  replay_sliced(schedule, w.symbols_, stripe.symbol_size, threads);
+  replay_pooled(schedule, w.symbols_, stripe.symbol_size, threads,
+                schedule.touched_symbols());
 }
 
 void StairCode::encode(const StripeView& stripe, EncodingMethod method, Workspace* ws) const {
@@ -195,12 +199,35 @@ std::optional<Schedule> StairCode::build_decode_schedule(const std::vector<bool>
 }
 
 bool StairCode::decode(const StripeView& stripe, const std::vector<bool>& erased,
-                       Workspace* ws) const {
+                       Workspace* ws, DecodePlanCache* cache) const {
+  if (cache) {
+    // Failure-epoch fast path: the cache hands back a fully compiled plan,
+    // so a recurring mask pays zero inversions and zero table builds.
+    auto plan = cache->plan(erased);
+    if (!plan) return false;
+    execute(*plan, stripe, ws);
+    return true;
+  }
   auto schedule = build_decode_schedule(erased);
   if (!schedule) return false;
   // Compiling resolves coefficients against the shared kernel cache, so for
   // the recurring masks of a failure epoch the tables are already built.
   execute(CompiledSchedule(*schedule), stripe, ws);
+  return true;
+}
+
+bool StairCode::decode_parallel(const StripeView& stripe, const std::vector<bool>& erased,
+                                std::size_t threads, Workspace* ws,
+                                DecodePlanCache* cache) const {
+  if (cache) {
+    auto plan = cache->plan(erased);
+    if (!plan) return false;
+    execute_parallel(*plan, stripe, threads, ws);
+    return true;
+  }
+  auto schedule = build_decode_schedule(erased);
+  if (!schedule) return false;
+  execute_parallel(CompiledSchedule(*schedule), stripe, threads, ws);
   return true;
 }
 

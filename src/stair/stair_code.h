@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -29,6 +30,8 @@
 #include "util/buffer.h"
 
 namespace stair {
+
+class DecodePlanCache;
 
 /// How parity symbols are computed (§5.3). kAuto picks the method with the
 /// fewest Mult_XORs for this configuration, as the paper's implementation does.
@@ -60,8 +63,9 @@ class Workspace {
 };
 
 /// A STAIR erasure code instance. Immutable after construction except for
-/// internal lazy caches (not thread-safe; use one instance per thread or
-/// pre-warm the caches via encoding_schedule()/coefficients()).
+/// internal lazy caches, which are mutex-guarded: one instance can be shared
+/// freely across encoder/decoder threads (the lock covers only lazy
+/// construction and pointer reads, never region work).
 class StairCode {
  public:
   /// Builds the code. `cfg` is validated; Crow is an (n + m', n - m) code and
@@ -115,9 +119,18 @@ class StairCode {
   std::optional<Schedule> build_decode_schedule(const std::vector<bool>& erased) const;
 
   /// Recovers all erased regions in place. Returns false (stripe untouched)
-  /// if the pattern is outside the coverage.
+  /// if the pattern is outside the coverage. With a `cache`, the compiled
+  /// plan for the mask is fetched from (or built into) it, so every decode
+  /// after the first with a given mask skips both matrix inversion and
+  /// kernel-table resolution — the failure-epoch replay path.
   bool decode(const StripeView& stripe, const std::vector<bool>& erased,
-              Workspace* ws = nullptr) const;
+              Workspace* ws = nullptr, DecodePlanCache* cache = nullptr) const;
+
+  /// decode() with the region work spread over `threads` pool participants
+  /// (0 = the default pool's full width).
+  bool decode_parallel(const StripeView& stripe, const std::vector<bool>& erased,
+                       std::size_t threads, Workspace* ws = nullptr,
+                       DecodePlanCache* cache = nullptr) const;
 
   /// Degraded read: the minimal schedule recovering only the stored symbols
   /// listed in `wanted` (stored indices, row * n + col) under the erasure
@@ -146,9 +159,13 @@ class StairCode {
                Workspace* ws = nullptr) const;
 
   /// Multi-threaded execute: region operations are pointwise, so the symbol
-  /// regions are cut into `threads` byte slices processed concurrently
-  /// (§6.2.1's "encoding can be parallelized with modern multi-core CPUs").
-  /// Identical output to execute(); worthwhile once stripes are megabytes.
+  /// regions are cut into cache-aware byte slices claimed by up to `threads`
+  /// participants of the persistent process pool (util/thread_pool.h) —
+  /// §6.2.1's "encoding can be parallelized with modern multi-core CPUs"
+  /// without per-call thread spawns. `threads` = 0 uses the pool's full
+  /// width. Byte-identical to execute() for any thread count, and reuses
+  /// `ws` exactly like the serial path (workers share the one symbol table;
+  /// nothing is re-sliced per call).
   void execute_parallel(const Schedule& schedule, const StripeView& stripe,
                         std::size_t threads, Workspace* ws = nullptr) const;
 
@@ -156,7 +173,7 @@ class StairCode {
   void execute_parallel(const CompiledSchedule& schedule, const StripeView& stripe,
                         std::size_t threads, Workspace* ws = nullptr) const;
 
-  /// encode() on `threads` cores.
+  /// encode() on up to `threads` pool participants (0 = pool width).
   void encode_parallel(const StripeView& stripe, std::size_t threads,
                        EncodingMethod method = EncodingMethod::kAuto,
                        Workspace* ws = nullptr) const;
@@ -167,6 +184,10 @@ class StairCode {
   StairLayout layout_;
   SystematicMdsCode crow_, ccol_;
 
+  // Guards the lazy caches below (build-once; the built objects themselves
+  // are immutable and replayed lock-free). Recursive because the lazy
+  // builders chain: standard schedule -> coefficients -> upstairs schedule.
+  mutable std::recursive_mutex lazy_mu_;
   mutable std::unique_ptr<Schedule> standard_, upstairs_, downstairs_;
   mutable std::unique_ptr<CompiledSchedule> standard_c_, upstairs_c_, downstairs_c_;
   mutable std::unique_ptr<Matrix> coefficients_;

@@ -1,9 +1,12 @@
 #include "stair/update_engine.h"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
+#include "gf/region.h"
 #include "util/buffer.h"
+#include "util/thread_pool.h"
 
 namespace stair {
 
@@ -66,6 +69,56 @@ void UpdateEngine::update(const StripeView& stripe, std::size_t data_index,
                                                  : stripe.outside_globals[patch.global_index];
     patch.kernel->mult_xor(delta.span(), parity);
   }
+}
+
+void UpdateEngine::update_parallel(const StripeView& stripe, std::size_t data_index,
+                                   std::span<const std::uint8_t> new_content,
+                                   std::size_t threads) const {
+  if (data_index >= patches_.size())
+    throw std::invalid_argument("UpdateEngine::update_parallel: data index out of range");
+  if (new_content.size() != stripe.symbol_size)
+    throw std::invalid_argument("UpdateEngine::update_parallel: wrong symbol size");
+
+  ThreadPool& pool = ThreadPool::default_pool();
+  if (threads == 0) threads = pool.concurrency();
+  const std::size_t participants = std::min(threads, pool.concurrency());
+  const std::size_t size = stripe.symbol_size;
+  if (participants <= 1 || size < 128) {
+    update(stripe, data_index, new_content);
+    return;
+  }
+
+  const StairLayout& layout = code_->layout();
+  const std::uint32_t did = layout.data_ids()[data_index];
+  auto data_region =
+      stripe.stored[layout.stored_index(layout.row_of(did), layout.col_of(did))];
+  const auto& patches = patches_[data_index];
+
+  // Working set per slice: delta + data + every patched parity region.
+  const std::size_t slice = gf::cache_aware_slice_bytes(size, participants, 2 + patches.size());
+  const std::size_t slices = (size + slice - 1) / slice;
+
+  // One shared delta buffer; slices write disjoint ranges, so each slice can
+  // run delta -> data overwrite -> all patches while its range is hot.
+  AlignedBuffer delta(size);
+  pool.parallel_for(
+      slices,
+      [&](std::size_t i) {
+        const std::size_t off = i * slice;
+        if (off >= size) return;
+        const std::size_t len = std::min(slice, size - off);
+        const std::span<std::uint8_t> d(delta.data() + off, len);
+        std::memcpy(d.data(), data_region.data() + off, len);
+        gf::xor_region(std::span<const std::uint8_t>(new_content.data() + off, len), d);
+        std::memcpy(data_region.data() + off, new_content.data() + off, len);
+        for (const Patch& patch : patches) {
+          auto parity = patch.stored_index != SIZE_MAX
+                            ? stripe.stored[patch.stored_index]
+                            : stripe.outside_globals[patch.global_index];
+          patch.kernel->mult_xor(d, std::span<std::uint8_t>(parity.data() + off, len));
+        }
+      },
+      participants);
 }
 
 }  // namespace stair

@@ -1,0 +1,119 @@
+#include "util/thread_pool.h"
+
+#include <cstdlib>
+
+namespace stair {
+
+std::size_t ThreadPool::resolve_concurrency(const char* env_value, std::size_t hardware) {
+  if (hardware == 0) hardware = 1;
+  if (env_value) {
+    char* end = nullptr;
+    const long v = std::strtol(env_value, &end, 10);
+    if (end != env_value && *end == '\0' && v > 0) {
+      // Backstop against typos like STAIR_THREADS=10000 starving the system.
+      constexpr long kMax = 1024;
+      return static_cast<std::size_t>(v < kMax ? v : kMax);
+    }
+  }
+  return hardware;
+}
+
+std::size_t ThreadPool::default_concurrency() {
+  return resolve_concurrency(std::getenv("STAIR_THREADS"),
+                             std::thread::hardware_concurrency());
+}
+
+ThreadPool& ThreadPool::default_pool() {
+  static ThreadPool pool(default_concurrency());
+  return pool;
+}
+
+ThreadPool::ThreadPool(std::size_t concurrency) {
+  if (concurrency == 0) concurrency = default_concurrency();
+  workers_.reserve(concurrency - 1);
+  for (std::size_t i = 0; i + 1 < concurrency; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to help with
+      batch = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    drain(*batch);
+  }
+}
+
+void ThreadPool::drain(Batch& batch) {
+  std::size_t retired = 0;
+  for (;;) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.count) break;
+    // After a failure the batch only retires its remaining indices (so the
+    // caller's wait terminates); it stops running user work.
+    if (!batch.failed.load(std::memory_order_relaxed)) {
+      try {
+        batch.fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(batch.mu);
+        if (!batch.error) batch.error = std::current_exception();
+        batch.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    ++retired;
+  }
+  if (retired == 0) return;
+  indices_run_.fetch_add(retired, std::memory_order_relaxed);
+  bool last;
+  {
+    std::lock_guard<std::mutex> lock(batch.mu);
+    batch.done += retired;
+    last = batch.done == batch.count;
+  }
+  if (last) batch.cv.notify_all();
+}
+
+void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                              std::size_t max_participants) {
+  if (count == 0) return;
+  std::size_t participants = concurrency();
+  if (max_participants != 0 && max_participants < participants)
+    participants = max_participants;
+  if (participants > count) participants = count;
+
+  auto batch = std::make_shared<Batch>(count, fn);
+  const std::size_t helpers = participants - 1;  // the caller is one participant
+  if (helpers > 0) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (std::size_t i = 0; i < helpers; ++i) queue_.push_back(batch);
+    }
+    if (helpers == 1)
+      cv_.notify_one();
+    else
+      cv_.notify_all();
+  }
+
+  drain(*batch);
+
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->cv.wait(lock, [&] { return batch->done == batch->count; });
+  batches_run_.fetch_add(1, std::memory_order_relaxed);
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace stair

@@ -1,0 +1,108 @@
+// Persistent worker-thread pool — the parallel execution engine.
+//
+// The seed's execute_parallel spawned std::threads on every call, so a
+// megabyte-stripe encode paid thread creation and teardown (tens of
+// microseconds each) per stripe — the classic per-call setup cost the
+// GF-Complete/Jerasure lineage amortizes away for tables and plans. This
+// pool amortizes it for threads: workers are created once, parked on a
+// condition variable, and reused by every parallel region in the process.
+//
+// The model is deliberately simple (no work stealing, no futures on the hot
+// path): parallel_for(count, fn) runs fn(0..count-1) across the workers AND
+// the calling thread, which claim indices from a shared atomic counter and
+// block until the whole batch has retired. The caller participating means a
+// pool with zero workers (single-core machine, STAIR_THREADS=1) degrades to
+// a plain serial loop with no synchronization beyond one atomic.
+//
+// Sizing: the process-wide default_pool() is sized from
+// hardware_concurrency(), overridable with STAIR_THREADS=<n> (total
+// concurrency including the caller). Tests construct private pools.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stair {
+
+class ThreadPool {
+ public:
+  /// `concurrency` = total parallel participants (workers + the caller of
+  /// parallel_for), so a ThreadPool(4) spawns 3 workers. 0 resolves the
+  /// process default: STAIR_THREADS if set and positive, else
+  /// hardware_concurrency().
+  explicit ThreadPool(std::size_t concurrency = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker threads owned by the pool (constant for the pool's lifetime).
+  std::size_t size() const { return workers_.size(); }
+  /// size() + 1: the caller participates in every parallel_for.
+  std::size_t concurrency() const { return workers_.size() + 1; }
+
+  /// Runs fn(i) for every i in [0, count), using at most `max_participants`
+  /// threads (capped by concurrency(); 0 = no cap). Blocks until every index
+  /// has retired. If any invocation throws, the first exception is rethrown
+  /// here after the batch drains (remaining indices are skipped, not run).
+  /// Reentrant from worker threads is NOT supported; concurrent calls from
+  /// distinct external threads are.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                    std::size_t max_participants = 0);
+
+  /// Total indices retired by all parallel_for batches (pool-lifetime stat;
+  /// lets tests assert thousands of submits reuse the same workers).
+  std::uint64_t indices_run() const { return indices_run_.load(std::memory_order_relaxed); }
+  /// Total parallel_for batches completed.
+  std::uint64_t batches_run() const { return batches_run_.load(std::memory_order_relaxed); }
+
+  /// The process-wide shared pool (created on first use, default-sized).
+  static ThreadPool& default_pool();
+
+  /// The concurrency default_pool() is (or would be) created with:
+  /// STAIR_THREADS if set and positive, else hardware_concurrency(), min 1.
+  /// Reads the environment on every call; default_pool() snapshots it once.
+  static std::size_t default_concurrency();
+
+  /// Pure resolution rule behind default_concurrency(), exposed for tests:
+  /// parse `env_value` (may be null); positive values win, anything else
+  /// falls back to `hardware` (itself floored at 1).
+  static std::size_t resolve_concurrency(const char* env_value, std::size_t hardware);
+
+ private:
+  // One parallel_for call. Participants claim indices via `next`; each
+  // accumulates its retired count locally and folds it into `done` under
+  // `mu` when it stops, so the caller's wait sees a consistent total.
+  struct Batch {
+    Batch(std::size_t n, const std::function<void(std::size_t)>& f) : count(n), fn(f) {}
+    const std::size_t count;
+    const std::function<void(std::size_t)>& fn;  // outlives the batch: the
+    // caller blocks in parallel_for until every index retires.
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t done = 0;  // guarded by mu
+    std::exception_ptr error;  // guarded by mu; first failure wins
+  };
+
+  void worker_loop();
+  void drain(Batch& batch);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Batch>> queue_;  // one entry per helper slot
+  bool stop_ = false;
+  std::atomic<std::uint64_t> indices_run_{0};
+  std::atomic<std::uint64_t> batches_run_{0};
+};
+
+}  // namespace stair

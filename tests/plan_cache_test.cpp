@@ -1,0 +1,226 @@
+// DecodePlanCache battery: hit/miss/eviction accounting, negative-result
+// caching, plan validity across capacity evictions, compiled-vs-uncompiled
+// byte equality, the zero-inversion/zero-table-build guarantee of cached
+// decodes, and a multi-threaded hammer (runs under the ThreadSanitizer job).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "gf/kernel.h"
+#include "matrix/matrix.h"
+#include "stair/plan_cache.h"
+#include "stair/stair_code.h"
+#include "util/rng.h"
+
+namespace stair {
+namespace {
+
+// Shared fixture config: coverage for 2 whole chunks + sectors per e = (1, 2).
+const StairConfig kCfg{.n = 8, .r = 4, .m = 2, .e = {1, 2}};
+
+std::vector<bool> column_mask(std::size_t cols_lost, std::size_t first_col = 0) {
+  std::vector<bool> mask(kCfg.n * kCfg.r, false);
+  for (std::size_t c = 0; c < cols_lost; ++c)
+    for (std::size_t i = 0; i < kCfg.r; ++i) mask[i * kCfg.n + first_col + c] = true;
+  return mask;
+}
+
+StripeBuffer encoded_stripe(const StairCode& code, std::size_t symbol, std::uint64_t seed,
+                            std::vector<std::uint8_t>* data_out) {
+  StripeBuffer stripe(code, symbol);
+  std::vector<std::uint8_t> data(stripe.data_size());
+  Rng rng(seed);
+  rng.fill(data);
+  stripe.set_data(data);
+  code.encode(stripe.view());
+  if (data_out) *data_out = data;
+  return stripe;
+}
+
+void corrupt(StripeBuffer& stripe, const std::vector<bool>& mask, std::uint64_t seed) {
+  Rng garbage(seed);
+  for (std::size_t idx = 0; idx < mask.size(); ++idx)
+    if (mask[idx]) garbage.fill(stripe.view().stored[idx]);
+}
+
+TEST(PlanCacheCompiled, HitMissEvictionAccounting) {
+  const StairCode code(kCfg);
+  DecodePlanCache cache(code, 2);
+  EXPECT_EQ(cache.capacity(), 2u);
+
+  auto mask_for = [&](std::size_t col) { return column_mask(1, col); };
+  EXPECT_NE(cache.plan(mask_for(0)), nullptr);  // miss
+  EXPECT_NE(cache.plan(mask_for(1)), nullptr);  // miss
+  EXPECT_NE(cache.plan(mask_for(0)), nullptr);  // hit, refreshes 0
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.plan(mask_for(2)), nullptr);  // miss, evicts 1 (LRU)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.plan(mask_for(0)), nullptr);  // still cached: hit
+  EXPECT_NE(cache.plan(mask_for(1)), nullptr);  // was evicted: miss again
+  EXPECT_EQ(cache.misses(), 4u);
+  EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(PlanCacheCompiled, NegativeResultsAreCached) {
+  const StairCode code(kCfg);
+  DecodePlanCache cache(code, 4);
+  const auto bad = column_mask(3);  // three dead chunks: outside coverage
+  EXPECT_EQ(cache.plan(bad), nullptr);
+  EXPECT_EQ(cache.plan(bad), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);  // the negative entry occupies a slot
+}
+
+TEST(PlanCacheCompiled, PlanStaysValidAcrossCapacityEvictions) {
+  const StairCode code(kCfg);
+  DecodePlanCache cache(code, 2);
+  const std::size_t symbol = 256;
+
+  const auto mask = column_mask(1, 0);
+  const auto held = cache.plan(mask);
+  ASSERT_NE(held, nullptr);
+
+  // Churn far past capacity so the held plan's entry is certainly evicted.
+  for (std::size_t col = 1; col < 6; ++col) ASSERT_NE(cache.plan(column_mask(1, col)), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  // The held plan must still replay correctly (shared ownership, not a
+  // dangling raw pointer into an evicted entry).
+  std::vector<std::uint8_t> data;
+  StripeBuffer stripe = encoded_stripe(code, symbol, 5, &data);
+  corrupt(stripe, mask, 6);
+  code.execute(*held, stripe.view());
+  std::vector<std::uint8_t> out(stripe.data_size());
+  stripe.get_data(out);
+  EXPECT_EQ(out, data);
+
+  // And re-requesting the evicted mask is a fresh miss, not a stale pointer.
+  const std::size_t misses_before = cache.misses();
+  EXPECT_NE(cache.plan(mask), nullptr);
+  EXPECT_EQ(cache.misses(), misses_before + 1);
+}
+
+TEST(PlanCacheCompiled, CompiledPlanMatchesUncompiledScheduleByteForByte) {
+  const StairCode code(kCfg);
+  DecodePlanCache cache(code, 4);
+  const std::size_t symbol = 1000;  // odd size: ragged strip tail
+
+  auto mask = column_mask(2);
+  mask[3 * kCfg.n + 5] = true;  // plus a sector failure
+
+  std::vector<std::uint8_t> data;
+  StripeBuffer via_cache = encoded_stripe(code, symbol, 11, &data);
+  StripeBuffer via_schedule = encoded_stripe(code, symbol, 11, nullptr);
+  corrupt(via_cache, mask, 12);
+  corrupt(via_schedule, mask, 12);
+
+  const auto compiled = cache.plan(mask);
+  ASSERT_NE(compiled, nullptr);
+  auto schedule = code.build_decode_schedule(mask);
+  ASSERT_TRUE(schedule.has_value());
+
+  code.execute(*compiled, via_cache.view());
+  code.execute(*schedule, via_schedule.view());
+
+  for (std::size_t idx = 0; idx < via_cache.view().stored.size(); ++idx) {
+    const auto& a = via_cache.view().stored[idx];
+    const auto& b = via_schedule.view().stored[idx];
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin())) << "symbol " << idx;
+  }
+}
+
+TEST(PlanCacheCompiled, CachedDecodeSkipsInversionAndTableBuilds) {
+  const StairCode code(kCfg);
+  DecodePlanCache cache(code, 4);
+  const std::size_t symbol = 512;
+
+  auto mask = column_mask(1, 2);
+  mask[2 * kCfg.n + 6] = true;
+
+  // Warm the cache (this decode may invert matrices and build kernels).
+  std::vector<std::uint8_t> data;
+  StripeBuffer stripe = encoded_stripe(code, symbol, 21, &data);
+  corrupt(stripe, mask, 22);
+  Workspace ws;
+  ASSERT_TRUE(code.decode(stripe.view(), mask, &ws, &cache));
+  ASSERT_EQ(cache.misses(), 1u);
+
+  // Replays of the cached mask must be pure region arithmetic: zero matrix
+  // inversions and zero kernel-table constructions, per failure epoch's
+  // millionth-stripe behavior.
+  const std::uint64_t inversions = matrix_inversion_count();
+  const std::uint64_t builds = gf::kernel_build_count();
+  for (int epoch_stripe = 0; epoch_stripe < 5; ++epoch_stripe) {
+    corrupt(stripe, mask, 23 + epoch_stripe);
+    ASSERT_TRUE(code.decode(stripe.view(), mask, &ws, &cache));
+    std::vector<std::uint8_t> out(stripe.data_size());
+    stripe.get_data(out);
+    ASSERT_EQ(out, data);
+  }
+  EXPECT_EQ(matrix_inversion_count(), inversions);
+  EXPECT_EQ(gf::kernel_build_count(), builds);
+  EXPECT_EQ(cache.hits(), 5u);
+}
+
+TEST(PlanCacheCompiled, MultiThreadedHammer) {
+  const StairCode code(kCfg);
+  DecodePlanCache cache(code, 3);  // below the mask-universe size: eviction under fire
+  const std::size_t symbol = 256;
+  const std::size_t kThreads = 8, kIters = 60;
+
+  // Mask universe: five single-chunk masks, one chunk+sector mask, one
+  // unrecoverable (3 dead chunks).
+  std::vector<std::vector<bool>> masks;
+  for (std::size_t col = 0; col < 5; ++col) masks.push_back(column_mask(1, col));
+  auto with_sector = column_mask(2);
+  with_sector[3 * kCfg.n + 6] = true;
+  masks.push_back(with_sector);
+  masks.push_back(column_mask(3));  // unrecoverable
+  const std::size_t kUnrecoverable = masks.size() - 1;
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<std::uint8_t> data;
+      StripeBuffer stripe = encoded_stripe(code, symbol, 100 + t, &data);
+      Workspace ws;
+      Rng pick(200 + t);
+      for (std::size_t iter = 0; iter < kIters; ++iter) {
+        const std::size_t m = static_cast<std::size_t>(pick.next_below(masks.size()));
+        if (m == kUnrecoverable) {
+          if (cache.plan(masks[m]) != nullptr) failures.fetch_add(1);
+          continue;
+        }
+        corrupt(stripe, masks[m], 300 + t * kIters + iter);
+        if (!code.decode(stripe.view(), masks[m], &ws, &cache)) {
+          failures.fetch_add(1);
+          continue;
+        }
+        std::vector<std::uint8_t> out(stripe.data_size());
+        stripe.get_data(out);
+        if (out != data) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_GE(cache.hits() + cache.misses(), kThreads * kIters);
+}
+
+TEST(PlanCacheCompiled, ZeroCapacityRejected) {
+  const StairCode code(kCfg);
+  EXPECT_THROW(DecodePlanCache(code, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stair

@@ -206,10 +206,10 @@ TEST(PlanCache, HitsReturnTheSamePlan) {
 
   std::vector<bool> mask(32, false);
   for (std::size_t i = 0; i < 4; ++i) mask[i * 8 + 2] = true;
-  const Schedule* first = cache.plan(mask);
+  const auto first = cache.plan(mask);
   ASSERT_NE(first, nullptr);
-  const Schedule* second = cache.plan(mask);
-  EXPECT_EQ(first, second);
+  const auto second = cache.plan(mask);
+  EXPECT_EQ(first.get(), second.get());
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_EQ(cache.misses(), 1u);
 }
@@ -264,7 +264,7 @@ TEST(PlanCache, CachedPlansDecodeCorrectly) {
   for (std::size_t idx = 0; idx < mask.size(); ++idx)
     if (mask[idx]) garbage.fill(stripe.view().stored[idx]);
 
-  const Schedule* plan = cache.plan(mask);
+  const auto plan = cache.plan(mask);
   ASSERT_NE(plan, nullptr);
   code.execute(*plan, stripe.view());
   std::vector<std::uint8_t> out(stripe.data_size());
