@@ -17,7 +17,6 @@
 // the stripe — the CI smoke configuration.
 
 #include <algorithm>
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -26,7 +25,6 @@
 
 #include "bench_util.h"
 #include "gf/kernel.h"
-#include "util/thread_pool.h"
 
 using namespace stair;
 using namespace stair::bench;
@@ -80,20 +78,18 @@ void encode_spawning(const StairCode& code, const CompiledSchedule& plan,
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (std::getenv("STAIR_BENCH_SMOKE")) g_smoke = true;
-  for (int i = 1; i < argc; ++i)
-    if (std::string(argv[i]) == "--smoke") g_smoke = true;
+  const BenchEnv env = parse_env(argc, argv);
+  g_smoke = env.smoke;
 
   const StairConfig cfg{.n = 16, .r = 16, .m = 2, .e = {1, 1, 2}};
   const StairCode code(cfg);
   const std::size_t symbol = symbol_bytes();
   const std::size_t stripe_bytes = symbol * cfg.n * cfg.r;
-  const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t hw = env.hardware_threads;
 
   std::cout << "=== Ablation: multi-threaded encoding (§6.2.1), spawn vs pool ===\n"
             << cfg.to_string() << ", " << (stripe_bytes >> 20) << " MB stripes, " << hw
-            << " hardware threads, pool concurrency "
-            << ThreadPool::default_pool().concurrency()
+            << " hardware threads, pool concurrency " << env.pool_width()
             << (g_smoke ? "  [smoke]" : "") << "\n\n";
 
   StripeBuffer stripe = make_encoded_stripe(code, symbol);
@@ -102,13 +98,7 @@ int main(int argc, char** argv) {
 
   // 1..N sweep: every count to 4, then powers of two, then the hardware
   // width — the shape (knee at physical cores) needs the low counts.
-  std::vector<std::size_t> counts{1, 2, 3, 4, 6, 8, 16};
-  counts.push_back(hw);
-  std::sort(counts.begin(), counts.end());
-  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
-  counts.erase(std::remove_if(counts.begin(), counts.end(),
-                              [&](std::size_t t) { return t > std::max<std::size_t>(8, hw); }),
-               counts.end());
+  const std::vector<std::size_t> counts = thread_sweep(hw);
 
   TablePrinter table("encode throughput (MB/s), spawn-per-call vs persistent pool");
   table.set_header({"threads", "spawn MB/s", "spawn x", "pool MB/s", "pool x", "pool/spawn"});
@@ -133,12 +123,13 @@ int main(int argc, char** argv) {
   table.print(std::cout);
 
   {
-    std::ofstream out("BENCH_parallel_scaling.json");
+    const std::string path = json_output_path("BENCH_parallel_scaling.json", g_smoke);
+    std::ofstream out(path);
     out << "{\n  \"bench\": \"ablation_parallel_scaling\",\n"
         << "  \"backend\": \"" << gf::backend_name(gf::active_backend()) << "\",\n"
         << "  \"smoke\": " << (g_smoke ? "true" : "false") << ",\n"
         << "  \"hardware_threads\": " << hw << ",\n"
-        << "  \"pool_concurrency\": " << ThreadPool::default_pool().concurrency() << ",\n"
+        << "  \"pool_concurrency\": " << env.pool_width() << ",\n"
         << "  \"stripe_bytes\": " << stripe_bytes << ",\n  \"cells\": [\n";
     for (std::size_t i = 0; i < g_cells.size(); ++i) {
       const Cell& c = g_cells[i];
@@ -147,7 +138,7 @@ int main(int argc, char** argv) {
           << (i + 1 < g_cells.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
-    std::cout << "\nWrote " << g_cells.size() << " cells to BENCH_parallel_scaling.json\n";
+    std::cout << "\nWrote " << g_cells.size() << " cells to " << path << "\n";
   }
 
   std::cout << "Shape check: pool >= spawn at every thread count; MB/s monotone\n"

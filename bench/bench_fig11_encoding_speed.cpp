@@ -12,7 +12,6 @@
 // CI tracks). STAIR_BENCH_SMOKE=1 (or --smoke) runs a reduced matrix on
 // smaller stripes — the CI smoke configuration.
 
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -98,7 +97,8 @@ void run_axis(const std::string& title, bool vary_n) {
   }
 }
 
-void write_json(const std::string& path) {
+void write_json(const std::string& filename) {
+  const std::string path = json_output_path(filename, g_smoke);
   std::ofstream out(path);
   out << "{\n  \"bench\": \"fig11_encoding_speed\",\n"
       << "  \"backend\": \"" << gf::backend_name(gf::active_backend()) << "\",\n"
@@ -118,9 +118,7 @@ void write_json(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (std::getenv("STAIR_BENCH_SMOKE")) g_smoke = true;
-  for (int i = 1; i < argc; ++i)
-    if (std::string(argv[i]) == "--smoke") g_smoke = true;
+  g_smoke = parse_env(argc, argv).smoke;
 
   std::cout << "=== Figure 11: encoding speed, STAIR (worst e per s) vs SD ===\n";
   std::cout << "GF region backend: " << gf::backend_name(gf::active_backend())

@@ -1,11 +1,15 @@
 // Shared plumbing for the figure-reproduction benchmarks: random stripes,
-// MB/s timing loops, and the paper's "worst e for a given s" selection.
+// MB/s timing loops, the paper's "worst e for a given s" selection, and the
+// environment/JSON conventions every bench follows (smoke mode, thread
+// sweeps, where BENCH_*.json files land).
 #pragma once
 
 #include <algorithm>
+#include <cstdlib>
 #include <functional>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sd/sd_code.h"
@@ -14,8 +18,57 @@
 #include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace stair::bench {
+
+/// The environment every bench parses the same way: smoke mode
+/// (STAIR_BENCH_SMOKE=1 or --smoke — the CI configuration) plus the
+/// execution widths the parallel benches report in their JSON.
+struct BenchEnv {
+  bool smoke = false;
+  std::size_t hardware_threads = 1;
+
+  /// Default pool concurrency (incl. caller). A method, not a field, so the
+  /// single-threaded benches never instantiate the process pool just by
+  /// calling parse_env.
+  std::size_t pool_width() const { return ThreadPool::default_pool().concurrency(); }
+};
+
+inline BenchEnv parse_env(int argc, char** argv) {
+  BenchEnv env;
+  env.smoke = std::getenv("STAIR_BENCH_SMOKE") != nullptr;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--smoke") env.smoke = true;
+  env.hardware_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  return env;
+}
+
+/// Where a BENCH_*.json lands: $STAIR_BENCH_JSON_DIR wins when set; smoke
+/// runs otherwise write to the repo root (the perf-trajectory tracker scans
+/// there and CI uploads the bundle from it); full runs write to the cwd.
+inline std::string json_output_path(const std::string& filename, bool smoke) {
+  if (const char* dir = std::getenv("STAIR_BENCH_JSON_DIR"))
+    return std::string(dir) + "/" + filename;
+#ifdef STAIR_SOURCE_DIR
+  if (smoke) return std::string(STAIR_SOURCE_DIR) + "/" + filename;
+#endif
+  return filename;
+}
+
+/// The 1..N sweep shape the scaling benches share: every count to 4, then
+/// powers of two, then the hardware width — deduped, sorted, and capped at
+/// max(8, hw) so the knee at the physical core count is always visible.
+inline std::vector<std::size_t> thread_sweep(std::size_t hw) {
+  std::vector<std::size_t> counts{1, 2, 3, 4, 6, 8, 16};
+  counts.push_back(hw);
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  counts.erase(std::remove_if(counts.begin(), counts.end(),
+                              [&](std::size_t t) { return t > std::max<std::size_t>(8, hw); }),
+               counts.end());
+  return counts;
+}
 
 /// Times `fn` (one full-stripe operation) until `min_seconds` of work has
 /// accumulated (at least `min_iters` runs) and returns MB/s over

@@ -81,6 +81,11 @@ int main(int argc, char** argv) {
 
   const std::size_t total = static_cast<std::size_t>(rounds) * array.stripe_count();
   std::printf("\nsummary over %zu stripe-rounds:\n", total);
+  std::printf("  codec session: %llu jobs, %zu workspaces, plan cache %zu/%zu hit\n",
+              static_cast<unsigned long long>(array.codec().jobs_completed()),
+              array.codec().workspaces_created(),
+              array.codec().plan_cache().hits(),
+              array.codec().plan_cache().hits() + array.codec().plan_cache().misses());
   std::printf("  STAIR e=(1,2)   : survived all injected rounds (%zu outside coverage skipped)\n",
               stair_skipped);
   std::printf("  RS m=2 (same parity chunks) would survive %zu/%zu patterns\n",

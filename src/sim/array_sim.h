@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/failure_injector.h"
+#include "stair/codec.h"
 #include "stair/stair_code.h"
 
 namespace stair::sim {
@@ -50,11 +51,15 @@ struct MonteCarloResult {
 MonteCarloResult simulate_array_mttdl(const MonteCarloParams& params,
                                       const RecoverabilityCheck& check);
 
-/// A live array of STAIR stripes holding real bytes.
+/// A live array of STAIR stripes holding real bytes. All coding runs through
+/// a Codec session: initial encoding and repair submit every stripe as one
+/// batch (many stripes in flight on the process pool — the serving-path
+/// data layout a real array has), with repair plans shared per failure epoch
+/// through the session's decode-plan cache.
 class DataPathArray {
  public:
   /// Allocates `stripes` stripes of the code with `symbol_size`-byte sectors
-  /// and fills them with seeded random data (already encoded).
+  /// and fills them with seeded random data (batch-encoded at construction).
   DataPathArray(const StairCode& code, std::size_t stripes, std::size_t symbol_size,
                 std::uint64_t seed);
 
@@ -66,14 +71,17 @@ class DataPathArray {
   /// Marks a whole device failed across all stripes (chunk column).
   void fail_device(std::size_t device);
 
-  /// Attempts to repair every damaged stripe; returns the number of stripes
-  /// that could not be recovered (0 means full recovery).
+  /// Attempts to repair every damaged stripe — one batch of decodes in
+  /// flight; returns the number of stripes that could not be recovered
+  /// (0 means full recovery).
   std::size_t repair_all();
 
   /// True iff every stripe's data symbols match the originally written bytes.
   bool verify() const;
 
   const StairCode& code() const { return *code_; }
+  /// The array's codec session (plan-cache stats etc.).
+  const Codec& codec() const { return codec_; }
 
  private:
   const StairCode* code_;
@@ -82,7 +90,11 @@ class DataPathArray {
   std::vector<std::vector<bool>> damage_;          // per stripe stored mask
   std::vector<std::vector<std::uint8_t>> golden_;  // reference data bytes
   Rng rng_;
-  Workspace workspace_;
+  // Last member on purpose: destroyed first, so ~Codec's wait_all drains any
+  // in-flight jobs before the stripe buffers they reference are freed (an
+  // exception unwinding out of repair_all or the constructor otherwise
+  // leaves workers writing into freed stripes).
+  Codec codec_;
 };
 
 }  // namespace stair::sim

@@ -1,0 +1,305 @@
+#include "stair/codec.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "gf/region.h"
+#include "util/thread_pool.h"
+
+namespace stair {
+
+// One submitted job: its inputs, its leased scratch, and its completion
+// state. Subtasks share the job read-only except for the completion fields
+// (guarded by mu) and the disjoint byte ranges they each own.
+struct CodecJob {
+  enum class Kind { kEncode, kDecode, kUpdate };
+
+  Kind kind = Kind::kEncode;
+  // Set at launch; lets a blocked Handle::wait() help drain this pool
+  // (null on immediately-done jobs).
+  ThreadPool* pool = nullptr;
+  std::size_t symbol_size = 0;
+  // slice_bytes == 0 means one subtask running the whole range (the
+  // full-batch regime: stripe per task); nonzero means range-sliced.
+  std::size_t slice_bytes = 0;
+
+  // Encode/decode: the compiled plan to replay over the prepared workspace's
+  // symbol table. `plan_keepalive` pins decode plans across cache evictions;
+  // encode plans are owned by the StairCode's lazy cache (session-lived).
+  const CompiledSchedule* plan = nullptr;
+  std::shared_ptr<const CompiledSchedule> plan_keepalive;
+  WorkspacePool<Workspace>::Lease ws;
+
+  // Update: the per-range body needs the original view plus delta scratch.
+  const UpdateEngine* engine = nullptr;
+  StripeView stripe;
+  std::size_t data_index = 0;
+  std::span<const std::uint8_t> new_content;
+  WorkspacePool<AlignedBuffer>::Lease delta;
+
+  // Completion state. `done` is atomic so Handle::done() can poll without
+  // the lock; it is still written under mu (the cv wait predicate reads it).
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t remaining = 0;  // guarded by mu
+  std::atomic<bool> done{false};
+  bool ok = true;                  // immutable after submit
+  std::exception_ptr error;        // guarded by mu; first failure wins
+
+  void run_range(std::size_t offset, std::size_t length) const {
+    switch (kind) {
+      case Kind::kEncode:
+      case Kind::kDecode:
+        plan->execute_range(ws->symbols_, offset, length);
+        break;
+      case Kind::kUpdate:
+        engine->update_range(stripe, data_index, new_content, delta->span(), offset, length);
+        break;
+    }
+  }
+
+  void run_full() const {
+    switch (kind) {
+      case Kind::kEncode:
+      case Kind::kDecode:
+        plan->execute(ws->symbols_);  // full replay keeps the strip-mined path
+        break;
+      case Kind::kUpdate:
+        engine->update_range(stripe, data_index, new_content, delta->span(), 0, symbol_size);
+        break;
+    }
+  }
+};
+
+namespace {
+
+// Subtask body: run the owned byte range, capture the first exception, and
+// retire. The last subtask to retire releases the leased scratch (back to
+// the session pool) before waking waiters.
+void run_subtask(const std::shared_ptr<CodecJob>& job, std::size_t index) {
+  try {
+    if (job->slice_bytes == 0) {
+      job->run_full();
+    } else {
+      const std::size_t offset = index * job->slice_bytes;
+      if (offset < job->symbol_size)
+        job->run_range(offset, std::min(job->slice_bytes, job->symbol_size - offset));
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(job->mu);
+    if (!job->error) job->error = std::current_exception();
+  }
+}
+
+}  // namespace
+
+Codec::Codec(StairConfig cfg) : Codec(std::move(cfg), Options{}) {}
+
+Codec::Codec(const StairCode& code) : Codec(code, Options{}) {}
+
+Codec::Codec(StairConfig cfg, Options options)
+    : owned_code_(std::make_unique<StairCode>(std::move(cfg))),
+      code_(owned_code_.get()),
+      pool_(options.pool ? options.pool : &ThreadPool::default_pool()),
+      options_(options),
+      plan_cache_(*code_, options.plan_cache_capacity) {}
+
+Codec::Codec(const StairCode& code, Options options)
+    : code_(&code),
+      pool_(options.pool ? options.pool : &ThreadPool::default_pool()),
+      options_(options),
+      plan_cache_(code, options.plan_cache_capacity) {}
+
+Codec::~Codec() { wait_all(); }
+
+const UpdateEngine& Codec::update_engine() const {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  if (!update_engine_) update_engine_ = std::make_unique<UpdateEngine>(*code_);
+  return *update_engine_;
+}
+
+std::size_t Codec::decide_subtasks(std::size_t symbol_size, std::size_t touched,
+                                   std::size_t* slice_bytes) const {
+  *slice_bytes = 0;
+  // Width counts the workers plus one waiting caller: Handle::wait/wait_all
+  // help drain the queue (try_run_one), so the submit pipeline runs on the
+  // same participant set as parallel_for.
+  const std::size_t width = pool_->concurrency();
+  if (width <= 1 || symbol_size < options_.min_slice_bytes) return 1;
+  // Range-slice only when the batch is too small to fill the pool: claimed
+  // lanes run whole stripes; idle lanes are filled with slices of this one.
+  const std::size_t busy = subtasks_in_flight_.load(std::memory_order_relaxed);
+  if (busy + 1 >= width) return 1;
+  const std::size_t idle = width - busy;
+  const std::size_t slice = gf::cache_aware_slice_bytes(symbol_size, idle, touched);
+  const std::size_t subtasks = (symbol_size + slice - 1) / slice;
+  if (subtasks <= 1) return 1;
+  *slice_bytes = slice;
+  return subtasks;
+}
+
+Codec::Handle Codec::launch(const std::shared_ptr<CodecJob>& job, std::size_t subtasks) {
+  job->pool = pool_;
+  job->remaining = subtasks;
+  jobs_submitted_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    ++jobs_open_;
+  }
+  subtasks_in_flight_.fetch_add(subtasks, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < subtasks; ++i) {
+    pool_->submit([this, job, i] {
+      run_subtask(job, i);
+      subtasks_in_flight_.fetch_sub(1, std::memory_order_relaxed);
+      bool last;
+      {
+        std::lock_guard<std::mutex> lock(job->mu);
+        last = --job->remaining == 0;
+        if (last) {
+          // Return the leased scratch before signalling completion, so a
+          // caller chaining the next submit off wait() reuses it warm.
+          job->ws.reset();
+          job->delta.reset();
+          job->done.store(true, std::memory_order_release);
+        }
+      }
+      if (!last) return;
+      job->cv.notify_all();  // job outlives this: the lambda owns a shared_ptr
+      jobs_completed_.fetch_add(1, std::memory_order_relaxed);
+      {
+        // Notify under the lock: once jobs_open_ hits 0 a waiter may return
+        // from wait_all and destroy the Codec, so the cv access must be
+        // ordered before the waiter can re-acquire jobs_mu_.
+        std::lock_guard<std::mutex> lock(jobs_mu_);
+        --jobs_open_;
+        jobs_cv_.notify_all();
+      }
+    });
+  }
+  return Handle(job);
+}
+
+Codec::Handle Codec::submit_encode(const StripeView& stripe, EncodingMethod method) {
+  if (method == EncodingMethod::kAuto) method = code_->select_method();
+  const CompiledSchedule& plan = code_->compiled_encoding_schedule(method);
+
+  auto job = std::make_shared<CodecJob>();
+  job->kind = CodecJob::Kind::kEncode;
+  job->symbol_size = stripe.symbol_size;
+  job->plan = &plan;
+  job->ws = workspaces_.acquire();
+  code_->prepare_workspace(stripe, *job->ws);  // validates the view; throws here
+
+  std::size_t slice = 0;
+  const std::size_t subtasks = decide_subtasks(stripe.symbol_size, plan.touched_symbols(), &slice);
+  job->slice_bytes = slice;
+  return launch(job, subtasks);
+}
+
+Codec::Handle Codec::submit_decode(const StripeView& stripe, const std::vector<bool>& erased) {
+  auto plan = plan_cache_.plan(erased);
+  if (!plan) {
+    // Outside the coverage: complete immediately (stripe untouched) so the
+    // caller sees the same contract as StairCode::decode returning false.
+    auto job = std::make_shared<CodecJob>();
+    job->kind = CodecJob::Kind::kDecode;
+    job->ok = false;
+    job->done.store(true, std::memory_order_release);
+    jobs_submitted_.fetch_add(1, std::memory_order_relaxed);
+    jobs_completed_.fetch_add(1, std::memory_order_relaxed);
+    return Handle(job);
+  }
+
+  auto job = std::make_shared<CodecJob>();
+  job->kind = CodecJob::Kind::kDecode;
+  job->symbol_size = stripe.symbol_size;
+  job->plan = plan.get();
+  job->plan_keepalive = std::move(plan);
+  job->ws = workspaces_.acquire();
+  code_->prepare_workspace(stripe, *job->ws);
+
+  std::size_t slice = 0;
+  const std::size_t subtasks =
+      decide_subtasks(stripe.symbol_size, job->plan->touched_symbols(), &slice);
+  job->slice_bytes = slice;
+  return launch(job, subtasks);
+}
+
+Codec::Handle Codec::submit_update(const StripeView& stripe, std::size_t data_index,
+                                   std::span<const std::uint8_t> new_content) {
+  const UpdateEngine& engine = update_engine();
+  if (stripe.stored.size() != code_->layout().stored_count())
+    throw std::invalid_argument("Codec::submit_update: stripe view has wrong stored count");
+  if (code_->mode() == GlobalParityMode::kOutside &&
+      stripe.outside_globals.size() != code_->config().s())
+    throw std::invalid_argument("Codec::submit_update: outside-global mode needs s regions");
+  if (data_index >= code_->data_symbol_count())
+    throw std::invalid_argument("Codec::submit_update: data index out of range");
+  if (new_content.size() != stripe.symbol_size)
+    throw std::invalid_argument("Codec::submit_update: wrong symbol size");
+
+  auto job = std::make_shared<CodecJob>();
+  job->kind = CodecJob::Kind::kUpdate;
+  job->symbol_size = stripe.symbol_size;
+  job->engine = &engine;
+  job->stripe = stripe;
+  job->data_index = data_index;
+  job->new_content = new_content;
+  job->delta = delta_buffers_.acquire();
+  if (job->delta->size() < stripe.symbol_size)
+    *job->delta = AlignedBuffer(stripe.symbol_size);
+
+  std::size_t slice = 0;
+  const std::size_t subtasks =
+      decide_subtasks(stripe.symbol_size, engine.touched_regions(data_index), &slice);
+  job->slice_bytes = slice;
+  return launch(job, subtasks);
+}
+
+void Codec::wait_all() {
+  // A waiting caller is an idle core: help drain the pool queue (our own
+  // subtasks are in it) before parking. This is what keeps batch submits at
+  // the pool's full concurrency — workers plus the waiting caller — exactly
+  // like parallel_for's caller participation.
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(jobs_mu_);
+      if (jobs_open_ == 0) return;
+    }
+    if (!pool_->try_run_one()) break;  // nothing queued: subtasks are running
+  }
+  std::unique_lock<std::mutex> lock(jobs_mu_);
+  jobs_cv_.wait(lock, [this] { return jobs_open_ == 0; });
+}
+
+std::size_t Codec::jobs_in_flight() const {
+  return static_cast<std::size_t>(jobs_submitted_.load(std::memory_order_relaxed) -
+                                  jobs_completed_.load(std::memory_order_relaxed));
+}
+
+// --- Handle -----------------------------------------------------------------
+
+bool Codec::Handle::done() const {
+  return !job_ || job_->done.load(std::memory_order_acquire);
+}
+
+void Codec::Handle::wait() const {
+  if (!job_) return;
+  // Help drain the pool while this job is unfinished (see Codec::wait_all);
+  // fall through to the cv once the queue is empty — the remaining subtasks
+  // are running on other threads.
+  while (!job_->done.load(std::memory_order_acquire)) {
+    if (!job_->pool || !job_->pool->try_run_one()) break;
+  }
+  std::unique_lock<std::mutex> lock(job_->mu);
+  job_->cv.wait(lock, [this] { return job_->done.load(std::memory_order_relaxed); });
+  if (job_->error) std::rethrow_exception(job_->error);
+}
+
+bool Codec::Handle::ok() const {
+  wait();
+  return !job_ || job_->ok;
+}
+
+}  // namespace stair

@@ -1,0 +1,165 @@
+// Codec — the session layer: one execution path from a single call to many
+// stripes in flight.
+//
+// The paper's speed numbers (§6.2) are per-stripe, but a serving system sees
+// millions of stripes, not one: the way to keep a multi-core machine busy is
+// N whole stripes in flight — one stripe per pool task — not one stripe
+// sliced ever thinner across workers. A Codec is a session that owns
+// everything a stream of coding operations amortizes:
+//
+//   * the StairCode (schedules compile once per session),
+//   * a DecodePlanCache (failure-epoch masks invert once per session),
+//   * a lazily built UpdateEngine (patch lists resolve once per session),
+//   * a WorkspacePool of reusable scratch (allocations settle at the
+//     in-flight high-water mark),
+//   * a handle to the persistent ThreadPool (threads park once per process).
+//
+// submit_encode / submit_decode / submit_update enqueue one stripe's work and
+// return a completion Handle immediately; Handle::wait() blocks (and
+// rethrows) for that stripe only, wait_all() drains the session. When a
+// submission arrives while the pool has idle lanes — a batch too small to
+// fill the machine — the stripe is internally range-sliced across the idle
+// width, so batch=1 behaves like the classic pooled `*_parallel` call and a
+// deep batch runs stripe-per-task: the same execution path, saturating in
+// both regimes. Underneath, everything funnels into the ExecPolicy-unified
+// StairCode/UpdateEngine layer; Codec adds no coding logic of its own.
+//
+// Usage sketch:
+//   Codec codec({.n = 8, .r = 16, .m = 2, .e = {1, 2}});
+//   std::vector<Codec::Handle> h;
+//   for (auto& stripe : stripes) h.push_back(codec.submit_encode(stripe.view()));
+//   codec.wait_all();                        // or h[i].wait() individually
+//
+// Thread-safety: submits and waits may come from any thread. The stripe
+// regions (and an update's new_content) must stay valid and untouched until
+// the handle completes; concurrent jobs must target disjoint stripes.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "stair/plan_cache.h"
+#include "stair/stair_code.h"
+#include "stair/update_engine.h"
+#include "util/buffer.h"
+#include "util/workspace_pool.h"
+
+namespace stair {
+
+class ThreadPool;
+struct CodecJob;  // internal job state (codec.cpp)
+
+class Codec {
+ public:
+  struct Options {
+    /// Distinct erasure masks the session's decode-plan cache keeps.
+    std::size_t plan_cache_capacity = 64;
+    /// Pool to run on; nullptr = the process-wide ThreadPool::default_pool().
+    ThreadPool* pool = nullptr;
+    /// Symbols below this size are never range-sliced (slicing overhead
+    /// dominates); they run as one task.
+    std::size_t min_slice_bytes = 4096;
+  };
+
+  /// One submitted job's completion handle. Cheap to copy; default-constructed
+  /// handles are invalid. Handles may outlive neither the Codec nor the
+  /// stripe they reference.
+  class Handle {
+   public:
+    Handle() = default;
+
+    bool valid() const { return job_ != nullptr; }
+    /// True once every subtask of the job has retired (non-blocking poll).
+    bool done() const;
+    /// Blocks until the job completes; rethrows the first subtask exception.
+    void wait() const;
+    /// wait(), then the job's outcome: false only for a decode whose mask is
+    /// outside the code's coverage (encode/update always true).
+    bool ok() const;
+
+   private:
+    friend class Codec;
+    explicit Handle(std::shared_ptr<CodecJob> job) : job_(std::move(job)) {}
+    std::shared_ptr<CodecJob> job_;
+  };
+
+  /// Session over a code built from `cfg` (owned by the session).
+  explicit Codec(StairConfig cfg);
+  Codec(StairConfig cfg, Options options);
+  /// Session over an existing code (not owned; must outlive the session).
+  explicit Codec(const StairCode& code);
+  Codec(const StairCode& code, Options options);
+
+  /// Destruction drains the session (wait_all).
+  ~Codec();
+
+  Codec(const Codec&) = delete;
+  Codec& operator=(const Codec&) = delete;
+
+  const StairCode& code() const { return *code_; }
+  ThreadPool& pool() const { return *pool_; }
+  DecodePlanCache& plan_cache() { return plan_cache_; }
+  const DecodePlanCache& plan_cache() const { return plan_cache_; }
+  /// The session's update engine (built on first use).
+  const UpdateEngine& update_engine() const;
+
+  // --- submission -----------------------------------------------------------
+
+  /// Enqueues one stripe encode. Malformed views throw here, not in the job.
+  Handle submit_encode(const StripeView& stripe,
+                       EncodingMethod method = EncodingMethod::kAuto);
+
+  /// Enqueues one stripe decode through the session plan cache. The mask is
+  /// resolved to a compiled plan at submit time (cache hit: O(1); miss: one
+  /// inversion+compile, shared with every later stripe of the epoch). An
+  /// unrecoverable mask yields an immediately-done handle with ok() false.
+  Handle submit_decode(const StripeView& stripe, const std::vector<bool>& erased);
+
+  /// Enqueues one incremental update (data_index, new bytes) on a stripe.
+  Handle submit_update(const StripeView& stripe, std::size_t data_index,
+                       std::span<const std::uint8_t> new_content);
+
+  /// Blocks until every job submitted so far has completed. Does NOT rethrow
+  /// job exceptions (those surface through each Handle::wait / ok).
+  void wait_all();
+
+  // --- introspection --------------------------------------------------------
+
+  /// Jobs submitted / completed over the session lifetime.
+  std::uint64_t jobs_submitted() const { return jobs_submitted_.load(std::memory_order_relaxed); }
+  std::uint64_t jobs_completed() const { return jobs_completed_.load(std::memory_order_relaxed); }
+  /// Jobs not yet completed.
+  std::size_t jobs_in_flight() const;
+  /// Workspace slots the session ever allocated (== in-flight high-water mark).
+  std::size_t workspaces_created() const { return workspaces_.created(); }
+
+ private:
+  std::size_t decide_subtasks(std::size_t symbol_size, std::size_t touched,
+                              std::size_t* slice_bytes) const;
+  Handle launch(const std::shared_ptr<CodecJob>& job, std::size_t subtasks);
+
+  std::unique_ptr<const StairCode> owned_code_;  // cfg constructor only
+  const StairCode* code_;
+  ThreadPool* pool_;
+  Options options_;
+  DecodePlanCache plan_cache_;
+  WorkspacePool<Workspace> workspaces_;
+  WorkspacePool<AlignedBuffer> delta_buffers_;  // update jobs' delta scratch
+
+  mutable std::mutex engine_mu_;
+  mutable std::unique_ptr<UpdateEngine> update_engine_;  // lazy, engine_mu_
+
+  std::atomic<std::uint64_t> jobs_submitted_{0}, jobs_completed_{0};
+  std::atomic<std::size_t> subtasks_in_flight_{0};  // slicing decisions read this
+
+  std::mutex jobs_mu_;
+  std::condition_variable jobs_cv_;
+  std::size_t jobs_open_ = 0;  // guarded by jobs_mu_; wait_all watches it
+};
+
+}  // namespace stair

@@ -15,6 +15,11 @@
 // never serialize. Misses build the plan outside any lock (two racing
 // threads may both build; the first insert wins and the loser's work is
 // dropped), then take the exclusive lock only to insert/evict.
+//
+// The Codec session layer (stair/codec.h) owns one of these per session and
+// resolves every submit_decode through it, so a whole stripe batch of an
+// epoch shares a single inversion+compile; standalone StairCode::decode
+// callers can pass their own instance for the same effect.
 #pragma once
 
 #include <atomic>

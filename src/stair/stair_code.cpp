@@ -1,6 +1,7 @@
 #include "stair/stair_code.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <stdexcept>
 
@@ -10,10 +11,18 @@
 
 namespace stair {
 
+namespace {
+std::uint64_t next_code_uid() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;  // ids start at 1
+}
+}  // namespace
+
 StairCode::StairCode(StairConfig cfg, GlobalParityMode mode, SystematicMdsCode::Kind kind)
     : layout_(cfg, mode),
       crow_(gf::field(cfg.w), cfg.n - cfg.m, cfg.n + cfg.m_prime(), kind),
-      ccol_(gf::field(cfg.w), cfg.r, cfg.r + cfg.e_max(), kind) {}
+      ccol_(gf::field(cfg.w), cfg.r, cfg.r + cfg.e_max(), kind),
+      uid_(next_code_uid()) {}
 
 const Schedule& StairCode::encoding_schedule(EncodingMethod method) const {
   std::lock_guard<std::recursive_mutex> lock(lazy_mu_);
@@ -83,13 +92,21 @@ void StairCode::prepare_workspace(const StripeView& stripe, Workspace& ws) const
     throw std::invalid_argument("outside-global mode needs s external regions");
 
   const std::size_t scratch_symbols = total - stored;
-  if (ws.scratch_symbols_ != scratch_symbols || ws.symbol_size_ != stripe.symbol_size) {
-    // AlignedBuffer zero-initializes, which is what keeps the outside-global
-    // scratch regions (the fixed zeros of §5.1) correct in inside mode: no
-    // schedule ever writes them.
+  if (ws.owner_uid_ != uid_ || ws.scratch_symbols_ != scratch_symbols ||
+      ws.symbol_size_ != stripe.symbol_size) {
+    // AlignedBuffer zero-initializes, which is what keeps the fixed-zero
+    // scratch regions (the structural zeros of §5.1) correct: no schedule of
+    // THIS code ever writes them. The owner check matters as much as the
+    // size checks — a workspace carried over from a different StairCode can
+    // have an identical footprint while a region this code needs zero holds
+    // the other code's written intermediates, so same-size reuse across
+    // codes must still re-establish the zeroed scratch. Keyed on the uid,
+    // not the address: a successor code constructed at the same address
+    // must not inherit the scratch either.
     ws.scratch_ = AlignedBuffer(scratch_symbols * stripe.symbol_size);
     ws.scratch_symbols_ = scratch_symbols;
     ws.symbol_size_ = stripe.symbol_size;
+    ws.owner_uid_ = uid_;
   }
 
   ws.symbols_.assign(total, {});
@@ -145,49 +162,33 @@ void replay_pooled(const Sched& schedule, const std::vector<std::span<std::uint8
 
 }  // namespace
 
-void StairCode::execute(const Schedule& schedule, const StripeView& stripe,
-                        Workspace* ws) const {
+template <typename Sched>
+void StairCode::run_schedule(const Sched& schedule, const StripeView& stripe, Workspace* ws,
+                             ExecPolicy policy, std::size_t touched) const {
   Workspace local;
   Workspace& w = ws ? *ws : local;
   prepare_workspace(stripe, w);
-  schedule.execute(w.symbols_);
+  if (policy.mode == ExecPolicy::Mode::kSerial) {
+    schedule.execute(w.symbols_);
+    return;
+  }
+  replay_pooled(schedule, w.symbols_, stripe.symbol_size, policy.threads, touched);
+}
+
+void StairCode::execute(const Schedule& schedule, const StripeView& stripe, Workspace* ws,
+                        ExecPolicy policy) const {
+  run_schedule(schedule, stripe, ws, policy, schedule.touched_symbol_count());
 }
 
 void StairCode::execute(const CompiledSchedule& schedule, const StripeView& stripe,
-                        Workspace* ws) const {
-  Workspace local;
-  Workspace& w = ws ? *ws : local;
-  prepare_workspace(stripe, w);
-  schedule.execute(w.symbols_);
+                        Workspace* ws, ExecPolicy policy) const {
+  run_schedule(schedule, stripe, ws, policy, schedule.touched_symbols());
 }
 
-void StairCode::execute_parallel(const Schedule& schedule, const StripeView& stripe,
-                                 std::size_t threads, Workspace* ws) const {
-  Workspace local;
-  Workspace& w = ws ? *ws : local;
-  prepare_workspace(stripe, w);
-  replay_pooled(schedule, w.symbols_, stripe.symbol_size, threads,
-                schedule.touched_symbol_count());
-}
-
-void StairCode::execute_parallel(const CompiledSchedule& schedule, const StripeView& stripe,
-                                 std::size_t threads, Workspace* ws) const {
-  Workspace local;
-  Workspace& w = ws ? *ws : local;
-  prepare_workspace(stripe, w);
-  replay_pooled(schedule, w.symbols_, stripe.symbol_size, threads,
-                schedule.touched_symbols());
-}
-
-void StairCode::encode(const StripeView& stripe, EncodingMethod method, Workspace* ws) const {
+void StairCode::encode(const StripeView& stripe, EncodingMethod method, Workspace* ws,
+                       ExecPolicy policy) const {
   if (method == EncodingMethod::kAuto) method = select_method();
-  execute(compiled_encoding_schedule(method), stripe, ws);
-}
-
-void StairCode::encode_parallel(const StripeView& stripe, std::size_t threads,
-                                EncodingMethod method, Workspace* ws) const {
-  if (method == EncodingMethod::kAuto) method = select_method();
-  execute_parallel(compiled_encoding_schedule(method), stripe, threads, ws);
+  execute(compiled_encoding_schedule(method), stripe, ws, policy);
 }
 
 bool StairCode::is_recoverable(const std::vector<bool>& erased) const {
@@ -199,35 +200,20 @@ std::optional<Schedule> StairCode::build_decode_schedule(const std::vector<bool>
 }
 
 bool StairCode::decode(const StripeView& stripe, const std::vector<bool>& erased,
-                       Workspace* ws, DecodePlanCache* cache) const {
+                       Workspace* ws, DecodePlanCache* cache, ExecPolicy policy) const {
   if (cache) {
     // Failure-epoch fast path: the cache hands back a fully compiled plan,
     // so a recurring mask pays zero inversions and zero table builds.
     auto plan = cache->plan(erased);
     if (!plan) return false;
-    execute(*plan, stripe, ws);
+    execute(*plan, stripe, ws, policy);
     return true;
   }
   auto schedule = build_decode_schedule(erased);
   if (!schedule) return false;
   // Compiling resolves coefficients against the shared kernel cache, so for
   // the recurring masks of a failure epoch the tables are already built.
-  execute(CompiledSchedule(*schedule), stripe, ws);
-  return true;
-}
-
-bool StairCode::decode_parallel(const StripeView& stripe, const std::vector<bool>& erased,
-                                std::size_t threads, Workspace* ws,
-                                DecodePlanCache* cache) const {
-  if (cache) {
-    auto plan = cache->plan(erased);
-    if (!plan) return false;
-    execute_parallel(*plan, stripe, threads, ws);
-    return true;
-  }
-  auto schedule = build_decode_schedule(erased);
-  if (!schedule) return false;
-  execute_parallel(CompiledSchedule(*schedule), stripe, threads, ws);
+  execute(CompiledSchedule(*schedule), stripe, ws, policy);
   return true;
 }
 

@@ -31,11 +31,33 @@
 
 namespace stair {
 
+class Codec;
 class DecodePlanCache;
+class StairCode;
 
 /// How parity symbols are computed (§5.3). kAuto picks the method with the
 /// fewest Mult_XORs for this configuration, as the paper's implementation does.
 enum class EncodingMethod { kStandard, kUpstairs, kDownstairs, kAuto };
+
+/// How an operation's region work is executed — the one knob the unified
+/// execution layer takes. Every encode/decode/execute/update entry point is
+/// one implementation parameterized by this; the `*_parallel` names are thin
+/// wrappers that pass sliced(threads).
+///
+///   serial()   — all region work on the calling thread (the default);
+///   sliced(t)  — region work cut into cache-aware byte slices claimed by up
+///                to t participants of the persistent pool (caller included);
+///   pooled()   — sliced across the pool's full width.
+struct ExecPolicy {
+  enum class Mode : std::uint8_t { kSerial, kSliced };
+
+  Mode mode = Mode::kSerial;
+  std::size_t threads = 1;  // kSliced: max pool participants; 0 = pool width
+
+  static constexpr ExecPolicy serial() { return {Mode::kSerial, 1}; }
+  static constexpr ExecPolicy sliced(std::size_t threads) { return {Mode::kSliced, threads}; }
+  static constexpr ExecPolicy pooled() { return {Mode::kSliced, 0}; }
+};
 
 /// Non-owning view of one stripe's symbol regions.
 ///
@@ -50,16 +72,27 @@ struct StripeView {
 
 /// Reusable scratch for encode/decode calls. Optional — the calls allocate
 /// internally when given none — but reusing one across calls avoids repeated
-/// allocation on hot paths (all speed benchmarks do).
+/// allocation on hot paths (all speed benchmarks do). Safe to carry across
+/// calls with different symbol sizes and even different StairCode instances:
+/// the scratch is re-established (fresh and zeroed) whenever the owning code
+/// or the geometry changes, never silently reused (the fixed-zero scratch
+/// regions of one code may be written intermediates of another).
 class Workspace {
  public:
   Workspace() = default;
 
  private:
+  friend class Codec;
+  friend struct CodecJob;
   friend class StairCode;
   AlignedBuffer scratch_;
   std::vector<std::span<std::uint8_t>> symbols_;
   std::size_t scratch_symbols_ = 0, symbol_size_ = 0;
+  // Identity of the code the scratch was prepared for. Two codes with equal
+  // scratch footprints still must not share bytes, so reuse is keyed on the
+  // instance — via its process-unique generation id, not its address, which
+  // a successor code could reuse (stack/heap ABA). 0 = never prepared.
+  std::uint64_t owner_uid_ = 0;
 };
 
 /// A STAIR erasure code instance. Immutable after construction except for
@@ -103,8 +136,17 @@ class StairCode {
   std::size_t mult_xor_count(EncodingMethod method) const;
 
   /// Computes all parity regions of the stripe from its data regions.
+  /// `policy` selects the execution path (serial by default; see ExecPolicy).
   void encode(const StripeView& stripe, EncodingMethod method = EncodingMethod::kAuto,
-              Workspace* ws = nullptr) const;
+              Workspace* ws = nullptr, ExecPolicy policy = ExecPolicy::serial()) const;
+
+  /// encode() on up to `threads` pool participants (0 = pool width). Thin
+  /// wrapper over encode() with ExecPolicy::sliced.
+  void encode_parallel(const StripeView& stripe, std::size_t threads,
+                       EncodingMethod method = EncodingMethod::kAuto,
+                       Workspace* ws = nullptr) const {
+    encode(stripe, method, ws, ExecPolicy::sliced(threads));
+  }
 
   // --- decoding -------------------------------------------------------------
 
@@ -122,15 +164,19 @@ class StairCode {
   /// if the pattern is outside the coverage. With a `cache`, the compiled
   /// plan for the mask is fetched from (or built into) it, so every decode
   /// after the first with a given mask skips both matrix inversion and
-  /// kernel-table resolution — the failure-epoch replay path.
+  /// kernel-table resolution — the failure-epoch replay path. `policy`
+  /// selects the execution path for the region work.
   bool decode(const StripeView& stripe, const std::vector<bool>& erased,
-              Workspace* ws = nullptr, DecodePlanCache* cache = nullptr) const;
+              Workspace* ws = nullptr, DecodePlanCache* cache = nullptr,
+              ExecPolicy policy = ExecPolicy::serial()) const;
 
   /// decode() with the region work spread over `threads` pool participants
-  /// (0 = the default pool's full width).
+  /// (0 = the default pool's full width). Thin wrapper over decode().
   bool decode_parallel(const StripeView& stripe, const std::vector<bool>& erased,
                        std::size_t threads, Workspace* ws = nullptr,
-                       DecodePlanCache* cache = nullptr) const;
+                       DecodePlanCache* cache = nullptr) const {
+    return decode(stripe, erased, ws, cache, ExecPolicy::sliced(threads));
+  }
 
   /// Degraded read: the minimal schedule recovering only the stored symbols
   /// listed in `wanted` (stored indices, row * n + col) under the erasure
@@ -149,40 +195,49 @@ class StairCode {
 
   /// Executes `schedule` over this stripe via the uncompiled reference
   /// replay (advanced: one-shot plans, equivalence tests). Repeated replays
-  /// should compile() once and use the CompiledSchedule overload.
+  /// should compile() once and use the CompiledSchedule overload. With a
+  /// sliced policy, region operations — which are pointwise — are cut into
+  /// cache-aware byte slices claimed by up to policy.threads participants of
+  /// the persistent process pool (util/thread_pool.h): §6.2.1's "encoding
+  /// can be parallelized with modern multi-core CPUs" without per-call
+  /// thread spawns. Byte-identical across policies, and `ws` is reused
+  /// identically (workers share the one symbol table; nothing is re-sliced
+  /// per call).
   void execute(const Schedule& schedule, const StripeView& stripe,
-               Workspace* ws = nullptr) const;
+               Workspace* ws = nullptr, ExecPolicy policy = ExecPolicy::serial()) const;
 
   /// Executes a pre-compiled schedule over this stripe — the hot path all
   /// encode/decode calls use. Byte-identical to the Schedule overload.
   void execute(const CompiledSchedule& schedule, const StripeView& stripe,
-               Workspace* ws = nullptr) const;
+               Workspace* ws = nullptr, ExecPolicy policy = ExecPolicy::serial()) const;
 
-  /// Multi-threaded execute: region operations are pointwise, so the symbol
-  /// regions are cut into cache-aware byte slices claimed by up to `threads`
-  /// participants of the persistent process pool (util/thread_pool.h) —
-  /// §6.2.1's "encoding can be parallelized with modern multi-core CPUs"
-  /// without per-call thread spawns. `threads` = 0 uses the pool's full
-  /// width. Byte-identical to execute() for any thread count, and reuses
-  /// `ws` exactly like the serial path (workers share the one symbol table;
-  /// nothing is re-sliced per call).
+  /// Thin wrappers over execute() with ExecPolicy::sliced(threads).
   void execute_parallel(const Schedule& schedule, const StripeView& stripe,
-                        std::size_t threads, Workspace* ws = nullptr) const;
-
-  /// Multi-threaded compiled replay; identical output to execute().
+                        std::size_t threads, Workspace* ws = nullptr) const {
+    execute(schedule, stripe, ws, ExecPolicy::sliced(threads));
+  }
   void execute_parallel(const CompiledSchedule& schedule, const StripeView& stripe,
-                        std::size_t threads, Workspace* ws = nullptr) const;
-
-  /// encode() on up to `threads` pool participants (0 = pool width).
-  void encode_parallel(const StripeView& stripe, std::size_t threads,
-                       EncodingMethod method = EncodingMethod::kAuto,
-                       Workspace* ws = nullptr) const;
+                        std::size_t threads, Workspace* ws = nullptr) const {
+    execute(schedule, stripe, ws, ExecPolicy::sliced(threads));
+  }
 
  private:
+  friend class Codec;  // the session layer drives prepare_workspace +
+                       // execute_range directly for its submit pipeline
+
   void prepare_workspace(const StripeView& stripe, Workspace& ws) const;
+
+  // The one execution engine behind every execute/encode/decode entry point:
+  // prepares the workspace, then replays serially or pool-sliced per policy.
+  template <typename Sched>
+  void run_schedule(const Sched& schedule, const StripeView& stripe, Workspace* ws,
+                    ExecPolicy policy, std::size_t touched) const;
 
   StairLayout layout_;
   SystematicMdsCode crow_, ccol_;
+  // Process-unique instance id (monotone counter, assigned at construction);
+  // what Workspace reuse is keyed on — see Workspace::owner_uid_.
+  std::uint64_t uid_;
 
   // Guards the lazy caches below (build-once; the built objects themselves
   // are immutable and replayed lock-free). Recursive because the lazy

@@ -46,77 +46,61 @@ UpdateEngine::UpdateEngine(const StairCode& code) : code_(&code) {
   }
 }
 
+void UpdateEngine::update_range(const StripeView& stripe, std::size_t data_index,
+                                std::span<const std::uint8_t> new_content,
+                                std::span<std::uint8_t> delta_scratch, std::size_t offset,
+                                std::size_t length) const {
+  const StairLayout& layout = code_->layout();
+  const std::uint32_t did = layout.data_ids()[data_index];
+  auto data_region =
+      stripe.stored[layout.stored_index(layout.row_of(did), layout.col_of(did))];
+
+  // delta = old ^ new; then data := new and parity ^= coeff * delta, all on
+  // [offset, offset + length) while that range is cache-resident.
+  const std::span<std::uint8_t> d = delta_scratch.subspan(offset, length);
+  std::memcpy(d.data(), data_region.data() + offset, length);
+  gf::xor_region(new_content.subspan(offset, length), d);
+  std::memcpy(data_region.data() + offset, new_content.data() + offset, length);
+
+  for (const Patch& patch : patches_[data_index]) {
+    auto parity = patch.stored_index != SIZE_MAX ? stripe.stored[patch.stored_index]
+                                                 : stripe.outside_globals[patch.global_index];
+    patch.kernel->mult_xor(d, parity.subspan(offset, length));
+  }
+}
+
 void UpdateEngine::update(const StripeView& stripe, std::size_t data_index,
-                          std::span<const std::uint8_t> new_content) const {
+                          std::span<const std::uint8_t> new_content, ExecPolicy policy) const {
   if (data_index >= patches_.size())
     throw std::invalid_argument("UpdateEngine::update: data index out of range");
   if (new_content.size() != stripe.symbol_size)
     throw std::invalid_argument("UpdateEngine::update: wrong symbol size");
 
-  const StairLayout& layout = code_->layout();
-  const std::uint32_t did = layout.data_ids()[data_index];
-  auto data_region =
-      stripe.stored[layout.stored_index(layout.row_of(did), layout.col_of(did))];
-
-  // delta = old ^ new; then data := new and parity ^= coeff * delta.
-  AlignedBuffer delta(stripe.symbol_size);
-  std::memcpy(delta.data(), data_region.data(), stripe.symbol_size);
-  gf::xor_region(new_content, delta.span());
-  std::memcpy(data_region.data(), new_content.data(), stripe.symbol_size);
-
-  for (const Patch& patch : patches_[data_index]) {
-    auto parity = patch.stored_index != SIZE_MAX ? stripe.stored[patch.stored_index]
-                                                 : stripe.outside_globals[patch.global_index];
-    patch.kernel->mult_xor(delta.span(), parity);
-  }
-}
-
-void UpdateEngine::update_parallel(const StripeView& stripe, std::size_t data_index,
-                                   std::span<const std::uint8_t> new_content,
-                                   std::size_t threads) const {
-  if (data_index >= patches_.size())
-    throw std::invalid_argument("UpdateEngine::update_parallel: data index out of range");
-  if (new_content.size() != stripe.symbol_size)
-    throw std::invalid_argument("UpdateEngine::update_parallel: wrong symbol size");
-
-  ThreadPool& pool = ThreadPool::default_pool();
-  if (threads == 0) threads = pool.concurrency();
-  const std::size_t participants = std::min(threads, pool.concurrency());
   const std::size_t size = stripe.symbol_size;
+  std::size_t participants = 1;
+  ThreadPool& pool = ThreadPool::default_pool();
+  if (policy.mode == ExecPolicy::Mode::kSliced) {
+    const std::size_t threads = policy.threads == 0 ? pool.concurrency() : policy.threads;
+    participants = std::min(threads, pool.concurrency());
+  }
+
+  // One delta buffer either way; slices write disjoint ranges of it.
+  AlignedBuffer delta(size);
   if (participants <= 1 || size < 128) {
-    update(stripe, data_index, new_content);
+    update_range(stripe, data_index, new_content, delta.span(), 0, size);
     return;
   }
 
-  const StairLayout& layout = code_->layout();
-  const std::uint32_t did = layout.data_ids()[data_index];
-  auto data_region =
-      stripe.stored[layout.stored_index(layout.row_of(did), layout.col_of(did))];
-  const auto& patches = patches_[data_index];
-
-  // Working set per slice: delta + data + every patched parity region.
-  const std::size_t slice = gf::cache_aware_slice_bytes(size, participants, 2 + patches.size());
+  const std::size_t slice =
+      gf::cache_aware_slice_bytes(size, participants, touched_regions(data_index));
   const std::size_t slices = (size + slice - 1) / slice;
-
-  // One shared delta buffer; slices write disjoint ranges, so each slice can
-  // run delta -> data overwrite -> all patches while its range is hot.
-  AlignedBuffer delta(size);
   pool.parallel_for(
       slices,
       [&](std::size_t i) {
         const std::size_t off = i * slice;
         if (off >= size) return;
-        const std::size_t len = std::min(slice, size - off);
-        const std::span<std::uint8_t> d(delta.data() + off, len);
-        std::memcpy(d.data(), data_region.data() + off, len);
-        gf::xor_region(std::span<const std::uint8_t>(new_content.data() + off, len), d);
-        std::memcpy(data_region.data() + off, new_content.data() + off, len);
-        for (const Patch& patch : patches) {
-          auto parity = patch.stored_index != SIZE_MAX
-                            ? stripe.stored[patch.stored_index]
-                            : stripe.outside_globals[patch.global_index];
-          patch.kernel->mult_xor(d, std::span<std::uint8_t>(parity.data() + off, len));
-        }
+        update_range(stripe, data_index, new_content, delta.span(), off,
+                     std::min(slice, size - off));
       },
       participants);
 }

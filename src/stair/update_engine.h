@@ -30,18 +30,40 @@ class UpdateEngine {
   /// Overwrites data symbol `data_index` (index into layout().data_ids())
   /// with `new_content` and incrementally patches all dependent parities.
   /// The stripe must be consistently encoded beforehand; it is consistently
-  /// encoded afterwards.
+  /// encoded afterwards. With a sliced policy the delta computation and
+  /// every parity patch are spread over up to policy.threads pool
+  /// participants (0 = pool width) in cache-aware byte slices — each slice
+  /// computes its delta range and applies all patches while that range is
+  /// cache-resident. Byte-identical across policies; slicing is worthwhile
+  /// for megabyte symbols.
   void update(const StripeView& stripe, std::size_t data_index,
-              std::span<const std::uint8_t> new_content) const;
+              std::span<const std::uint8_t> new_content,
+              ExecPolicy policy = ExecPolicy::serial()) const;
 
-  /// update() with the delta computation and every parity patch spread over
-  /// up to `threads` pool participants (0 = pool width) in cache-aware byte
-  /// slices: each slice computes its delta range and applies all patches
-  /// while that range is cache-resident. Byte-identical to update();
-  /// worthwhile for megabyte symbols.
+  /// Thin wrapper over update() with ExecPolicy::sliced(threads).
   void update_parallel(const StripeView& stripe, std::size_t data_index,
                        std::span<const std::uint8_t> new_content,
-                       std::size_t threads = 0) const;
+                       std::size_t threads = 0) const {
+    update(stripe, data_index, new_content, ExecPolicy::sliced(threads));
+  }
+
+  /// The per-range body every update path replays (also the building block
+  /// Codec's pipelined submit_update slices over): computes
+  /// delta[off, off+len) = old ^ new into `delta_scratch` (a caller-owned
+  /// buffer of at least symbol_size bytes), overwrites the data range, and
+  /// mult_xors every dependent parity's range. Disjoint ranges may run
+  /// concurrently; the full [0, symbol_size) range equals one serial update.
+  /// Arguments are validated by the callers, not here (hot path).
+  void update_range(const StripeView& stripe, std::size_t data_index,
+                    std::span<const std::uint8_t> new_content,
+                    std::span<std::uint8_t> delta_scratch, std::size_t offset,
+                    std::size_t length) const;
+
+  /// Working-set width of one update of `data_index` (delta + data + every
+  /// patched parity) — what cache-aware slicing divides its budget by.
+  std::size_t touched_regions(std::size_t data_index) const {
+    return 2 + patches_[data_index].size();
+  }
 
   /// Number of parity symbols rewritten by an update of `data_index` —
   /// exactly the §6.3 update penalty of that symbol.

@@ -46,16 +46,51 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::shared_ptr<Batch> batch;
+    Entry entry;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and nothing left to help with
-      batch = std::move(queue_.front());
+      entry = std::move(queue_.front());
       queue_.pop_front();
     }
-    drain(*batch);
+    if (entry.batch) {
+      drain(*entry.batch);
+    } else {
+      entry.task();
+      tasks_run_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
+}
+
+void ThreadPool::submit(std::function<void()> fn) {
+  if (workers_.empty()) {
+    fn();
+    tasks_run_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(Entry{nullptr, std::move(fn)});
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::try_run_one() {
+  Entry entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    entry = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  if (entry.batch) {
+    drain(*entry.batch);
+  } else {
+    entry.task();
+    tasks_run_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
 }
 
 void ThreadPool::drain(Batch& batch) {
@@ -100,7 +135,7 @@ void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::s
   if (helpers > 0) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      for (std::size_t i = 0; i < helpers; ++i) queue_.push_back(batch);
+      for (std::size_t i = 0; i < helpers; ++i) queue_.push_back(Entry{batch, {}});
     }
     if (helpers == 1)
       cv_.notify_one();

@@ -57,11 +57,34 @@ class ThreadPool {
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
                     std::size_t max_participants = 0);
 
+  /// Enqueues `fn` to run once on a pool worker and returns immediately — the
+  /// fire-and-forget counterpart of parallel_for, and the primitive the Codec
+  /// stripe-batch pipeline builds completion handles on. The caller does NOT
+  /// automatically participate (completion signalling is the submitter's
+  /// business); a caller that would otherwise block should spin try_run_one()
+  /// to contribute its core, which is how Codec waits keep submit-based
+  /// pipelines at full concurrency(). On a pool with zero workers
+  /// (concurrency 1) `fn` runs inline before returning, so pipelines degrade
+  /// to synchronous execution instead of deadlocking. Tasks still queued at
+  /// destruction are drained by the workers before they exit. `fn` must not
+  /// let exceptions escape (they would terminate the worker); wrap the body
+  /// if it can throw.
+  void submit(std::function<void()> fn);
+
+  /// Pops and runs one queued work item (a submit() task or a helper slot of
+  /// a parallel_for batch) on the calling thread. Returns false when nothing
+  /// was queued. This is the caller-participation primitive for code waiting
+  /// on submit()-based completions: an about-to-block thread is an idle
+  /// core, so it helps drain the queue instead of parking.
+  bool try_run_one();
+
   /// Total indices retired by all parallel_for batches (pool-lifetime stat;
   /// lets tests assert thousands of submits reuse the same workers).
   std::uint64_t indices_run() const { return indices_run_.load(std::memory_order_relaxed); }
   /// Total parallel_for batches completed.
   std::uint64_t batches_run() const { return batches_run_.load(std::memory_order_relaxed); }
+  /// Total submit() tasks that have finished running.
+  std::uint64_t tasks_run() const { return tasks_run_.load(std::memory_order_relaxed); }
 
   /// The process-wide shared pool (created on first use, default-sized).
   static ThreadPool& default_pool();
@@ -93,16 +116,24 @@ class ThreadPool {
     std::exception_ptr error;  // guarded by mu; first failure wins
   };
 
+  // One queue entry: either a helper slot for a parallel_for batch or an
+  // owned one-shot submit() task (exactly one of the two is set).
+  struct Entry {
+    std::shared_ptr<Batch> batch;
+    std::function<void()> task;
+  };
+
   void worker_loop();
   void drain(Batch& batch);
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::shared_ptr<Batch>> queue_;  // one entry per helper slot
+  std::deque<Entry> queue_;
   bool stop_ = false;
   std::atomic<std::uint64_t> indices_run_{0};
   std::atomic<std::uint64_t> batches_run_{0};
+  std::atomic<std::uint64_t> tasks_run_{0};
 };
 
 }  // namespace stair

@@ -1,0 +1,31 @@
+#include "util/workspace_pool.h"
+
+namespace stair::detail {
+
+std::size_t PoolCore::acquire_locked() {
+  acquired_.fetch_add(1, std::memory_order_relaxed);
+  if (free_.empty()) return kGrow;
+  const std::size_t slot = free_.back();
+  free_.pop_back();
+  reused_.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+std::size_t PoolCore::register_locked() { return created_++; }
+
+void PoolCore::release(std::size_t slot) {
+  std::lock_guard<std::mutex> guard(mu_);
+  free_.push_back(slot);
+}
+
+std::size_t PoolCore::created() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return created_;
+}
+
+std::size_t PoolCore::in_use() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return created_ - free_.size();
+}
+
+}  // namespace stair::detail

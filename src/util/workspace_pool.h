@@ -1,0 +1,120 @@
+// Leasable object pool — reusable per-job scratch for the Codec pipeline.
+//
+// A stripe-batch session keeps N coding jobs in flight, and every job needs
+// scratch whose allocation cost (megabytes of zeroed, aligned memory) must
+// not be paid per stripe: exactly the amortization the kernel-table and
+// decode-plan caches already apply to table and plan construction, applied
+// here to scratch buffers. WorkspacePool<T> hands out leases backed by a
+// free-list of default-constructed T slots: a released slot is reissued to
+// the next acquire with its contents intact, so a Workspace that has already
+// sized itself for the session's stripe geometry is reused warm. The pool
+// only grows to the high-water mark of concurrently leased objects — a
+// session running B stripes in flight settles at B slots, regardless of how
+// many million stripes pass through it.
+//
+// Leases are shared_ptr<T> whose deleter returns the slot, so a lease can be
+// handed to the last finishing subtask of a job and released from any
+// thread; the backing store is kept alive by the leases themselves, making
+// pool destruction safe even with leases still outstanding.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace stair {
+
+namespace detail {
+
+/// The type-erased synchronization core behind WorkspacePool<T>: a
+/// mutex-guarded free-list of slot indices plus lifetime statistics. Kept
+/// out of the template so the locking logic is compiled (and tested) once.
+class PoolCore {
+ public:
+  /// Sentinel returned by acquire_locked() when no freed slot is available
+  /// and the caller must append a fresh one (then call register_locked()).
+  static constexpr std::size_t kGrow = static_cast<std::size_t>(-1);
+
+  /// The lock acquire-side callers must hold across acquire_locked() /
+  /// register_locked() and their own slot-storage access, so slot addresses
+  /// are never read concurrently with another thread growing the storage.
+  std::unique_lock<std::mutex> lock() const { return std::unique_lock<std::mutex>(mu_); }
+
+  /// Pops the most recently released slot (warmest scratch first), or kGrow.
+  std::size_t acquire_locked();
+  /// Records a freshly appended slot; returns its index.
+  std::size_t register_locked();
+  /// Returns `slot` to the free-list. Takes the lock itself (release is
+  /// called from lease deleters on arbitrary threads).
+  void release(std::size_t slot);
+
+  /// Slots ever created == the high-water mark of concurrent leases.
+  std::size_t created() const;
+  /// Leases handed out, and how many of those reused a released slot.
+  std::uint64_t acquired() const { return acquired_.load(std::memory_order_relaxed); }
+  std::uint64_t reused() const { return reused_.load(std::memory_order_relaxed); }
+  /// Leases currently outstanding.
+  std::size_t in_use() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::size_t> free_;  // guarded by mu_
+  std::size_t created_ = 0;        // guarded by mu_
+  std::atomic<std::uint64_t> acquired_{0}, reused_{0};
+};
+
+}  // namespace detail
+
+/// Thread-safe pool of reusable default-constructed T objects. acquire()
+/// returns a lease; destroying (or resetting) the last copy of the lease
+/// returns the object — contents untouched — for the next acquire.
+template <typename T>
+class WorkspacePool {
+ public:
+  using Lease = std::shared_ptr<T>;
+
+  WorkspacePool() : state_(std::make_shared<State>()) {}
+
+  WorkspacePool(const WorkspacePool&) = delete;
+  WorkspacePool& operator=(const WorkspacePool&) = delete;
+
+  /// Leases a slot, preferring the most recently released one. Never blocks
+  /// on pool exhaustion: a fresh slot is created when no freed one exists.
+  Lease acquire() {
+    std::shared_ptr<State> state = state_;
+    T* object = nullptr;
+    std::size_t slot;
+    {
+      auto lock = state->core.lock();
+      slot = state->core.acquire_locked();
+      if (slot == detail::PoolCore::kGrow) {
+        state->slots.push_back(std::make_unique<T>());
+        slot = state->core.register_locked();
+      }
+      object = state->slots[slot].get();
+    }
+    // The deleter owns a reference to the whole backing store, so leases
+    // outliving the pool object itself stay valid and still release cleanly.
+    return Lease(object, [state, slot](T*) { state->core.release(slot); });
+  }
+
+  std::size_t created() const { return state_->core.created(); }
+  std::uint64_t acquired() const { return state_->core.acquired(); }
+  std::uint64_t reused() const { return state_->core.reused(); }
+  std::size_t in_use() const { return state_->core.in_use(); }
+
+ private:
+  struct State {
+    detail::PoolCore core;
+    // unique_ptr targets keep object addresses stable while the vector grows
+    // under the core lock.
+    std::vector<std::unique_ptr<T>> slots;
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace stair

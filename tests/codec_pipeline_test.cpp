@@ -1,0 +1,407 @@
+// Codec session-pipeline battery: batch results through submit_encode /
+// submit_decode / submit_update must be byte-identical to serial per-stripe
+// calls across configs x batch sizes x pool widths; plan-cache and
+// workspace-pool amortization must hold across batches; the workspace
+// cross-code reuse hazard must stay fixed. Also runs under the TSan CI job.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <vector>
+
+#include "stair/codec.h"
+#include "stair/stair_code.h"
+#include "stair/update_engine.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/workspace_pool.h"
+
+namespace stair {
+namespace {
+
+// Force a multi-worker default pool even on single-vCPU hosts (overwrite=0
+// keeps an explicit user STAIR_THREADS), so submits really run on workers
+// everywhere this suite runs. Must precede the first default_pool() use.
+const std::size_t g_pool_width = [] {
+  ::setenv("STAIR_THREADS", "4", /*overwrite=*/0);
+  return ThreadPool::default_pool().concurrency();
+}();
+
+std::vector<std::uint8_t> all_bytes(const StripeView& view) {
+  std::vector<std::uint8_t> out;
+  for (const auto& r : view.stored) out.insert(out.end(), r.begin(), r.end());
+  for (const auto& r : view.outside_globals) out.insert(out.end(), r.begin(), r.end());
+  return out;
+}
+
+struct ConfigCase {
+  StairConfig cfg;
+  GlobalParityMode mode;
+};
+
+std::vector<ConfigCase> config_matrix() {
+  return {
+      {{.n = 8, .r = 8, .m = 2, .e = {1, 2}}, GlobalParityMode::kInside},
+      {{.n = 6, .r = 4, .m = 1, .e = {1, 1}}, GlobalParityMode::kInside},
+      {{.n = 8, .r = 6, .m = 2, .e = {2}}, GlobalParityMode::kOutside},
+  };
+}
+
+// Batch of stripes with per-stripe random data, serially encoded reference.
+struct Batch {
+  std::vector<StripeBuffer> stripes;
+  std::vector<std::vector<std::uint8_t>> data;
+  std::vector<std::vector<std::uint8_t>> encoded;  // expected bytes
+
+  Batch(const StairCode& code, std::size_t count, std::size_t symbol, std::uint64_t seed) {
+    Workspace ws;
+    for (std::size_t i = 0; i < count; ++i) {
+      stripes.emplace_back(code, symbol);
+      data.emplace_back(stripes[i].data_size());
+      Rng rng(seed + i);
+      rng.fill(data[i]);
+      stripes[i].set_data(data[i]);
+      StripeBuffer reference(code, symbol);
+      reference.set_data(data[i]);
+      code.encode(reference.view(), EncodingMethod::kAuto, &ws);
+      encoded.push_back(all_bytes(reference.view()));
+    }
+  }
+};
+
+TEST(CodecPipeline, EncodeBatchMatchesSerialAcrossMatrix) {
+  // min_slice_bytes=256 so mid-size symbols exercise the range-sliced path
+  // (batch smaller than the pool) as well as the stripe-per-task path.
+  for (const auto& c : config_matrix()) {
+    const StairCode code(c.cfg, c.mode);
+    Codec codec(code, {.min_slice_bytes = 256});
+    for (std::size_t symbol : {std::size_t{72}, std::size_t{1000}, std::size_t{4096 + 64}}) {
+      for (std::size_t count : {std::size_t{1}, std::size_t{3}, std::size_t{8}, std::size_t{17}}) {
+        Batch batch(code, count, symbol, 1000 + symbol + count);
+        std::vector<Codec::Handle> handles;
+        for (auto& stripe : batch.stripes)
+          handles.push_back(codec.submit_encode(stripe.view()));
+        for (std::size_t i = 0; i < count; ++i) {
+          EXPECT_TRUE(handles[i].ok());
+          ASSERT_EQ(all_bytes(batch.stripes[i].view()), batch.encoded[i])
+              << c.cfg.to_string() << " symbol=" << symbol << " batch=" << count
+              << " stripe=" << i;
+        }
+      }
+    }
+    codec.wait_all();
+    EXPECT_EQ(codec.jobs_in_flight(), 0u);
+  }
+}
+
+TEST(CodecPipeline, EncodeBatchMatchesSerialAcrossPoolWidths) {
+  const StairConfig cfg{.n = 8, .r = 8, .m = 2, .e = {1, 2}};
+  const StairCode code(cfg);
+  const std::size_t symbol = 4096 + 64;
+  for (std::size_t width : {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    ThreadPool pool(width);
+    Codec codec(code, {.pool = &pool, .min_slice_bytes = 256});
+    Batch batch(code, 6, symbol, 77 + width);
+    std::vector<Codec::Handle> handles;
+    for (auto& stripe : batch.stripes) handles.push_back(codec.submit_encode(stripe.view()));
+    codec.wait_all();
+    for (std::size_t i = 0; i < batch.stripes.size(); ++i) {
+      EXPECT_TRUE(handles[i].done());
+      ASSERT_EQ(all_bytes(batch.stripes[i].view()), batch.encoded[i])
+          << "width=" << width << " stripe=" << i;
+    }
+  }
+}
+
+TEST(CodecPipeline, DecodeBatchRecoversAndSharesPlans) {
+  for (const auto& c : config_matrix()) {
+    const StairCode code(c.cfg, c.mode);
+    Codec codec(code, {.min_slice_bytes = 256});
+    const std::size_t symbol = 1000, count = 12;
+    Batch batch(code, count, symbol, 500);
+
+    // Two distinct failure-epoch masks alternating across the batch: one
+    // whole chunk, and one chunk plus an extra sector.
+    std::vector<std::vector<bool>> masks(2, std::vector<bool>(c.cfg.n * c.cfg.r, false));
+    for (std::size_t i = 0; i < c.cfg.r; ++i) masks[0][i * c.cfg.n + 0] = true;
+    for (std::size_t i = 0; i < c.cfg.r; ++i) masks[1][i * c.cfg.n + 1] = true;
+    masks[1][(c.cfg.r - 1) * c.cfg.n + 3] = true;
+
+    Rng garbage(9);
+    for (std::size_t i = 0; i < count; ++i) {
+      code.encode(batch.stripes[i].view());
+      const auto& mask = masks[i % 2];
+      for (std::size_t idx = 0; idx < mask.size(); ++idx)
+        if (mask[idx]) garbage.fill(batch.stripes[i].view().stored[idx]);
+    }
+
+    std::vector<Codec::Handle> handles;
+    for (std::size_t i = 0; i < count; ++i)
+      handles.push_back(codec.submit_decode(batch.stripes[i].view(), masks[i % 2]));
+    for (std::size_t i = 0; i < count; ++i) {
+      ASSERT_TRUE(handles[i].ok()) << c.cfg.to_string() << " stripe=" << i;
+      std::vector<std::uint8_t> out(batch.stripes[i].data_size());
+      batch.stripes[i].get_data(out);
+      ASSERT_EQ(out, batch.data[i]) << c.cfg.to_string() << " stripe=" << i;
+    }
+    // Epoch amortization: each distinct mask inverted and compiled once.
+    EXPECT_EQ(codec.plan_cache().misses(), 2u) << c.cfg.to_string();
+    EXPECT_EQ(codec.plan_cache().hits(), count - 2) << c.cfg.to_string();
+  }
+}
+
+TEST(CodecPipeline, UnrecoverableMaskCompletesNotOk) {
+  const StairConfig cfg{.n = 8, .r = 8, .m = 2, .e = {1, 2}};
+  Codec codec(cfg);
+  const StairCode& code = codec.code();
+  StripeBuffer stripe(code, 512);
+  std::vector<std::uint8_t> data(stripe.data_size());
+  Rng rng(3);
+  rng.fill(data);
+  stripe.set_data(data);
+  code.encode(stripe.view());
+  const auto before = all_bytes(stripe.view());
+
+  // m + m' + 1 = 5 whole chunks: outside any STAIR coverage.
+  std::vector<bool> mask(cfg.n * cfg.r, false);
+  for (std::size_t j = 0; j < 5; ++j)
+    for (std::size_t i = 0; i < cfg.r; ++i) mask[i * cfg.n + j] = true;
+
+  Codec::Handle handle = codec.submit_decode(stripe.view(), mask);
+  EXPECT_TRUE(handle.done());
+  EXPECT_FALSE(handle.ok());
+  EXPECT_EQ(all_bytes(stripe.view()), before);  // stripe untouched
+
+  // The session keeps serving recoverable work afterwards.
+  std::vector<bool> small(cfg.n * cfg.r, false);
+  small[0] = true;
+  Rng garbage(4);
+  garbage.fill(stripe.view().stored[0]);
+  EXPECT_TRUE(codec.submit_decode(stripe.view(), small).ok());
+  std::vector<std::uint8_t> out(stripe.data_size());
+  stripe.get_data(out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(CodecPipeline, UpdateBatchMatchesSerialAcrossMatrix) {
+  for (const auto& c : config_matrix()) {
+    const StairCode code(c.cfg, c.mode);
+    const UpdateEngine engine(code);
+    Codec codec(code, {.min_slice_bytes = 256});
+    const std::size_t symbol = 4096 + 64, count = 7;
+
+    Batch serial(code, count, symbol, 42);
+    Batch batched(code, count, symbol, 42);
+
+    // One update per stripe (disjoint stripes may run concurrently).
+    std::vector<std::vector<std::uint8_t>> fresh(count, std::vector<std::uint8_t>(symbol));
+    Rng rng(11);
+    std::vector<Codec::Handle> handles;
+    for (std::size_t i = 0; i < count; ++i) {
+      rng.fill(fresh[i]);
+      const std::size_t idx = (i * 3) % code.data_symbol_count();
+      engine.update(serial.stripes[i].view(), idx, fresh[i]);
+      handles.push_back(codec.submit_update(batched.stripes[i].view(), idx, fresh[i]));
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_TRUE(handles[i].ok());
+      ASSERT_EQ(all_bytes(batched.stripes[i].view()), all_bytes(serial.stripes[i].view()))
+          << c.cfg.to_string() << " stripe=" << i;
+    }
+  }
+}
+
+TEST(CodecPipeline, MixedPipelineRoundTrips) {
+  const StairConfig cfg{.n = 8, .r = 8, .m = 2, .e = {1, 2}};
+  Codec codec(cfg, {.min_slice_bytes = 256});
+  const StairCode& code = codec.code();
+  const std::size_t symbol = 1000, count = 9;
+  Batch batch(code, count, symbol, 314);
+
+  std::vector<Codec::Handle> encodes;
+  for (auto& stripe : batch.stripes) encodes.push_back(codec.submit_encode(stripe.view()));
+  for (auto& h : encodes) h.wait();
+
+  std::vector<bool> mask(cfg.n * cfg.r, false);
+  for (std::size_t i = 0; i < cfg.r; ++i) mask[i * cfg.n + 2] = true;
+  Rng garbage(13);
+  for (auto& stripe : batch.stripes)
+    for (std::size_t idx = 0; idx < mask.size(); ++idx)
+      if (mask[idx]) garbage.fill(stripe.view().stored[idx]);
+
+  std::vector<Codec::Handle> decodes;
+  for (auto& stripe : batch.stripes) decodes.push_back(codec.submit_decode(stripe.view(), mask));
+  for (std::size_t i = 0; i < count; ++i) {
+    ASSERT_TRUE(decodes[i].ok());
+    std::vector<std::uint8_t> out(batch.stripes[i].data_size());
+    batch.stripes[i].get_data(out);
+    ASSERT_EQ(out, batch.data[i]) << "stripe=" << i;
+  }
+  EXPECT_EQ(codec.jobs_submitted(), 2u * count);
+  EXPECT_EQ(codec.jobs_completed(), 2u * count);
+}
+
+TEST(CodecPipeline, WorkspacesSettleAtHighWaterMark) {
+  const StairConfig cfg{.n = 8, .r = 8, .m = 2, .e = {1, 2}};
+  Codec codec(cfg);
+  const StairCode& code = codec.code();
+  const std::size_t symbol = 512, count = 6, waves = 5;
+  Batch batch(code, count, symbol, 2718);
+
+  for (std::size_t wave = 0; wave < waves; ++wave) {
+    std::vector<Codec::Handle> handles;
+    for (auto& stripe : batch.stripes) handles.push_back(codec.submit_encode(stripe.view()));
+    codec.wait_all();
+    for (auto& h : handles) EXPECT_TRUE(h.ok());
+  }
+  // Millions of stripes must not mean millions of workspaces: slots grow only
+  // to the concurrent high-water mark, later waves lease released ones.
+  EXPECT_LE(codec.workspaces_created(), count);
+  EXPECT_GE(codec.workspaces_created(), 1u);
+}
+
+TEST(CodecPipeline, SubmitValidatesOnCallerThread) {
+  const StairConfig cfg{.n = 8, .r = 8, .m = 2, .e = {1, 2}};
+  Codec codec(cfg);
+  StripeBuffer stripe(codec.code(), 512);
+  StripeView bad = stripe.view();
+  bad.stored.pop_back();
+  EXPECT_THROW(codec.submit_encode(bad), std::invalid_argument);
+  EXPECT_THROW(codec.submit_decode(bad, std::vector<bool>(cfg.n * cfg.r, false)),
+               std::invalid_argument);
+
+  std::vector<std::uint8_t> content(512);
+  EXPECT_THROW(codec.submit_update(stripe.view(), codec.code().data_symbol_count(), content),
+               std::invalid_argument);
+  std::vector<std::uint8_t> short_content(100);
+  EXPECT_THROW(codec.submit_update(stripe.view(), 0, short_content), std::invalid_argument);
+  codec.wait_all();
+}
+
+TEST(CodecPipeline, HandleSemantics) {
+  Codec::Handle invalid;
+  EXPECT_FALSE(invalid.valid());
+  EXPECT_TRUE(invalid.done());
+  invalid.wait();  // no-op
+  EXPECT_TRUE(invalid.ok());
+
+  const StairConfig cfg{.n = 6, .r = 4, .m = 1, .e = {1, 1}};
+  Codec codec(cfg);
+  StripeBuffer stripe(codec.code(), 256);
+  std::vector<std::uint8_t> data(stripe.data_size());
+  Rng rng(1);
+  rng.fill(data);
+  stripe.set_data(data);
+  Codec::Handle h = codec.submit_encode(stripe.view());
+  EXPECT_TRUE(h.valid());
+  h.wait();
+  h.wait();  // idempotent
+  EXPECT_TRUE(h.done());
+  EXPECT_TRUE(h.ok());
+  Codec::Handle copy = h;  // handles are shareable
+  EXPECT_TRUE(copy.done());
+}
+
+// Regression for the workspace-reuse hazard: a Workspace carried from one
+// StairCode to another with the *same* scratch footprint must not leak the
+// first code's written intermediates into regions the second code requires
+// to be structurally zero. Before the owner check, same-size reuse skipped
+// re-establishing the zeroed scratch and produced wrong parities.
+TEST(CodecPipeline, WorkspaceReuseAcrossCodesRegression) {
+  // This exact pair reproduced the bug (one of dozens found by sweeping all
+  // equal-footprint config pairs): A's upstairs encode leaves written
+  // intermediates on scratch cells B's upstairs schedule requires to be
+  // structurally zero.
+  const StairCode a({.n = 6, .r = 6, .m = 1, .e = {1, 1}});
+  const StairCode b({.n = 6, .r = 6, .m = 1, .e = {2}});
+  // The hazard requires identical footprints (otherwise the size check
+  // already reallocates).
+  ASSERT_EQ(a.layout().total_symbols() - a.layout().stored_count(),
+            b.layout().total_symbols() - b.layout().stored_count());
+
+  const std::size_t symbol = 256;
+  StripeBuffer sa(a, symbol), sb(b, symbol), sb_fresh(b, symbol);
+  std::vector<std::uint8_t> da(sa.data_size()), db(sb.data_size());
+  Rng rng(21);
+  rng.fill(da);
+  rng.fill(db);
+  sa.set_data(da);
+  sb.set_data(db);
+  sb_fresh.set_data(db);
+
+  Workspace shared, fresh;
+  a.encode(sa.view(), EncodingMethod::kUpstairs, &shared);  // dirties the scratch
+  b.encode(sb.view(), EncodingMethod::kUpstairs, &shared);  // reused across codes
+  b.encode(sb_fresh.view(), EncodingMethod::kUpstairs, &fresh);
+  EXPECT_EQ(all_bytes(sb.view()), all_bytes(sb_fresh.view()));
+
+  // And decode through the re-dirtied workspace round-trips too.
+  std::vector<bool> mask(6 * 6, false);
+  for (std::size_t i = 0; i < 6; ++i) mask[i * 6 + 1] = true;
+  Rng garbage(5);
+  for (std::size_t idx = 0; idx < mask.size(); ++idx)
+    if (mask[idx]) garbage.fill(sb.view().stored[idx]);
+  a.encode(sa.view(), EncodingMethod::kUpstairs, &shared);
+  ASSERT_TRUE(b.decode(sb.view(), mask, &shared));
+  std::vector<std::uint8_t> out(sb.data_size());
+  sb.get_data(out);
+  EXPECT_EQ(out, db);
+}
+
+// The ABA variant of the hazard above: successive codes constructed in the
+// same storage (stack reuse, optional re-emplace) must not be mistaken for
+// the previous owner — reuse is keyed on a generation id, not the address.
+TEST(CodecPipeline, WorkspaceReuseAcrossSameAddressCodesRegression) {
+  const std::size_t symbol = 256;
+  Workspace shared;
+  std::optional<StairCode> code;
+
+  code.emplace(StairConfig{.n = 6, .r = 6, .m = 1, .e = {1, 1}});
+  StripeBuffer sa(*code, symbol);
+  std::vector<std::uint8_t> da(sa.data_size());
+  Rng rng(33);
+  rng.fill(da);
+  sa.set_data(da);
+  code->encode(sa.view(), EncodingMethod::kUpstairs, &shared);  // dirty scratch
+
+  code.emplace(StairConfig{.n = 6, .r = 6, .m = 1, .e = {2}});  // same address
+  StripeBuffer sb(*code, symbol), sb_fresh(*code, symbol);
+  std::vector<std::uint8_t> db(sb.data_size());
+  rng.fill(db);
+  sb.set_data(db);
+  sb_fresh.set_data(db);
+  Workspace fresh;
+  code->encode(sb.view(), EncodingMethod::kUpstairs, &shared);
+  code->encode(sb_fresh.view(), EncodingMethod::kUpstairs, &fresh);
+  EXPECT_EQ(all_bytes(sb.view()), all_bytes(sb_fresh.view()));
+}
+
+TEST(CodecPipeline, WorkspacePoolLeaseLifecycle) {
+  WorkspacePool<int> pool;
+  EXPECT_EQ(pool.created(), 0u);
+  {
+    auto a = pool.acquire();
+    auto b = pool.acquire();
+    *a = 7;
+    *b = 9;
+    EXPECT_EQ(pool.created(), 2u);
+    EXPECT_EQ(pool.in_use(), 2u);
+  }
+  EXPECT_EQ(pool.in_use(), 0u);
+  // Most-recently-released first (scope exit destroys b, then a), intact.
+  auto c = pool.acquire();
+  EXPECT_EQ(pool.created(), 2u);
+  EXPECT_EQ(*c, 7);
+  EXPECT_EQ(pool.reused(), 1u);
+  // Lease copies share the slot; the last copy releases it.
+  auto d = c;
+  c.reset();
+  EXPECT_EQ(pool.in_use(), 1u);
+  d.reset();
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+}  // namespace
+}  // namespace stair

@@ -196,28 +196,60 @@ TEST(ParallelExecute, WorkspaceIsReusedAcrossParallelCalls) {
   EXPECT_EQ(all_bytes(a.view()), all_bytes(b.view()));
 }
 
-TEST(ParallelExecute, UpdateParallelMatchesSerialUpdate) {
+// Byte-equality sweep for the update path across the full config x thread
+// matrix — the same battery the encode/decode paths get above. Odd symbol
+// size keeps a ragged final slice in play at every thread count.
+TEST(ParallelExecute, UpdateParallelMatchesSerialAcrossMatrix) {
+  for (const auto& c : config_matrix()) {
+    const StairCode code(c.cfg, c.mode);
+    const UpdateEngine engine(code);
+    const std::size_t symbol = 9999;
+
+    for (std::size_t threads : thread_matrix()) {
+      StripeBuffer serial(code, symbol), parallel(code, symbol);
+      std::vector<std::uint8_t> data(serial.data_size());
+      Rng rng(123 + threads);
+      rng.fill(data);
+      serial.set_data(data);
+      parallel.set_data(data);
+      code.encode(serial.view());
+      code.encode(parallel.view());
+
+      std::vector<std::uint8_t> fresh(symbol);
+      for (std::size_t idx = 0; idx < code.data_symbol_count(); idx += 7) {
+        rng.fill(fresh);
+        engine.update(serial.view(), idx, fresh);
+        engine.update_parallel(parallel.view(), idx, fresh, threads);
+        ASSERT_EQ(all_bytes(serial.view()), all_bytes(parallel.view()))
+            << c.cfg.to_string() << " data index " << idx << " threads=" << threads;
+      }
+    }
+  }
+}
+
+// The ExecPolicy entry point drives the same single implementation: policy
+// serial() == the plain call, sliced(t) == update_parallel(t).
+TEST(ParallelExecute, UpdatePolicyFormsAgree) {
   const StairConfig cfg{.n = 8, .r = 6, .m = 2, .e = {1, 2}};
   const StairCode code(cfg);
   const UpdateEngine engine(code);
-  const std::size_t symbol = 9999;  // odd size: ragged final slice
+  const std::size_t symbol = 4096 + 64;
 
-  StripeBuffer serial(code, symbol), parallel(code, symbol);
-  std::vector<std::uint8_t> data(serial.data_size());
-  Rng rng(123);
+  StripeBuffer a(code, symbol), b(code, symbol), c(code, symbol);
+  std::vector<std::uint8_t> data(a.data_size());
+  Rng rng(321);
   rng.fill(data);
-  serial.set_data(data);
-  parallel.set_data(data);
-  code.encode(serial.view());
-  code.encode(parallel.view());
-
-  std::vector<std::uint8_t> fresh(symbol);
-  for (std::size_t idx = 0; idx < code.data_symbol_count(); idx += 7) {
-    rng.fill(fresh);
-    engine.update(serial.view(), idx, fresh);
-    engine.update_parallel(parallel.view(), idx, fresh, idx % 2 ? 3 : 0);
-    ASSERT_EQ(all_bytes(serial.view()), all_bytes(parallel.view())) << "data index " << idx;
+  for (auto* s : {&a, &b, &c}) {
+    s->set_data(data);
+    code.encode(s->view());
   }
+  std::vector<std::uint8_t> fresh(symbol);
+  rng.fill(fresh);
+  engine.update(a.view(), 2, fresh);
+  engine.update(b.view(), 2, fresh, ExecPolicy::serial());
+  engine.update(c.view(), 2, fresh, ExecPolicy::pooled());
+  EXPECT_EQ(all_bytes(a.view()), all_bytes(b.view()));
+  EXPECT_EQ(all_bytes(a.view()), all_bytes(c.view()));
 }
 
 TEST(ParallelExecute, ManyMoreThreadsThanBytes) {

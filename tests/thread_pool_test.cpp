@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -140,6 +142,53 @@ TEST(ThreadPool, DefaultPoolIsASingleton) {
   ThreadPool& b = ThreadPool::default_pool();
   EXPECT_EQ(&a, &b);
   EXPECT_GE(a.concurrency(), 1u);
+}
+
+TEST(ThreadPool, SubmitRunsEveryTask) {
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 500;
+  std::atomic<std::size_t> ran{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    pool.submit([&] {
+      ran.fetch_add(1);
+      if (done.fetch_add(1) + 1 == kTasks) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done.load() == kTasks; });
+  EXPECT_EQ(ran.load(), kTasks);
+  // The pool's stat is bumped after the task body returns, so it can trail
+  // the in-task counter by the tasks still unwinding.
+  while (pool.tasks_run() < kTasks) std::this_thread::yield();
+  EXPECT_EQ(pool.tasks_run(), kTasks);
+}
+
+TEST(ThreadPool, SubmitOnZeroWorkerPoolRunsInline) {
+  ThreadPool pool(1);  // caller-only: no workers to hand the task to
+  bool ran = false;
+  pool.submit([&] { ran = true; });
+  EXPECT_TRUE(ran);  // ran before submit returned
+  EXPECT_EQ(pool.tasks_run(), 1u);
+}
+
+TEST(ThreadPool, SubmitAndParallelForInterleave) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> task_runs{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.submit([&] { task_runs.fetch_add(1); });
+    std::atomic<std::size_t> indices{0};
+    pool.parallel_for(16, [&](std::size_t) { indices.fetch_add(1); });
+    EXPECT_EQ(indices.load(), 16u);
+  }
+  // Queued tasks are drained by destruction (workers finish the queue).
+  while (pool.tasks_run() < 50) std::this_thread::yield();
+  EXPECT_EQ(task_runs.load(), 50u);
 }
 
 }  // namespace
