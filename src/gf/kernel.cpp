@@ -42,6 +42,20 @@ bool cpu_supports(Backend b) {
 // -1 = not yet detected; otherwise the int value of the active Backend.
 std::atomic<int> g_backend{-1};
 
+// -2 = not yet detected; -1 = auto (preferred_layout decides per width);
+// otherwise the int value of a forced RegionLayout.
+std::atomic<int> g_layout{-2};
+
+int detect_layout_mode() {
+  if (const char* env = std::getenv("STAIR_GF_LAYOUT")) {
+    const std::string want(env);
+    if (want == layout_name(RegionLayout::kStandard)) return 0;
+    if (want == layout_name(RegionLayout::kAltmap)) return 1;
+    // Unknown request: fall through to auto.
+  }
+  return -1;
+}
+
 Backend detect_backend() {
   if (const char* env = std::getenv("STAIR_GF_BACKEND")) {
     const std::string want(env);
@@ -132,6 +146,46 @@ bool force_backend(Backend b) {
 void reset_backend() { g_backend.store(-1, std::memory_order_relaxed); }
 
 // ---------------------------------------------------------------------------
+// Region layouts (declared in region.h; the dispatch tables live here)
+// ---------------------------------------------------------------------------
+
+const char* layout_name(RegionLayout layout) {
+  return layout == RegionLayout::kAltmap ? "altmap" : "standard";
+}
+
+RegionLayout preferred_layout(int w) {
+  // The byte-linear widths have one layout; never report altmap for them so
+  // callers skip pointless (no-op) conversion passes.
+  if (w < 16) return RegionLayout::kStandard;
+  int mode = g_layout.load(std::memory_order_relaxed);
+  if (mode == -2) {
+    mode = detect_layout_mode();
+    g_layout.store(mode, std::memory_order_relaxed);
+  }
+  if (mode >= 0) return static_cast<RegionLayout>(mode);
+  // Altmap only pays when the wide widths actually vectorize: every SIMD
+  // backend lifts w = 16/32 via altmap; the scalar wide-table loop is layout
+  // agnostic, so standard avoids the conversion passes there.
+  return active_backend() == Backend::kScalar ? RegionLayout::kStandard
+                                              : RegionLayout::kAltmap;
+}
+
+void force_layout(RegionLayout layout) {
+  g_layout.store(static_cast<int>(layout), std::memory_order_relaxed);
+}
+
+void reset_layout() { g_layout.store(-2, std::memory_order_relaxed); }
+
+void convert_region(int w, RegionLayout from, RegionLayout to,
+                    std::span<std::uint8_t> data) {
+  if (from == to || w < 16 || data.empty()) return;
+  const KernelFns& fns = active_fns();
+  const LayoutConvertFn fn = to == RegionLayout::kAltmap ? fns.to_altmap[widx_for(w)]
+                                                         : fns.from_altmap[widx_for(w)];
+  fn(data.data(), data.size());
+}
+
+// ---------------------------------------------------------------------------
 // CompiledKernel: split-table construction (backend-independent)
 // ---------------------------------------------------------------------------
 
@@ -149,6 +203,21 @@ std::uint64_t affine_matrix(const std::uint8_t (&unit_image)[8]) {
     m |= static_cast<std::uint64_t>(row) << (8 * (7 - i));
   }
   return m;
+}
+
+// The composed-affine decomposition of the wide widths: matrices[b][c] is
+// the GF(2)-linear map "source byte c -> product byte b", i.e. the image of
+// x under byte_b(a * (x << 8c)). The GFNI altmap kernels XOR these per-byte
+// maps over the w/8 source planes of a block (kernels_impl.h).
+void build_affine_wide(const Field& f, std::uint32_t a, int bytes,
+                       std::uint64_t (&matrices)[4][4]) {
+  for (int c = 0; c < bytes; ++c)
+    for (int b = 0; b < bytes; ++b) {
+      std::uint8_t unit[8];
+      for (int j = 0; j < 8; ++j)
+        unit[j] = static_cast<std::uint8_t>(f.mul(a, 1u << (8 * c + j)) >> (8 * b));
+      matrices[b][c] = affine_matrix(unit);
+    }
 }
 
 }  // namespace
@@ -202,6 +271,7 @@ CompiledKernel::CompiledKernel(const Field& f, std::uint32_t a)
           t_.nib[k][0][v] = static_cast<std::uint8_t>(prod);
           t_.nib[k][1][v] = static_cast<std::uint8_t>(prod >> 8);
         }
+      build_affine_wide(f, a, 2, t_.affine_wide);
       break;
     case 32:
       t_.wide32.resize(1024);
@@ -214,6 +284,7 @@ CompiledKernel::CompiledKernel(const Field& f, std::uint32_t a)
           for (int b = 0; b < 4; ++b)
             t_.nib[k][b][v] = static_cast<std::uint8_t>(prod >> (8 * b));
         }
+      build_affine_wide(f, a, 4, t_.affine_wide);
       break;
     default:
       assert(false && "unsupported w");
@@ -221,30 +292,32 @@ CompiledKernel::CompiledKernel(const Field& f, std::uint32_t a)
 }
 
 void CompiledKernel::mult_xor(std::span<const std::uint8_t> src,
-                              std::span<std::uint8_t> dst) const {
+                              std::span<std::uint8_t> dst, RegionLayout layout) const {
   assert(src.size() == dst.size());
   assert(src.size() % (w_ >= 8 ? static_cast<std::size_t>(w_ / 8) : 1) == 0);
   if (src.empty() || a_ == 0) return;
   if (a_ == 1) {
-    xor_region(src, dst);
+    xor_region(src, dst);  // pointwise on bytes: layout-agnostic
     return;
   }
-  active_fns().mult_xor[widx_](t_, src.data(), dst.data(), src.size());
+  active_fns().mult_xor[static_cast<int>(layout)][widx_](t_, src.data(), dst.data(),
+                                                         src.size());
 }
 
 void CompiledKernel::mult(std::span<const std::uint8_t> src,
-                          std::span<std::uint8_t> dst) const {
+                          std::span<std::uint8_t> dst, RegionLayout layout) const {
   assert(src.size() == dst.size());
   if (src.empty()) return;
   if (a_ == 0) {
-    std::memset(dst.data(), 0, dst.size());
+    std::memset(dst.data(), 0, dst.size());  // zero is zero in both layouts
     return;
   }
   if (a_ == 1) {
     if (dst.data() != src.data()) std::memcpy(dst.data(), src.data(), src.size());
     return;
   }
-  active_fns().mult[widx_](t_, src.data(), dst.data(), src.size());
+  active_fns().mult[static_cast<int>(layout)][widx_](t_, src.data(), dst.data(),
+                                                     src.size());
 }
 
 // ---------------------------------------------------------------------------

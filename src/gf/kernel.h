@@ -4,22 +4,30 @@
 // region primitive (§5.3, after [Plank FAST'13]). This module turns that
 // primitive into a subsystem:
 //
-//  * Backend dispatch. The split-table kernels exist in three builds —
-//    scalar, SSSE3 (pshufb, 16 B/iter) and AVX2 (vpshufb, 32 B/iter) — all
-//    compiled into one binary (each in its own translation unit with its own
-//    ISA flags) and selected once at startup via CPUID. `force_backend()` or
-//    the STAIR_GF_BACKEND environment variable (scalar | ssse3 | avx2)
-//    override the choice for testing and benchmarking.
+//  * Backend dispatch. The region kernels exist in four builds — scalar,
+//    SSSE3 (pshufb, 16 B/iter), AVX2 (vpshufb, 32 B/iter) and GFNI
+//    (gf2p8affineqb over AVX2 widths) — all compiled into one binary (each
+//    in its own translation unit with its own ISA flags) and selected once
+//    at startup via CPUID. `force_backend()` or the STAIR_GF_BACKEND
+//    environment variable (scalar | ssse3 | avx2 | gfni) override the
+//    choice for testing and benchmarking.
+//
+//  * Layout dispatch. Each backend's function table is indexed by
+//    (RegionLayout, word size): the standard little-endian kernels, the
+//    altmap (planar 64-byte-block) kernels that lift w = 16/32 to the full
+//    SIMD split-table / composed-affine paths, and the to/from-altmap
+//    conversion kernels. See gf/region.h for the layout spec.
 //
 //  * CompiledKernel. Multiplying a region by a constant `a` needs split
 //    product tables derived from `a`. The seed rebuilt them on every call;
 //    a CompiledKernel builds them once, and `compiled_kernel(f, a)` caches
 //    kernels per (field, coefficient) so schedule replay pays zero table
-//    construction. Tables are backend-independent, so kernels stay valid
-//    across force_backend() switches.
+//    construction. Tables are backend- and layout-independent, so kernels
+//    stay valid across force_backend() / force_layout() switches.
 //
-// All backends produce bit-identical results; tests cross-check every
-// backend against scalar GF arithmetic for every word size.
+// All backends produce bit-identical results in both layouts; tests
+// cross-check every backend against scalar GF arithmetic for every word
+// size and layout.
 #pragma once
 
 #include <cstddef>
@@ -29,15 +37,17 @@
 #include <vector>
 
 #include "gf/gf.h"
+#include "gf/region.h"
 
 namespace stair::gf {
 
 /// Kernel instruction-set backends, in ascending capability order. kGfni is
-/// AVX2-width with GF2P8AFFINEQB for the byte-linear widths (w = 4/8): one
-/// instruction per 32 bytes instead of the pshufb split-table chain.
+/// AVX2-width with GF2P8AFFINEQB: one instruction per 32 bytes for the
+/// byte-linear widths (w = 4/8), and a (w/8 x w/8) grid of composed affine
+/// ops per altmap block for w = 16/32.
 enum class Backend { kScalar = 0, kSsse3 = 1, kAvx2 = 2, kGfni = 3 };
 
-/// "scalar" / "ssse3" / "avx2".
+/// "scalar" / "ssse3" / "avx2" / "gfni".
 const char* backend_name(Backend b);
 
 /// True if this binary contains kernels for `b` (compile-time property).
@@ -61,7 +71,9 @@ void reset_backend();
 ///  * nib[k][b][v]: byte `b` of a * (v << 4k) — the pshufb tables. Valid
 ///    nibble positions k < w/4 and product bytes b < w/8 (w = 4 packs the
 ///    low-nibble product in nib[0][0] and the high-nibble product, already
-///    shifted left 4, in nib[1][0]).
+///    shifted left 4, in nib[1][0]). The standard w = 16 kernel uses
+///    (k, b < 2); the altmap kernels index the full (k, b) grid directly
+///    since planar blocks put every nibble in a per-byte lane.
 ///  * pack4: w = 4 only — packed-byte table, both nibbles multiplied at once.
 ///  * row8: w = 8 only — a copy of row `a` of the field's full 256x256
 ///    product table (copied so cached kernels never dangle into a
@@ -72,6 +84,12 @@ void reset_backend();
 ///    matrix operand GF2P8AFFINEQB expects (row for output bit i in byte
 ///    7-i). Multiplication by a constant is linear over GF(2), so this works
 ///    for any primitive polynomial, not just the instruction's native 0x11B.
+///  * affine_wide[b][c]: w = 16/32 only — the GF2P8AFFINEQB matrix of the
+///    map "source byte c -> byte b of the product", i.e. x -> byte_b of
+///    a * (x << 8c). Because multiplication is GF(2)-linear, product byte b
+///    of a symbol is the XOR over c of these per-byte maps — the composed
+///    affine decomposition the GFNI altmap kernels run as a (w/8 x w/8)
+///    grid of affine ops over planar blocks. Valid b, c < w/8.
 struct KernelTables {
   alignas(32) std::uint8_t nib[8][4][16];
   std::uint8_t pack4[256];
@@ -79,17 +97,27 @@ struct KernelTables {
   std::vector<std::uint16_t> wide16;
   std::vector<std::uint32_t> wide32;
   std::uint64_t affine8 = 0;
+  std::uint64_t affine_wide[4][4] = {};
 };
 
 /// A region kernel: dst (op)= a * src over n bytes, tables precomputed.
 using RegionKernelFn = void (*)(const KernelTables&, const std::uint8_t* src,
                                 std::uint8_t* dst, std::size_t n);
 
-/// One backend's kernel set, indexed by word size (0..3 = w 4/8/16/32);
-/// mult_xor accumulates (dst ^= a*src), mult overwrites (dst = a*src).
+/// An in-place layout conversion over n bytes (full 64-byte blocks
+/// transformed, tail untouched — see gf/region.h).
+using LayoutConvertFn = void (*)(std::uint8_t* data, std::size_t n);
+
+/// One backend's kernel set, indexed by [layout][word size] (layouts as in
+/// RegionLayout; word sizes 0..3 = w 4/8/16/32); mult_xor accumulates
+/// (dst ^= a*src), mult overwrites (dst = a*src). For w = 4/8 the altmap
+/// entries alias the standard kernels and the conversions are no-ops (the
+/// layouts coincide).
 struct KernelFns {
-  RegionKernelFn mult_xor[4];
-  RegionKernelFn mult[4];
+  RegionKernelFn mult_xor[2][4];
+  RegionKernelFn mult[2][4];
+  LayoutConvertFn to_altmap[4];
+  LayoutConvertFn from_altmap[4];
 };
 
 namespace detail {
@@ -117,12 +145,15 @@ class CompiledKernel {
   int w() const { return w_; }
 
   /// dst ^= a * src. Regions must be equal-sized, a multiple of w/8 bytes
-  /// (any alignment). Exact aliasing (src == dst) is allowed.
-  void mult_xor(std::span<const std::uint8_t> src, std::span<std::uint8_t> dst) const;
+  /// (any alignment), both in `layout`. Exact aliasing (src == dst) is
+  /// allowed.
+  void mult_xor(std::span<const std::uint8_t> src, std::span<std::uint8_t> dst,
+                RegionLayout layout = RegionLayout::kStandard) const;
 
   /// dst = a * src (no read of dst's prior contents). Exact aliasing is
   /// allowed; partial overlap is not.
-  void mult(std::span<const std::uint8_t> src, std::span<std::uint8_t> dst) const;
+  void mult(std::span<const std::uint8_t> src, std::span<std::uint8_t> dst,
+            RegionLayout layout = RegionLayout::kStandard) const;
 
   const KernelTables& tables() const { return t_; }
 

@@ -1,7 +1,11 @@
 // GFNI backend: compiled with -mavx2 -mgfni (see CMakeLists.txt). The
 // byte-linear widths (w = 4/8) become single GF2P8AFFINEQB instructions per
-// 32 bytes; w = 16 keeps the AVX2 shuffle kernel and w = 32 the wide-table
-// loop. Only dispatched to after a runtime CPUID check.
+// 32 bytes, and the altmap wide widths run the composed-affine grid: a
+// (w/8 x w/8) set of affine matrices (one per source-byte/product-byte
+// pair) applied to the planar block planes and XORed — 4 affines per 64 B
+// at w = 16, 16 per 128 B at w = 32. Standard-layout w = 16 keeps the AVX2
+// shuffle kernel and standard w = 32 the wide-table loop. Only dispatched
+// to after a runtime CPUID check.
 #include "gf/kernels_impl.h"
 
 #if !defined(__GFNI__) || !defined(__AVX2__)

@@ -1,12 +1,19 @@
 // Region-kernel bodies, compiled once per backend translation unit.
 //
-// Included by kernels_scalar.cpp / kernels_ssse3.cpp / kernels_avx2.cpp,
-// each built with different ISA flags; the preprocessor selects the widest
-// loop those flags allow, so one source yields three distinct binary kernel
-// sets. Every function here is `static` on purpose: each TU must get its own
-// copy compiled under its own flags — a shared inline definition would let
-// the linker pick, say, the AVX2 instantiation for the scalar backend and
-// fault on pre-AVX2 machines.
+// Included by kernels_scalar.cpp / kernels_ssse3.cpp / kernels_avx2.cpp /
+// kernels_gfni.cpp, each built with different ISA flags; the preprocessor
+// selects the widest loop those flags allow, so one source yields four
+// distinct binary kernel sets. Every function here is `static` on purpose:
+// each TU must get its own copy compiled under its own flags — a shared
+// inline definition would let the linker pick, say, the AVX2 instantiation
+// for the scalar backend and fault on pre-AVX2 machines.
+//
+// Two layouts per width (see gf/region.h): the standard little-endian
+// kernels, and the altmap kernels over planar 64-byte blocks that lift
+// w = 16/32 to the same per-byte nibble-table (or GFNI affine) chain the
+// byte-linear widths run. Altmap kernels process whole 64-byte blocks and
+// hand the (standard-layout) tail to the scalar standard loop, matching the
+// conversion kernels, which transform full blocks only.
 #pragma once
 
 #include <cstddef>
@@ -25,8 +32,8 @@
 namespace stair::gf::detail {
 
 // ---------------------------------------------------------------------------
-// Scalar loops. Full kernels for the scalar backend; tail handlers (resuming
-// at byte `i`) for the SIMD backends.
+// Scalar loops, standard layout. Full kernels for the scalar backend; tail
+// handlers (resuming at byte `i`) for the SIMD backends.
 // ---------------------------------------------------------------------------
 
 template <bool Accum>
@@ -85,6 +92,252 @@ static void scalar_w32(const KernelTables& t, const std::uint8_t* src, std::uint
 }
 
 // ---------------------------------------------------------------------------
+// Scalar loops, altmap layout — the bit-identical reference forms every SIMD
+// altmap kernel is tested against, and the scalar backend's altmap kernels.
+// A symbol's bytes live one per 16/32-byte plane of the 64-byte block; each
+// iteration reassembles one symbol, multiplies through the wide tables, and
+// scatters the product back planar. Aliasing (src == dst) is safe: symbol
+// j's planar positions are read before they are written and no other
+// symbol's positions are touched.
+// ---------------------------------------------------------------------------
+
+template <bool Accum>
+static void scalar_altmap_w16(const KernelTables& t, const std::uint8_t* src,
+                              std::uint8_t* dst, std::size_t n) {
+  const std::uint16_t* lo = t.wide16.data();
+  const std::uint16_t* hi = t.wide16.data() + 256;
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    for (std::size_t j = 0; j < 32; ++j) {
+      const std::uint16_t x =
+          static_cast<std::uint16_t>(src[i + j] | (src[i + 32 + j] << 8));
+      const std::uint16_t p = static_cast<std::uint16_t>(lo[x & 0xff] ^ hi[x >> 8]);
+      if (Accum) {
+        dst[i + j] ^= static_cast<std::uint8_t>(p);
+        dst[i + 32 + j] ^= static_cast<std::uint8_t>(p >> 8);
+      } else {
+        dst[i + j] = static_cast<std::uint8_t>(p);
+        dst[i + 32 + j] = static_cast<std::uint8_t>(p >> 8);
+      }
+    }
+  }
+  scalar_w16<Accum>(t, src, dst, n, i);  // tail stays standard layout
+}
+
+template <bool Accum>
+static void scalar_altmap_w32(const KernelTables& t, const std::uint8_t* src,
+                              std::uint8_t* dst, std::size_t n) {
+  const std::uint32_t* tb = t.wide32.data();
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    for (std::size_t j = 0; j < 16; ++j) {
+      const std::uint32_t x = static_cast<std::uint32_t>(src[i + j]) |
+                              (static_cast<std::uint32_t>(src[i + 16 + j]) << 8) |
+                              (static_cast<std::uint32_t>(src[i + 32 + j]) << 16) |
+                              (static_cast<std::uint32_t>(src[i + 48 + j]) << 24);
+      const std::uint32_t p = tb[x & 0xff] ^ tb[256 + ((x >> 8) & 0xff)] ^
+                              tb[512 + ((x >> 16) & 0xff)] ^ tb[768 + (x >> 24)];
+      for (std::size_t b = 0; b < 4; ++b) {
+        const std::uint8_t pb = static_cast<std::uint8_t>(p >> (8 * b));
+        if (Accum)
+          dst[i + 16 * b + j] ^= pb;
+        else
+          dst[i + 16 * b + j] = pb;
+      }
+    }
+  }
+  scalar_w32<Accum>(t, src, dst, n, i);
+}
+
+// ---------------------------------------------------------------------------
+// Layout conversions. Full 64-byte blocks are transposed in place; the tail
+// is untouched (it stays standard in both layouts). The scalar forms define
+// the layout; the SIMD forms below must produce identical bytes.
+// ---------------------------------------------------------------------------
+
+static void noop_convert(std::uint8_t*, std::size_t) {}
+
+[[maybe_unused]] static void scalar_to_altmap_w16(std::uint8_t* p, std::size_t n) {
+  std::uint8_t tmp[64];
+  for (std::size_t i = 0; i + 64 <= n; i += 64) {
+    for (std::size_t j = 0; j < 32; ++j) {
+      tmp[j] = p[i + 2 * j];
+      tmp[32 + j] = p[i + 2 * j + 1];
+    }
+    std::memcpy(p + i, tmp, 64);
+  }
+}
+
+[[maybe_unused]] static void scalar_from_altmap_w16(std::uint8_t* p, std::size_t n) {
+  std::uint8_t tmp[64];
+  for (std::size_t i = 0; i + 64 <= n; i += 64) {
+    for (std::size_t j = 0; j < 32; ++j) {
+      tmp[2 * j] = p[i + j];
+      tmp[2 * j + 1] = p[i + 32 + j];
+    }
+    std::memcpy(p + i, tmp, 64);
+  }
+}
+
+[[maybe_unused]] static void scalar_to_altmap_w32(std::uint8_t* p, std::size_t n) {
+  std::uint8_t tmp[64];
+  for (std::size_t i = 0; i + 64 <= n; i += 64) {
+    for (std::size_t j = 0; j < 16; ++j)
+      for (std::size_t b = 0; b < 4; ++b) tmp[16 * b + j] = p[i + 4 * j + b];
+    std::memcpy(p + i, tmp, 64);
+  }
+}
+
+[[maybe_unused]] static void scalar_from_altmap_w32(std::uint8_t* p, std::size_t n) {
+  std::uint8_t tmp[64];
+  for (std::size_t i = 0; i + 64 <= n; i += 64) {
+    for (std::size_t j = 0; j < 16; ++j)
+      for (std::size_t b = 0; b < 4; ++b) tmp[4 * j + b] = p[i + 16 * b + j];
+    std::memcpy(p + i, tmp, 64);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 128-bit helpers shared by every SIMD backend (SSSE3 is a baseline of both
+// the AVX2 and GFNI TUs): unaligned loads/stores, the pshufb conversion
+// kernels (conversion is shuffle/transpose-bound, so xmm width is plenty),
+// and single-64-byte-block altmap kernels the SSSE3 backend loops over and
+// the wider backends use for odd trailing blocks.
+// ---------------------------------------------------------------------------
+
+#if defined(__SSSE3__) || defined(__AVX2__)
+
+static inline __m128i loadu128(const std::uint8_t* p) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+}
+
+static inline void storeu128(std::uint8_t* p, __m128i v) {
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+}
+
+static inline __m128i load_table128(const std::uint8_t* table16) {
+  return _mm_load_si128(reinterpret_cast<const __m128i*>(table16));
+}
+
+template <bool Accum>
+static inline void store_prod128(std::uint8_t* dst, __m128i prod) {
+  if (Accum) prod = _mm_xor_si128(prod, loadu128(dst));
+  storeu128(dst, prod);
+}
+
+// w = 16 block: gather even (low) bytes then odd (high) bytes per vector,
+// then recombine the 8-byte halves across vectors.
+static void simd_to_altmap_w16(std::uint8_t* p, std::size_t n) {
+  const __m128i sh =
+      _mm_setr_epi8(0, 2, 4, 6, 8, 10, 12, 14, 1, 3, 5, 7, 9, 11, 13, 15);
+  for (std::size_t i = 0; i + 64 <= n; i += 64) {
+    const __m128i s0 = _mm_shuffle_epi8(loadu128(p + i), sh);
+    const __m128i s1 = _mm_shuffle_epi8(loadu128(p + i + 16), sh);
+    const __m128i s2 = _mm_shuffle_epi8(loadu128(p + i + 32), sh);
+    const __m128i s3 = _mm_shuffle_epi8(loadu128(p + i + 48), sh);
+    storeu128(p + i, _mm_unpacklo_epi64(s0, s1));
+    storeu128(p + i + 16, _mm_unpacklo_epi64(s2, s3));
+    storeu128(p + i + 32, _mm_unpackhi_epi64(s0, s1));
+    storeu128(p + i + 48, _mm_unpackhi_epi64(s2, s3));
+  }
+}
+
+static void simd_from_altmap_w16(std::uint8_t* p, std::size_t n) {
+  for (std::size_t i = 0; i + 64 <= n; i += 64) {
+    const __m128i l0 = loadu128(p + i), l1 = loadu128(p + i + 16);
+    const __m128i h0 = loadu128(p + i + 32), h1 = loadu128(p + i + 48);
+    storeu128(p + i, _mm_unpacklo_epi8(l0, h0));
+    storeu128(p + i + 16, _mm_unpackhi_epi8(l0, h0));
+    storeu128(p + i + 32, _mm_unpacklo_epi8(l1, h1));
+    storeu128(p + i + 48, _mm_unpackhi_epi8(l1, h1));
+  }
+}
+
+// w = 32 block: per-vector byte-significance sort (the 4x4 index transpose
+// pattern is its own inverse), then a 4x4 dword transpose across vectors.
+static void simd_to_altmap_w32(std::uint8_t* p, std::size_t n) {
+  const __m128i sh =
+      _mm_setr_epi8(0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15);
+  for (std::size_t i = 0; i + 64 <= n; i += 64) {
+    const __m128i s0 = _mm_shuffle_epi8(loadu128(p + i), sh);
+    const __m128i s1 = _mm_shuffle_epi8(loadu128(p + i + 16), sh);
+    const __m128i s2 = _mm_shuffle_epi8(loadu128(p + i + 32), sh);
+    const __m128i s3 = _mm_shuffle_epi8(loadu128(p + i + 48), sh);
+    const __m128i t0 = _mm_unpacklo_epi32(s0, s1), t1 = _mm_unpacklo_epi32(s2, s3);
+    const __m128i t2 = _mm_unpackhi_epi32(s0, s1), t3 = _mm_unpackhi_epi32(s2, s3);
+    storeu128(p + i, _mm_unpacklo_epi64(t0, t1));
+    storeu128(p + i + 16, _mm_unpackhi_epi64(t0, t1));
+    storeu128(p + i + 32, _mm_unpacklo_epi64(t2, t3));
+    storeu128(p + i + 48, _mm_unpackhi_epi64(t2, t3));
+  }
+}
+
+static void simd_from_altmap_w32(std::uint8_t* p, std::size_t n) {
+  const __m128i sh =
+      _mm_setr_epi8(0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15);
+  for (std::size_t i = 0; i + 64 <= n; i += 64) {
+    const __m128i p0 = loadu128(p + i), p1 = loadu128(p + i + 16);
+    const __m128i p2 = loadu128(p + i + 32), p3 = loadu128(p + i + 48);
+    const __m128i u0 = _mm_unpacklo_epi32(p0, p1), u1 = _mm_unpacklo_epi32(p2, p3);
+    const __m128i u2 = _mm_unpackhi_epi32(p0, p1), u3 = _mm_unpackhi_epi32(p2, p3);
+    storeu128(p + i, _mm_shuffle_epi8(_mm_unpacklo_epi64(u0, u1), sh));
+    storeu128(p + i + 16, _mm_shuffle_epi8(_mm_unpackhi_epi64(u0, u1), sh));
+    storeu128(p + i + 32, _mm_shuffle_epi8(_mm_unpacklo_epi64(u2, u3), sh));
+    storeu128(p + i + 48, _mm_shuffle_epi8(_mm_unpackhi_epi64(u2, u3), sh));
+  }
+}
+
+// One 64-byte altmap block, w = 16: symbols 0..15 in (lo bytes at +0, hi at
+// +32), symbols 16..31 in (+16, +48). Each nibble position k of a symbol
+// sits in a per-byte lane, so the product is four pshufb lookups per
+// product byte — the same chain as w = 8, no 16-bit lane shifts.
+template <bool Accum>
+static inline void altmap_w16_block128(const KernelTables& t, const std::uint8_t* src,
+                                       std::uint8_t* dst) {
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  for (int half = 0; half < 2; ++half) {
+    const __m128i lo_bytes = loadu128(src + 16 * half);
+    const __m128i hi_bytes = loadu128(src + 32 + 16 * half);
+    const __m128i idx[4] = {
+        _mm_and_si128(lo_bytes, mask),
+        _mm_and_si128(_mm_srli_epi64(lo_bytes, 4), mask),
+        _mm_and_si128(hi_bytes, mask),
+        _mm_and_si128(_mm_srli_epi64(hi_bytes, 4), mask)};
+    __m128i out_lo = _mm_setzero_si128(), out_hi = _mm_setzero_si128();
+    for (int k = 0; k < 4; ++k) {
+      out_lo = _mm_xor_si128(out_lo, _mm_shuffle_epi8(load_table128(t.nib[k][0]), idx[k]));
+      out_hi = _mm_xor_si128(out_hi, _mm_shuffle_epi8(load_table128(t.nib[k][1]), idx[k]));
+    }
+    store_prod128<Accum>(dst + 16 * half, out_lo);
+    store_prod128<Accum>(dst + 32 + 16 * half, out_hi);
+  }
+}
+
+// One 64-byte altmap block, w = 32: plane b (bytes [16b, 16b+16)) holds byte
+// b of symbols 0..15; nibble position k = 2c (+1) comes from plane c. Eight
+// lookups per product byte versus the 32-shuffles-per-vector dead end the
+// standard layout forces (see the kernel_w32 note below).
+template <bool Accum>
+static inline void altmap_w32_block128(const KernelTables& t, const std::uint8_t* src,
+                                       std::uint8_t* dst) {
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  __m128i idx[8];
+  for (int c = 0; c < 4; ++c) {
+    const __m128i plane = loadu128(src + 16 * c);
+    idx[2 * c] = _mm_and_si128(plane, mask);
+    idx[2 * c + 1] = _mm_and_si128(_mm_srli_epi64(plane, 4), mask);
+  }
+  for (int b = 0; b < 4; ++b) {
+    __m128i out = _mm_setzero_si128();
+    for (int k = 0; k < 8; ++k)
+      out = _mm_xor_si128(out, _mm_shuffle_epi8(load_table128(t.nib[k][b]), idx[k]));
+    store_prod128<Accum>(dst + 16 * b, out);
+  }
+}
+
+#endif  // __SSSE3__ || __AVX2__
+
+// ---------------------------------------------------------------------------
 // AVX2: 32 bytes per iteration, vpshufb over 128-bit-broadcast nibble tables.
 // ---------------------------------------------------------------------------
 
@@ -94,11 +347,29 @@ static inline __m256i bcast128(const std::uint8_t* table16) {
   return _mm256_broadcastsi128_si256(_mm_load_si128(reinterpret_cast<const __m128i*>(table16)));
 }
 
+static inline __m256i loadu256(const std::uint8_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
 template <bool Accum>
 static inline void store_prod256(std::uint8_t* dst, __m256i prod) {
-  if (Accum)
-    prod = _mm256_xor_si256(prod, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst)));
+  if (Accum) prod = _mm256_xor_si256(prod, loadu256(dst));
   _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst), prod);
+}
+
+// Two 16-byte plane halves of consecutive 64-byte altmap blocks, combined
+// into one ymm so the w = 32 kernels run full width over pairs of blocks.
+static inline __m256i load_planes(const std::uint8_t* block0, const std::uint8_t* block1) {
+  return _mm256_inserti128_si256(_mm256_castsi128_si256(loadu128(block0)),
+                                 loadu128(block1), 1);
+}
+
+template <bool Accum>
+static inline void store_planes(std::uint8_t* block0, std::uint8_t* block1, __m256i prod) {
+  if (Accum)
+    prod = _mm256_xor_si256(prod, load_planes(block0, block1));
+  storeu128(block0, _mm256_castsi256_si128(prod));
+  storeu128(block1, _mm256_extracti128_si256(prod, 1));
 }
 
 #if defined(__GFNI__)
@@ -112,7 +383,7 @@ static inline void gfni_byte_linear(std::uint64_t matrix, const std::uint8_t* sr
   const __m256i m = _mm256_set1_epi64x(static_cast<long long>(matrix));
   std::size_t i = 0;
   for (; i + 32 <= n; i += 32) {
-    const __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i x = loadu256(src + i);
     store_prod256<Accum>(dst + i, _mm256_gf2p8affine_epi64_epi8(x, m, 0));
   }
   done = i;
@@ -134,6 +405,57 @@ static void kernel_w8(const KernelTables& t, const std::uint8_t* src, std::uint8
   scalar_w8<Accum>(t, src, dst, n, i);
 }
 
+// Composed-affine wide widths over altmap blocks: product byte b of a
+// symbol is the XOR over source bytes c of the GF(2)-linear map
+// affine_wide[b][c], and planar blocks put byte c of every symbol in its
+// own lane, so a (w/8 x w/8) grid of GF2P8AFFINEQB ops covers w = 16/32 —
+// 4 affines per 64 bytes at w = 16, 16 per 128 bytes at w = 32.
+template <bool Accum>
+static void kernel_w16_alt(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+                           std::size_t n) {
+  const __m256i m00 = _mm256_set1_epi64x(static_cast<long long>(t.affine_wide[0][0]));
+  const __m256i m01 = _mm256_set1_epi64x(static_cast<long long>(t.affine_wide[0][1]));
+  const __m256i m10 = _mm256_set1_epi64x(static_cast<long long>(t.affine_wide[1][0]));
+  const __m256i m11 = _mm256_set1_epi64x(static_cast<long long>(t.affine_wide[1][1]));
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m256i lo = loadu256(src + i), hi = loadu256(src + i + 32);
+    store_prod256<Accum>(dst + i,
+                         _mm256_xor_si256(_mm256_gf2p8affine_epi64_epi8(lo, m00, 0),
+                                          _mm256_gf2p8affine_epi64_epi8(hi, m01, 0)));
+    store_prod256<Accum>(dst + i + 32,
+                         _mm256_xor_si256(_mm256_gf2p8affine_epi64_epi8(lo, m10, 0),
+                                          _mm256_gf2p8affine_epi64_epi8(hi, m11, 0)));
+  }
+  scalar_w16<Accum>(t, src, dst, n, i);
+}
+
+template <bool Accum>
+static void kernel_w32_alt(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+                           std::size_t n) {
+  __m256i m[4][4];
+  for (int b = 0; b < 4; ++b)
+    for (int c = 0; c < 4; ++c)
+      m[b][c] = _mm256_set1_epi64x(static_cast<long long>(t.affine_wide[b][c]));
+  std::size_t i = 0;
+  for (; i + 128 <= n; i += 128) {
+    __m256i plane[4];
+    for (int c = 0; c < 4; ++c)
+      plane[c] = load_planes(src + i + 16 * c, src + i + 64 + 16 * c);
+    for (int b = 0; b < 4; ++b) {
+      __m256i out = _mm256_gf2p8affine_epi64_epi8(plane[0], m[b][0], 0);
+      for (int c = 1; c < 4; ++c)
+        out = _mm256_xor_si256(out, _mm256_gf2p8affine_epi64_epi8(plane[c], m[b][c], 0));
+      store_planes<Accum>(dst + i + 16 * b, dst + i + 64 + 16 * b, out);
+    }
+  }
+  if (i + 64 <= n) {  // odd trailing block: the shared xmm shuffle block
+    altmap_w32_block128<Accum>(t, src + i, dst + i);
+    i += 64;
+  }
+  scalar_w32<Accum>(t, src, dst, n, i);
+}
+
 #else
 
 // w = 4/8 share one shape: two 16-entry tables, one lookup per nibble. For
@@ -148,7 +470,7 @@ static void nib2_loop(const KernelTables& t, const std::uint8_t* src, std::uint8
   const __m256i mask = _mm256_set1_epi8(0x0f);
   std::size_t i = 0;
   for (; i + 32 <= n; i += 32) {
-    const __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i x = loadu256(src + i);
     const __m256i plo = _mm256_shuffle_epi8(tlo, _mm256_and_si256(x, mask));
     const __m256i phi =
         _mm256_shuffle_epi8(thi, _mm256_and_si256(_mm256_srli_epi64(x, 4), mask));
@@ -173,11 +495,73 @@ static void kernel_w8(const KernelTables& t, const std::uint8_t* src, std::uint8
   scalar_w8<Accum>(t, src, dst, n, i);
 }
 
+// Altmap w = 16: both planes of a 64-byte block fill whole ymm vectors, and
+// every nibble position of a symbol sits in a per-byte lane, so the product
+// is four vpshufb lookups per product byte — half the shuffles per byte of
+// the standard w = 16 kernel below, with no lane shifts.
+template <bool Accum>
+static void kernel_w16_alt(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+                           std::size_t n) {
+  __m256i lo[4], hi[4];
+  for (int k = 0; k < 4; ++k) {
+    lo[k] = bcast128(t.nib[k][0]);
+    hi[k] = bcast128(t.nib[k][1]);
+  }
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m256i lo_bytes = loadu256(src + i), hi_bytes = loadu256(src + i + 32);
+    const __m256i idx[4] = {
+        _mm256_and_si256(lo_bytes, mask),
+        _mm256_and_si256(_mm256_srli_epi64(lo_bytes, 4), mask),
+        _mm256_and_si256(hi_bytes, mask),
+        _mm256_and_si256(_mm256_srli_epi64(hi_bytes, 4), mask)};
+    __m256i out_lo = _mm256_setzero_si256(), out_hi = _mm256_setzero_si256();
+    for (int k = 0; k < 4; ++k) {
+      out_lo = _mm256_xor_si256(out_lo, _mm256_shuffle_epi8(lo[k], idx[k]));
+      out_hi = _mm256_xor_si256(out_hi, _mm256_shuffle_epi8(hi[k], idx[k]));
+    }
+    store_prod256<Accum>(dst + i, out_lo);
+    store_prod256<Accum>(dst + i + 32, out_hi);
+  }
+  scalar_w16<Accum>(t, src, dst, n, i);
+}
+
+// Altmap w = 32: the 16-byte planes of two consecutive blocks combine into
+// full ymm vectors (load_planes), then the same per-byte nibble chain —
+// eight vpshufb per product byte per 128 bytes, where the standard layout
+// is stuck on the scalar wide-table loop.
+template <bool Accum>
+static void kernel_w32_alt(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+                           std::size_t n) {
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 128 <= n; i += 128) {
+    __m256i idx[8];
+    for (int c = 0; c < 4; ++c) {
+      const __m256i plane = load_planes(src + i + 16 * c, src + i + 64 + 16 * c);
+      idx[2 * c] = _mm256_and_si256(plane, mask);
+      idx[2 * c + 1] = _mm256_and_si256(_mm256_srli_epi64(plane, 4), mask);
+    }
+    for (int b = 0; b < 4; ++b) {
+      __m256i out = _mm256_setzero_si256();
+      for (int k = 0; k < 8; ++k)
+        out = _mm256_xor_si256(out, _mm256_shuffle_epi8(bcast128(t.nib[k][b]), idx[k]));
+      store_planes<Accum>(dst + i + 16 * b, dst + i + 64 + 16 * b, out);
+    }
+  }
+  if (i + 64 <= n) {  // odd trailing block: xmm width
+    altmap_w32_block128<Accum>(t, src + i, dst + i);
+    i += 64;
+  }
+  scalar_w32<Accum>(t, src, dst, n, i);
+}
+
 #endif  // __GFNI__
 
-// w = 16: nibble indices extracted in 16-bit lanes (odd bytes zero; every
-// table maps 0 -> 0 so they contribute nothing), low/high product bytes
-// looked up separately and recombined with a lane shift.
+// w = 16, standard layout: nibble indices extracted in 16-bit lanes (odd
+// bytes zero; every table maps 0 -> 0 so they contribute nothing), low/high
+// product bytes looked up separately and recombined with a lane shift.
 template <bool Accum>
 static void kernel_w16(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
                        std::size_t n) {
@@ -189,7 +573,7 @@ static void kernel_w16(const KernelTables& t, const std::uint8_t* src, std::uint
   const __m256i nibm = _mm256_set1_epi16(0x000f);
   std::size_t i = 0;
   for (; i + 32 <= n; i += 32) {
-    const __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i x = loadu256(src + i);
     __m256i plo = _mm256_setzero_si256(), phi = _mm256_setzero_si256();
     const __m256i idx[4] = {
         _mm256_and_si256(x, nibm), _mm256_and_si256(_mm256_srli_epi16(x, 4), nibm),
@@ -204,10 +588,11 @@ static void kernel_w16(const KernelTables& t, const std::uint8_t* src, std::uint
   scalar_w16<Accum>(t, src, dst, n, i);
 }
 
-// w = 32: the nibble-split shuffle needs 8 positions x 4 product bytes =
-// 32 table loads + shuffles + lane shifts per vector, which measures *slower*
-// than the four 256-entry wide tables (~1.9 vs ~3.4 GB/s on AVX2 hardware),
-// so every backend uses the scalar wide-table loop for this width.
+// w = 32, standard layout: the nibble-split shuffle needs 8 positions x 4
+// product bytes = 32 table loads + shuffles + lane shifts per vector, which
+// measures *slower* than the four 256-entry wide tables (~1.9 vs ~3.4 GB/s
+// on AVX2 hardware), so every backend uses the scalar wide-table loop for
+// this (layout, width) — the altmap kernels above are the vectorized path.
 template <bool Accum>
 static void kernel_w32(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
                        std::size_t n) {
@@ -215,32 +600,22 @@ static void kernel_w32(const KernelTables& t, const std::uint8_t* src, std::uint
 }
 
 // ---------------------------------------------------------------------------
-// SSSE3: same algorithms at 16 bytes per iteration.
+// SSSE3: same algorithms at 16 bytes per iteration (altmap kernels loop over
+// the shared 64-byte block forms).
 // ---------------------------------------------------------------------------
 
 #elif defined(__SSSE3__)
-
-static inline __m128i load_table(const std::uint8_t* table16) {
-  return _mm_load_si128(reinterpret_cast<const __m128i*>(table16));
-}
-
-template <bool Accum>
-static inline void store_prod128(std::uint8_t* dst, __m128i prod) {
-  if (Accum)
-    prod = _mm_xor_si128(prod, _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst)));
-  _mm_storeu_si128(reinterpret_cast<__m128i*>(dst), prod);
-}
 
 // Shared two-nibble-table loop for w = 4/8; only the scalar tail differs.
 template <bool Accum>
 static void nib2_loop(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
                       std::size_t n, std::size_t& done) {
-  const __m128i tlo = load_table(t.nib[0][0]);
-  const __m128i thi = load_table(t.nib[1][0]);
+  const __m128i tlo = load_table128(t.nib[0][0]);
+  const __m128i thi = load_table128(t.nib[1][0]);
   const __m128i mask = _mm_set1_epi8(0x0f);
   std::size_t i = 0;
   for (; i + 16 <= n; i += 16) {
-    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i x = loadu128(src + i);
     const __m128i plo = _mm_shuffle_epi8(tlo, _mm_and_si128(x, mask));
     const __m128i phi = _mm_shuffle_epi8(thi, _mm_and_si128(_mm_srli_epi64(x, 4), mask));
     store_prod128<Accum>(dst + i, _mm_xor_si128(plo, phi));
@@ -269,13 +644,13 @@ static void kernel_w16(const KernelTables& t, const std::uint8_t* src, std::uint
                        std::size_t n) {
   __m128i lo[4], hi[4];
   for (int k = 0; k < 4; ++k) {
-    lo[k] = load_table(t.nib[k][0]);
-    hi[k] = load_table(t.nib[k][1]);
+    lo[k] = load_table128(t.nib[k][0]);
+    hi[k] = load_table128(t.nib[k][1]);
   }
   const __m128i nibm = _mm_set1_epi16(0x000f);
   std::size_t i = 0;
   for (; i + 16 <= n; i += 16) {
-    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i x = loadu128(src + i);
     const __m128i idx[4] = {_mm_and_si128(x, nibm),
                             _mm_and_si128(_mm_srli_epi16(x, 4), nibm),
                             _mm_and_si128(_mm_srli_epi16(x, 8), nibm),
@@ -291,15 +666,32 @@ static void kernel_w16(const KernelTables& t, const std::uint8_t* src, std::uint
 }
 
 // See the AVX2 note: the 32-shuffle nibble split loses to the wide tables
-// for w = 32, so the scalar loop is the kernel here too.
+// for w = 32 in the standard layout, so the scalar loop is the kernel here
+// too; the altmap kernel below is the vectorized path for this width.
 template <bool Accum>
 static void kernel_w32(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
                        std::size_t n) {
   scalar_w32<Accum>(t, src, dst, n);
 }
 
+template <bool Accum>
+static void kernel_w16_alt(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+                           std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) altmap_w16_block128<Accum>(t, src + i, dst + i);
+  scalar_w16<Accum>(t, src, dst, n, i);
+}
+
+template <bool Accum>
+static void kernel_w32_alt(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+                           std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) altmap_w32_block128<Accum>(t, src + i, dst + i);
+  scalar_w32<Accum>(t, src, dst, n, i);
+}
+
 // ---------------------------------------------------------------------------
-// No SIMD flags: the scalar loops are the kernels.
+// No SIMD flags: the scalar loops are the kernels for both layouts.
 // ---------------------------------------------------------------------------
 
 #else
@@ -328,18 +720,54 @@ static void kernel_w32(const KernelTables& t, const std::uint8_t* src, std::uint
   scalar_w32<Accum>(t, src, dst, n);
 }
 
+template <bool Accum>
+static void kernel_w16_alt(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+                           std::size_t n) {
+  scalar_altmap_w16<Accum>(t, src, dst, n);
+}
+
+template <bool Accum>
+static void kernel_w32_alt(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+                           std::size_t n) {
+  scalar_altmap_w32<Accum>(t, src, dst, n);
+}
+
 #endif
 
 static KernelFns impl_kernel_fns() {
+  constexpr int kStd = static_cast<int>(RegionLayout::kStandard);
+  constexpr int kAlt = static_cast<int>(RegionLayout::kAltmap);
   KernelFns fns;
-  fns.mult_xor[0] = kernel_w4<true>;
-  fns.mult_xor[1] = kernel_w8<true>;
-  fns.mult_xor[2] = kernel_w16<true>;
-  fns.mult_xor[3] = kernel_w32<true>;
-  fns.mult[0] = kernel_w4<false>;
-  fns.mult[1] = kernel_w8<false>;
-  fns.mult[2] = kernel_w16<false>;
-  fns.mult[3] = kernel_w32<false>;
+  fns.mult_xor[kStd][0] = kernel_w4<true>;
+  fns.mult_xor[kStd][1] = kernel_w8<true>;
+  fns.mult_xor[kStd][2] = kernel_w16<true>;
+  fns.mult_xor[kStd][3] = kernel_w32<true>;
+  fns.mult[kStd][0] = kernel_w4<false>;
+  fns.mult[kStd][1] = kernel_w8<false>;
+  fns.mult[kStd][2] = kernel_w16<false>;
+  fns.mult[kStd][3] = kernel_w32<false>;
+  // Byte-linear widths: the layouts coincide, altmap aliases standard.
+  fns.mult_xor[kAlt][0] = kernel_w4<true>;
+  fns.mult_xor[kAlt][1] = kernel_w8<true>;
+  fns.mult_xor[kAlt][2] = kernel_w16_alt<true>;
+  fns.mult_xor[kAlt][3] = kernel_w32_alt<true>;
+  fns.mult[kAlt][0] = kernel_w4<false>;
+  fns.mult[kAlt][1] = kernel_w8<false>;
+  fns.mult[kAlt][2] = kernel_w16_alt<false>;
+  fns.mult[kAlt][3] = kernel_w32_alt<false>;
+  fns.to_altmap[0] = fns.to_altmap[1] = noop_convert;
+  fns.from_altmap[0] = fns.from_altmap[1] = noop_convert;
+#if defined(__SSSE3__) || defined(__AVX2__)
+  fns.to_altmap[2] = simd_to_altmap_w16;
+  fns.from_altmap[2] = simd_from_altmap_w16;
+  fns.to_altmap[3] = simd_to_altmap_w32;
+  fns.from_altmap[3] = simd_from_altmap_w32;
+#else
+  fns.to_altmap[2] = scalar_to_altmap_w16;
+  fns.from_altmap[2] = scalar_from_altmap_w16;
+  fns.to_altmap[3] = scalar_to_altmap_w32;
+  fns.from_altmap[3] = scalar_from_altmap_w32;
+#endif
   return fns;
 }
 

@@ -25,18 +25,20 @@ void xor_region(std::span<const std::uint8_t> src, std::span<std::uint8_t> dst) 
 }
 
 void mult_xor_region(const Field& f, std::uint32_t a,
-                     std::span<const std::uint8_t> src, std::span<std::uint8_t> dst) {
+                     std::span<const std::uint8_t> src, std::span<std::uint8_t> dst,
+                     RegionLayout layout) {
   assert(src.size() == dst.size());
   if (a == 0 || src.empty()) return;
   if (a == 1) {
     xor_region(src, dst);
     return;
   }
-  compiled_kernel(f, a)->mult_xor(src, dst);
+  compiled_kernel(f, a)->mult_xor(src, dst, layout);
 }
 
 void mult_region(const Field& f, std::uint32_t a,
-                 std::span<const std::uint8_t> src, std::span<std::uint8_t> dst) {
+                 std::span<const std::uint8_t> src, std::span<std::uint8_t> dst,
+                 RegionLayout layout) {
   assert(src.size() == dst.size());
   if (a == 0) {
     std::memset(dst.data(), 0, dst.size());
@@ -49,10 +51,17 @@ void mult_region(const Field& f, std::uint32_t a,
   if (src.empty()) return;
   // The overwrite kernels never read dst, so exact aliasing (in-place scale)
   // is safe: every block is fully loaded before it is stored.
-  compiled_kernel(f, a)->mult(src, dst);
+  compiled_kernel(f, a)->mult(src, dst, layout);
 }
 
-bool has_simd_w8() { return active_backend() != Backend::kScalar; }
+bool has_simd(int w) {
+  if (active_backend() == Backend::kScalar) return false;
+  // Standard-layout w = 32 is the scalar wide-table loop on every backend;
+  // the width only vectorizes through altmap. w = 16 has a (partially
+  // vectorized) standard SIMD kernel, so it counts in either layout.
+  if (w == 32) return preferred_layout(w) == RegionLayout::kAltmap;
+  return true;
+}
 
 std::size_t region_cache_budget() {
   static const std::size_t budget = [] {

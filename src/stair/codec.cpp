@@ -30,6 +30,13 @@ struct CodecJob {
   const CompiledSchedule* plan = nullptr;
   std::shared_ptr<const CompiledSchedule> plan_keepalive;
   WorkspacePool<Workspace>::Lease ws;
+  // Region layout the plan replays in (resolved once at submit). With
+  // kAltmap, each subtask converts the plan-referenced stripe regions of its
+  // byte range in, replays, and converts back — ranges are disjoint and
+  // altmap blocks 64-byte-aligned, so each stripe byte converts exactly once
+  // per job, at the submit/complete boundary of its range, never inside the
+  // strip-mined replay loop. Leased workspace scratch stays altmap forever.
+  gf::RegionLayout layout = gf::RegionLayout::kStandard;
 
   // Update: the per-range body needs the original view plus delta scratch.
   const UpdateEngine* engine = nullptr;
@@ -47,11 +54,15 @@ struct CodecJob {
   bool ok = true;                  // immutable after submit
   std::exception_ptr error;        // guarded by mu; first failure wins
 
+  void replay(std::size_t offset, std::size_t length) const {
+    plan->execute_range_converted(ws->symbols_, ws->caller_owned_, layout, offset, length);
+  }
+
   void run_range(std::size_t offset, std::size_t length) const {
     switch (kind) {
       case Kind::kEncode:
       case Kind::kDecode:
-        plan->execute_range(ws->symbols_, offset, length);
+        replay(offset, length);
         break;
       case Kind::kUpdate:
         engine->update_range(stripe, data_index, new_content, delta->span(), offset, length);
@@ -63,7 +74,7 @@ struct CodecJob {
     switch (kind) {
       case Kind::kEncode:
       case Kind::kDecode:
-        plan->execute(ws->symbols_);  // full replay keeps the strip-mined path
+        replay(0, symbol_size);  // full replay keeps the strip-mined path
         break;
       case Kind::kUpdate:
         engine->update_range(stripe, data_index, new_content, delta->span(), 0, symbol_size);
@@ -188,6 +199,7 @@ Codec::Handle Codec::submit_encode(const StripeView& stripe, EncodingMethod meth
   job->kind = CodecJob::Kind::kEncode;
   job->symbol_size = stripe.symbol_size;
   job->plan = &plan;
+  job->layout = gf::preferred_layout(code_->field().w());
   job->ws = workspaces_.acquire();
   code_->prepare_workspace(stripe, *job->ws);  // validates the view; throws here
 
@@ -216,6 +228,7 @@ Codec::Handle Codec::submit_decode(const StripeView& stripe, const std::vector<b
   job->symbol_size = stripe.symbol_size;
   job->plan = plan.get();
   job->plan_keepalive = std::move(plan);
+  job->layout = gf::preferred_layout(code_->field().w());
   job->ws = workspaces_.acquire();
   code_->prepare_workspace(stripe, *job->ws);
 

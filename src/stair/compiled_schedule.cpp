@@ -3,32 +3,40 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
-#include <unordered_set>
+#include <map>
 
 #include "gf/region.h"
 
 namespace stair {
 
 CompiledSchedule::CompiledSchedule(const Schedule& schedule, std::size_t strip_bytes)
-    : forced_strip_(strip_bytes) {
-  std::unordered_set<std::uint32_t> touched;
+    : forced_strip_(strip_bytes), w_(schedule.field().w()) {
+  // id -> read? (ordered so touched_ ends up sorted by id)
+  std::map<std::uint32_t, bool> touched;
   const gf::Field& f = schedule.field();
   ops_.reserve(schedule.ops().size());
   for (const auto& op : schedule.ops()) {
     Op compiled;
     compiled.output = op.output;
-    touched.insert(op.output);
+    touched.emplace(op.output, false);
     bool self_ref = false;
     for (const auto& term : op.terms) {
       if (term.coeff == 0) continue;  // contributes nothing under replay
       if (term.input == op.output) self_ref = true;
       compiled.terms.push_back({gf::compiled_kernel(f, term.coeff), term.input});
-      touched.insert(term.input);
+      // emplace, not assignment: an id first seen as an output keeps
+      // read=false even if a later op reads it — the replay fully overwrites
+      // it (per strip, in op order) before that read, so its pre-replay
+      // bytes are dead and the inbound conversion can skip it. This covers
+      // self-references too: a zero_fill op reads its output after the
+      // memset, never the stale bytes.
+      touched.emplace(term.input, true);
     }
     compiled.zero_fill = self_ref || compiled.terms.empty();
     ops_.push_back(std::move(compiled));
   }
-  touched_symbols_ = touched.size();
+  touched_.reserve(touched.size());
+  for (const auto& [id, read] : touched) touched_.push_back({id, read});
 }
 
 std::size_t CompiledSchedule::mult_xor_count() const {
@@ -40,19 +48,21 @@ std::size_t CompiledSchedule::mult_xor_count() const {
 std::size_t CompiledSchedule::strip_size(std::size_t symbol_size) const {
   std::size_t strip = forced_strip_
                           ? forced_strip_
-                          : gf::region_cache_budget() / std::max<std::size_t>(1, touched_symbols_);
+                          : gf::region_cache_budget() / std::max<std::size_t>(1, touched_.size());
   strip &= ~std::size_t{63};  // keep strips 64-byte-granular (symbol-aligned for all w)
   if (strip < 64) strip = 64;
   return std::min(strip, symbol_size);
 }
 
-void CompiledSchedule::execute(std::span<const std::span<std::uint8_t>> symbols) const {
+void CompiledSchedule::execute(std::span<const std::span<std::uint8_t>> symbols,
+                               gf::RegionLayout layout) const {
   if (ops_.empty()) return;
-  execute_range(symbols, 0, symbols[ops_.front().output].size());
+  execute_range(symbols, 0, symbols[ops_.front().output].size(), layout);
 }
 
 void CompiledSchedule::execute_range(std::span<const std::span<std::uint8_t>> symbols,
-                                     std::size_t range_offset, std::size_t length) const {
+                                     std::size_t range_offset, std::size_t length,
+                                     gf::RegionLayout layout) const {
   if (ops_.empty() || length == 0) return;
   assert(range_offset % 64 == 0);
   assert(range_offset + length <= symbols[ops_.front().output].size());
@@ -70,21 +80,51 @@ void CompiledSchedule::execute_range(std::span<const std::span<std::uint8_t>> sy
         for (const Term& term : op.terms) {
           assert(term.input < symbols.size() &&
                  symbols[term.input].size() >= range_offset + length);
-          term.kernel->mult_xor(symbols[term.input].subspan(offset, len), dst);
+          term.kernel->mult_xor(symbols[term.input].subspan(offset, len), dst, layout);
         }
         continue;
       }
       const Term& first = op.terms.front();
       assert(first.input < symbols.size() &&
              symbols[first.input].size() >= range_offset + length);
-      first.kernel->mult(symbols[first.input].subspan(offset, len), dst);
+      first.kernel->mult(symbols[first.input].subspan(offset, len), dst, layout);
       for (std::size_t t = 1; t < op.terms.size(); ++t) {
         const Term& term = op.terms[t];
         assert(term.input < symbols.size() &&
                symbols[term.input].size() >= range_offset + length);
-        term.kernel->mult_xor(symbols[term.input].subspan(offset, len), dst);
+        term.kernel->mult_xor(symbols[term.input].subspan(offset, len), dst, layout);
       }
     }
+  }
+}
+
+void CompiledSchedule::execute_range_converted(
+    std::span<const std::span<std::uint8_t>> symbols,
+    const std::vector<bool>& caller_owned, gf::RegionLayout layout, std::size_t offset,
+    std::size_t length) const {
+  if (layout == gf::RegionLayout::kStandard) {
+    execute_range(symbols, offset, length);
+    return;
+  }
+  convert_user_regions(symbols, caller_owned, layout, offset, length);
+  execute_range(symbols, offset, length, layout);
+  convert_user_regions(symbols, caller_owned, gf::RegionLayout::kStandard, offset, length);
+}
+
+void CompiledSchedule::convert_user_regions(std::span<const std::span<std::uint8_t>> symbols,
+                                            const std::vector<bool>& caller_owned,
+                                            gf::RegionLayout to, std::size_t offset,
+                                            std::size_t length) const {
+  if (w_ < 16 || length == 0) return;
+  assert(offset % 64 == 0);
+  const bool entering = to == gf::RegionLayout::kAltmap;
+  const gf::RegionLayout from =
+      entering ? gf::RegionLayout::kStandard : gf::RegionLayout::kAltmap;
+  for (const Touched& t : touched_) {
+    if (t.id >= caller_owned.size() || !caller_owned[t.id]) continue;
+    if (entering && !t.read) continue;  // write-only: replay overwrites it anyway
+    assert(symbols[t.id].size() >= offset + length);
+    gf::convert_region(w_, from, to, symbols[t.id].subspan(offset, length));
   }
 }
 

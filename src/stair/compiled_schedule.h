@@ -14,9 +14,19 @@
 //    are pointwise, so any byte slicing is exact): all terms of an op run
 //    back-to-back on a strip while the destination is cache-resident, and
 //    inputs reused by later ops are still hot — large stripes stream from
-//    DRAM once instead of once per referencing op.
+//    DRAM once instead of once per referencing op;
+//  * replay takes a RegionLayout: with kAltmap every kernel call runs the
+//    planar fast path that lifts w = 16/32 to full SIMD (gf/region.h). The
+//    symbol table must then hold altmap regions; convert_user_regions()
+//    performs the boundary conversion for the caller-owned regions (scratch
+//    symbols live permanently in altmap — they start zeroed, which is
+//    layout-invariant, and never escape a replay), and it only touches
+//    regions the plan references, so a sparse decode never pays for the
+//    whole stripe. Conversion commutes with 64-byte-granular range slicing,
+//    so parallel replays convert exactly the range they execute.
 //
-// Replay is byte-identical to Schedule::execute on the same symbol table.
+// Replay is byte-identical to Schedule::execute on the same symbol table
+// (after conversion, for altmap replays).
 #pragma once
 
 #include <cstdint>
@@ -46,21 +56,55 @@ class CompiledSchedule {
   std::size_t mult_xor_count() const;
 
   /// Replays over `symbols` — same contract and same bytes as
-  /// Schedule::execute on the source schedule.
-  void execute(std::span<const std::span<std::uint8_t>> symbols) const;
+  /// Schedule::execute on the source schedule. With kAltmap, every region
+  /// the plan references must already be in altmap layout.
+  void execute(std::span<const std::span<std::uint8_t>> symbols,
+               gf::RegionLayout layout = gf::RegionLayout::kStandard) const;
 
   /// Replays only bytes [offset, offset + length) of every region. Region
-  /// ops are pointwise, so running disjoint ranges (in any order, on any
-  /// threads) is byte-identical to one full execute(); this is the parallel
-  /// engine's building block — workers share one symbol table instead of
-  /// building per-thread sliced copies. `offset` must be a multiple of 64
-  /// (keeps every slice symbol-aligned for all w).
+  /// ops are pointwise (and altmap blocks 64-byte-aligned), so running
+  /// disjoint ranges (in any order, on any threads) is byte-identical to one
+  /// full execute(); this is the parallel engine's building block — workers
+  /// share one symbol table instead of building per-thread sliced copies.
+  /// `offset` must be a multiple of 64 (keeps every slice symbol- and
+  /// block-aligned for all w).
   void execute_range(std::span<const std::span<std::uint8_t>> symbols,
-                     std::size_t offset, std::size_t length) const;
+                     std::size_t offset, std::size_t length,
+                     gf::RegionLayout layout = gf::RegionLayout::kStandard) const;
+
+  /// One byte range of a replay with the boundary-conversion sandwich —
+  /// the single implementation of the layout contract every layout-aware
+  /// caller (StairCode's serial/pooled replays, Codec subtasks) goes
+  /// through: convert the referenced caller-owned regions of the range to
+  /// `layout`, execute_range in it, convert them back to standard. With
+  /// kStandard this is exactly execute_range. Conversion commutes with the
+  /// 64-byte-granular slicing, so disjoint ranges run independently and
+  /// each byte converts exactly once per call, at the range boundary.
+  void execute_range_converted(std::span<const std::span<std::uint8_t>> symbols,
+                               const std::vector<bool>& caller_owned,
+                               gf::RegionLayout layout, std::size_t offset,
+                               std::size_t length) const;
+
+  /// Boundary conversion for an altmap replay: converts bytes
+  /// [offset, offset + length) of the plan-referenced regions whose ids are
+  /// marked in `caller_owned` (regions backed by caller memory that must
+  /// stay standard outside the replay; scratch stays planar forever).
+  /// Towards altmap, regions never read before their first write are
+  /// skipped — the replay fully overwrites them before any read, so
+  /// converting their stale bytes would be wasted work. Towards standard,
+  /// every referenced caller-owned region converts back. `offset` must be a
+  /// multiple of 64. No-op for byte-linear widths (w = 4/8).
+  void convert_user_regions(std::span<const std::span<std::uint8_t>> symbols,
+                            const std::vector<bool>& caller_owned,
+                            gf::RegionLayout to, std::size_t offset,
+                            std::size_t length) const;
 
   /// Distinct symbol ids referenced — the working-set width cache-aware
   /// slicing divides its budget by.
-  std::size_t touched_symbols() const { return touched_symbols_; }
+  std::size_t touched_symbols() const { return touched_.size(); }
+
+  /// Word width of the field the schedule was compiled over (0 if empty).
+  int w() const { return w_; }
 
  private:
   struct Term {
@@ -74,12 +118,22 @@ class CompiledSchedule {
     bool zero_fill = false;
     std::vector<Term> terms;
   };
+  // One entry per distinct referenced symbol id; `read` marks ids whose
+  // pre-replay bytes a surviving term can observe — i.e. ids read before
+  // their first write. Ids first referenced as an output stay read=false
+  // even when later ops read them: replay fully overwrites them (per strip,
+  // in op order) first, so inbound conversion skips their dead bytes.
+  struct Touched {
+    std::uint32_t id = 0;
+    bool read = false;
+  };
 
   std::size_t strip_size(std::size_t symbol_size) const;
 
   std::vector<Op> ops_;
-  std::size_t forced_strip_ = 0;     // nonzero = caller-pinned strip size
-  std::size_t touched_symbols_ = 0;  // distinct symbol ids referenced
+  std::vector<Touched> touched_;  // sorted by id
+  std::size_t forced_strip_ = 0;  // nonzero = caller-pinned strip size
+  int w_ = 0;
 };
 
 }  // namespace stair

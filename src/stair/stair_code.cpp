@@ -4,6 +4,9 @@
 #include <atomic>
 #include <cstring>
 #include <stdexcept>
+#include <type_traits>
+
+#include "gf/region.h"
 
 #include "stair/builders.h"
 #include "stair/plan_cache.h"
@@ -110,6 +113,7 @@ void StairCode::prepare_workspace(const StripeView& stripe, Workspace& ws) const
   }
 
   ws.symbols_.assign(total, {});
+  ws.caller_owned_.assign(total, false);
   std::size_t next_scratch = 0;
   auto scratch_region = [&](std::size_t idx) {
     return ws.scratch_.region(idx * stripe.symbol_size, stripe.symbol_size);
@@ -119,6 +123,7 @@ void StairCode::prepare_workspace(const StripeView& stripe, Workspace& ws) const
       const std::uint32_t sid = layout_.id(row, col);
       if (layout_.is_stored(row, col)) {
         ws.symbols_[sid] = stripe.stored[layout_.stored_index(row, col)];
+        ws.caller_owned_[sid] = true;
       } else {
         ws.symbols_[sid] = scratch_region(next_scratch++);
       }
@@ -126,12 +131,32 @@ void StairCode::prepare_workspace(const StripeView& stripe, Workspace& ws) const
   }
   if (mode() == GlobalParityMode::kOutside) {
     const auto& globals = layout_.outside_global_ids();
-    for (std::size_t g = 0; g < globals.size(); ++g)
+    for (std::size_t g = 0; g < globals.size(); ++g) {
       ws.symbols_[globals[g]] = stripe.outside_globals[g];
+      ws.caller_owned_[globals[g]] = true;
+    }
   }
 }
 
 namespace {
+
+// One byte range of a replay: compiled schedules go through the
+// boundary-conversion sandwich (CompiledSchedule::execute_range_converted —
+// each stripe byte converts exactly once per call, at the replay boundary,
+// never inside the strip-mined loop); the uncompiled Schedule is the
+// standard-layout reference path and never converts.
+template <typename Sched>
+void replay_range(const Sched& schedule, const std::vector<std::span<std::uint8_t>>& symbols,
+                  const std::vector<bool>& caller_owned, gf::RegionLayout layout,
+                  std::size_t offset, std::size_t length) {
+  if constexpr (std::is_same_v<Sched, CompiledSchedule>) {
+    schedule.execute_range_converted(symbols, caller_owned, layout, offset, length);
+  } else {
+    (void)caller_owned;
+    (void)layout;
+    schedule.execute_range(symbols, offset, length);
+  }
+}
 
 // Shared slicing loop for the parallel replays: region ops are pointwise, so
 // running the full schedule on disjoint byte ranges is exact. Ranges are
@@ -141,12 +166,13 @@ namespace {
 // via execute_range — no per-thread sliced span vectors.
 template <typename Sched>
 void replay_pooled(const Sched& schedule, const std::vector<std::span<std::uint8_t>>& symbols,
+                   const std::vector<bool>& caller_owned, gf::RegionLayout layout,
                    std::size_t size, std::size_t threads, std::size_t touched) {
   ThreadPool& pool = ThreadPool::default_pool();
   if (threads == 0) threads = pool.concurrency();
   const std::size_t participants = std::min(threads, pool.concurrency());
   if (participants <= 1 || size < 128) {
-    schedule.execute(symbols);
+    replay_range(schedule, symbols, caller_owned, layout, 0, size);
     return;
   }
   const std::size_t slice = gf::cache_aware_slice_bytes(size, participants, touched);
@@ -155,7 +181,8 @@ void replay_pooled(const Sched& schedule, const std::vector<std::span<std::uint8
       slices,
       [&](std::size_t i) {
         const std::size_t offset = i * slice;
-        schedule.execute_range(symbols, offset, std::min(slice, size - offset));
+        replay_range(schedule, symbols, caller_owned, layout, offset,
+                     std::min(slice, size - offset));
       },
       participants);
 }
@@ -168,11 +195,17 @@ void StairCode::run_schedule(const Sched& schedule, const StripeView& stripe, Wo
   Workspace local;
   Workspace& w = ws ? *ws : local;
   prepare_workspace(stripe, w);
+  // The compiled hot path replays in the backend's preferred layout for this
+  // width; the uncompiled Schedule overload stays standard (reference path).
+  gf::RegionLayout layout = gf::RegionLayout::kStandard;
+  if constexpr (std::is_same_v<Sched, CompiledSchedule>)
+    layout = gf::preferred_layout(field().w());
   if (policy.mode == ExecPolicy::Mode::kSerial) {
-    schedule.execute(w.symbols_);
+    replay_range(schedule, w.symbols_, w.caller_owned_, layout, 0, stripe.symbol_size);
     return;
   }
-  replay_pooled(schedule, w.symbols_, stripe.symbol_size, policy.threads, touched);
+  replay_pooled(schedule, w.symbols_, w.caller_owned_, layout, stripe.symbol_size,
+                policy.threads, touched);
 }
 
 void StairCode::execute(const Schedule& schedule, const StripeView& stripe, Workspace* ws,

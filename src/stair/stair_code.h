@@ -77,6 +77,13 @@ struct StripeView {
 /// the scratch is re-established (fresh and zeroed) whenever the owning code
 /// or the geometry changes, never silently reused (the fixed-zero scratch
 /// regions of one code may be written intermediates of another).
+///
+/// Layouts: when a compiled replay runs in altmap (gf/region.h), the scratch
+/// regions live in altmap permanently — they start zeroed (zero bytes are
+/// layout-invariant) and every non-structural-zero scratch read is preceded
+/// by a write in the same replay (the builders' single-writer property), so
+/// no conversion is ever needed or performed on scratch. Only the
+/// caller-owned stripe regions convert at the replay boundaries.
 class Workspace {
  public:
   Workspace() = default;
@@ -87,6 +94,9 @@ class Workspace {
   friend class StairCode;
   AlignedBuffer scratch_;
   std::vector<std::span<std::uint8_t>> symbols_;
+  // caller_owned_[id]: symbols_[id] is backed by the caller's stripe view
+  // (not session scratch) — the set the altmap boundary conversion touches.
+  std::vector<bool> caller_owned_;
   std::size_t scratch_symbols_ = 0, symbol_size_ = 0;
   // Identity of the code the scratch was prepared for. Two codes with equal
   // scratch footprints still must not share bytes, so reuse is keyed on the
@@ -208,6 +218,11 @@ class StairCode {
 
   /// Executes a pre-compiled schedule over this stripe — the hot path all
   /// encode/decode calls use. Byte-identical to the Schedule overload.
+  /// Internally replays in the active backend's preferred region layout for
+  /// the code's width (gf::preferred_layout — altmap for w = 16/32 on SIMD
+  /// backends), converting the plan-referenced stripe regions exactly once
+  /// at the call boundaries; caller buffers are always standard-layout
+  /// outside a call, and the workspace scratch stays altmap forever.
   void execute(const CompiledSchedule& schedule, const StripeView& stripe,
                Workspace* ws = nullptr, ExecPolicy policy = ExecPolicy::serial()) const;
 

@@ -11,6 +11,8 @@
 #include <optional>
 #include <vector>
 
+#include "gf/kernel.h"
+#include "gf/region.h"
 #include "stair/codec.h"
 #include "stair/stair_code.h"
 #include "stair/update_engine.h"
@@ -93,6 +95,57 @@ TEST(CodecPipeline, EncodeBatchMatchesSerialAcrossMatrix) {
     }
     codec.wait_all();
     EXPECT_EQ(codec.jobs_in_flight(), 0u);
+  }
+}
+
+// The submit pipeline replaying in altmap (the default on SIMD backends for
+// the wide widths) must be byte-identical to the standard-layout serial
+// path — encode and cached-plan decode, across the sliced and
+// stripe-per-task regimes — and must hand user buffers back in standard
+// layout (the byte comparison proves both at once). Symbol size includes a
+// partial trailing altmap block.
+TEST(CodecPipeline, WideWidthAltmapPipelineMatchesStandardSerial) {
+  struct LayoutGuard {
+    ~LayoutGuard() { gf::reset_layout(); }
+  } layout_guard;
+
+  for (int w : {16, 32}) {
+    const StairConfig cfg{.n = 8, .r = 6, .m = 2, .e = {1, 2}, .w = w};
+    const StairCode code(cfg);
+    const std::size_t symbol = 4096 + 72;  // 65 blocks + 8-byte standard tail
+    const std::size_t count = 6;
+
+    gf::force_layout(gf::RegionLayout::kStandard);
+    Batch batch(code, count, symbol, 9000 + w);  // reference built standard
+    gf::force_layout(gf::RegionLayout::kAltmap);
+
+    Codec codec(code, {.min_slice_bytes = 256});
+    std::vector<Codec::Handle> handles;
+    for (auto& stripe : batch.stripes) handles.push_back(codec.submit_encode(stripe.view()));
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_TRUE(handles[i].ok());
+      ASSERT_EQ(all_bytes(batch.stripes[i].view()), batch.encoded[i])
+          << "encode w=" << w << " stripe=" << i;
+    }
+
+    // Failure epoch decoded through the session plan cache, still altmap.
+    std::vector<bool> mask(cfg.n * cfg.r, false);
+    for (std::size_t i = 0; i < cfg.r; ++i) mask[i * cfg.n + 3] = true;
+    mask[2 * cfg.n + 5] = true;
+    ASSERT_TRUE(code.is_recoverable(mask));
+    Rng garbage(31 + w);
+    handles.clear();
+    for (auto& stripe : batch.stripes) {
+      for (std::size_t idx = 0; idx < mask.size(); ++idx)
+        if (mask[idx]) garbage.fill(stripe.view().stored[idx]);
+      handles.push_back(codec.submit_decode(stripe.view(), mask));
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_TRUE(handles[i].ok());
+      ASSERT_EQ(all_bytes(batch.stripes[i].view()), batch.encoded[i])
+          << "decode w=" << w << " stripe=" << i;
+    }
+    gf::reset_layout();
   }
 }
 

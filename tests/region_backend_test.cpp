@@ -1,11 +1,16 @@
 // Region-kernel backend equivalence: every compiled backend (scalar, SSSE3,
-// AVX2 — selected via force_backend) must produce bit-identical results to
-// plain scalar GF arithmetic for every word size, including unaligned
-// buffers, odd tail lengths, aliasing, and the a = 0 / a = 1 edge
-// coefficients. This is the safety net under the runtime dispatcher.
+// AVX2, GFNI — selected via force_backend) must produce bit-identical
+// results to plain scalar GF arithmetic for every word size, including
+// unaligned buffers, odd tail lengths, aliasing, and the a = 0 / a = 1 edge
+// coefficients — in both region layouts. The altmap property tests pin the
+// layout spec itself (an independent transform written from the region.h
+// comment) and the round trip convert -> mult_xor(altmap) -> convert-back
+// against the standard-layout scalar reference. This is the safety net
+// under the runtime dispatcher.
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <tuple>
@@ -53,6 +58,21 @@ struct BackendGuard {
   explicit BackendGuard(Backend b) { EXPECT_TRUE(force_backend(b)); }
   ~BackendGuard() { reset_backend(); }
 };
+
+// Independent altmap reference, written from the layout spec in region.h:
+// each full 64-byte block is transposed so byte b of the block's symbols is
+// contiguous at plane offset b * (64 / (w/8)); the tail stays standard.
+std::vector<std::uint8_t> spec_to_altmap(int w, std::span<const std::uint8_t> in) {
+  std::vector<std::uint8_t> out(in.begin(), in.end());
+  if (w < 16) return out;
+  const std::size_t bytes = static_cast<std::size_t>(w) / 8;
+  const std::size_t symbols_per_block = 64 / bytes;
+  for (std::size_t i = 0; i + 64 <= in.size(); i += 64)
+    for (std::size_t j = 0; j < symbols_per_block; ++j)
+      for (std::size_t b = 0; b < bytes; ++b)
+        out[i + b * symbols_per_block + j] = in[i + j * bytes + b];
+  return out;
+}
 
 class RegionBackendTest : public ::testing::TestWithParam<std::tuple<int, Backend>> {
  protected:
@@ -170,6 +190,151 @@ TEST_P(RegionBackendTest, CompiledKernelCacheReturnsWorkingKernels) {
     reference_mult_xor(f(), a, src.span(), ref.span());
     ASSERT_EQ(std::memcmp(dst.data(), ref.data(), size), 0)
         << backend_name(backend()) << " w=" << w() << " a=" << a;
+  }
+}
+
+TEST_P(RegionBackendTest, ConversionMatchesSpecAndRoundTrips) {
+  if (!backend_supported(backend())) GTEST_SKIP() << "backend not supported here";
+  BackendGuard guard(backend());
+  Rng rng(503 + w());
+  const std::size_t bytes = symbol_bytes();
+
+  // Sizes cover: shorter than a block, exact blocks, odd tails, many blocks;
+  // offsets misalign the base pointer relative to every SIMD width.
+  for (std::size_t base : {std::size_t{16}, std::size_t{60}, std::size_t{64},
+                           std::size_t{128}, std::size_t{200}, std::size_t{1000},
+                           std::size_t{4096}}) {
+    const std::size_t size = base - base % bytes;
+    for (std::size_t offset : {std::size_t{0}, bytes, 5 * bytes}) {
+      AlignedBuffer buf(offset + size);
+      rng.fill(buf.span());
+      std::vector<std::uint8_t> original(buf.data() + offset, buf.data() + offset + size);
+
+      convert_region(w(), RegionLayout::kStandard, RegionLayout::kAltmap,
+                     buf.region(offset, size));
+      const std::vector<std::uint8_t> expected = spec_to_altmap(w(), original);
+      ASSERT_EQ(std::memcmp(buf.data() + offset, expected.data(), size), 0)
+          << "to_altmap spec, " << backend_name(backend()) << " w=" << w()
+          << " size=" << size << " offset=" << offset;
+
+      convert_region(w(), RegionLayout::kAltmap, RegionLayout::kStandard,
+                     buf.region(offset, size));
+      ASSERT_EQ(std::memcmp(buf.data() + offset, original.data(), size), 0)
+          << "round trip, " << backend_name(backend()) << " w=" << w()
+          << " size=" << size << " offset=" << offset;
+    }
+  }
+}
+
+TEST_P(RegionBackendTest, AltmapMultXorMatchesStandardScalarReference) {
+  if (!backend_supported(backend())) GTEST_SKIP() << "backend not supported here";
+  BackendGuard guard(backend());
+  Rng rng(601 + w());
+  const std::size_t bytes = symbol_bytes();
+
+  for (std::size_t base : {std::size_t{32}, std::size_t{64}, std::size_t{100},
+                           std::size_t{192}, std::size_t{1000}, std::size_t{4160}}) {
+    const std::size_t size = base - base % bytes;
+    for (std::size_t offset : {std::size_t{0}, 3 * bytes}) {
+      AlignedBuffer src(offset + size), dst(offset + size), ref(offset + size);
+      rng.fill(src.span());
+      rng.fill(dst.span());
+      std::memcpy(ref.data(), dst.data(), offset + size);
+
+      for (std::uint32_t a : coefficients(rng)) {
+        auto src_r = src.region(offset, size), dst_r = dst.region(offset, size);
+        // Altmap path: convert both operands, multiply planar, convert back.
+        convert_region(w(), RegionLayout::kStandard, RegionLayout::kAltmap, src_r);
+        convert_region(w(), RegionLayout::kStandard, RegionLayout::kAltmap, dst_r);
+        mult_xor_region(f(), a, src_r, dst_r, RegionLayout::kAltmap);
+        convert_region(w(), RegionLayout::kAltmap, RegionLayout::kStandard, src_r);
+        convert_region(w(), RegionLayout::kAltmap, RegionLayout::kStandard, dst_r);
+
+        reference_mult_xor(f(), a, src_r, ref.region(offset, size));
+        ASSERT_EQ(std::memcmp(dst.data(), ref.data(), offset + size), 0)
+            << backend_name(backend()) << " w=" << w() << " a=" << a
+            << " size=" << size << " offset=" << offset;
+      }
+    }
+  }
+}
+
+TEST_P(RegionBackendTest, AltmapMultOverwritesAndAllowsExactAliasing) {
+  if (!backend_supported(backend())) GTEST_SKIP() << "backend not supported here";
+  BackendGuard guard(backend());
+  Rng rng(701 + w());
+  const std::size_t size = 992;  // 15 full blocks + a 32-byte tail
+
+  AlignedBuffer src(size), dst(size), inplace(size), expect(size);
+  rng.fill(src.span());
+
+  for (std::uint32_t a : coefficients(rng)) {
+    std::memset(expect.data(), 0, size);
+    reference_mult_xor(f(), a, src.span(), expect.span());
+    const std::vector<std::uint8_t> expect_alt = spec_to_altmap(w(), expect.span());
+
+    // Overwrite form reads nothing from dst: stale bytes must be ignored.
+    rng.fill(dst.span());
+    std::vector<std::uint8_t> src_alt = spec_to_altmap(w(), src.span());
+    mult_region(f(), a, src_alt, dst.span(), RegionLayout::kAltmap);
+    ASSERT_EQ(std::memcmp(dst.data(), expect_alt.data(), size), 0)
+        << backend_name(backend()) << " w=" << w() << " a=" << a;
+
+    // Exact aliasing (in-place scale) over altmap blocks.
+    std::memcpy(inplace.data(), src_alt.data(), size);
+    mult_region(f(), a, inplace.span(), inplace.span(), RegionLayout::kAltmap);
+    ASSERT_EQ(std::memcmp(inplace.data(), expect_alt.data(), size), 0)
+        << "in-place, " << backend_name(backend()) << " w=" << w() << " a=" << a;
+
+    // mult_xor aliasing: dst ^= a*dst == (a^1)*dst elementwise.
+    std::memcpy(inplace.data(), src_alt.data(), size);
+    mult_xor_region(f(), a, inplace.span(), inplace.span(), RegionLayout::kAltmap);
+    AlignedBuffer xor_expect(size);
+    std::memset(xor_expect.data(), 0, size);
+    reference_mult_xor(f(), a ^ 1u, src.span(), xor_expect.span());
+    const std::vector<std::uint8_t> xor_expect_alt = spec_to_altmap(w(), xor_expect.span());
+    ASSERT_EQ(std::memcmp(inplace.data(), xor_expect_alt.data(), size), 0)
+        << "xor-aliasing, " << backend_name(backend()) << " w=" << w() << " a=" << a;
+  }
+}
+
+TEST(RegionLayoutDispatchTest, PreferredLayoutFollowsBackendAndForceOverrides) {
+  if (std::getenv("STAIR_GF_LAYOUT"))
+    GTEST_SKIP() << "auto-detection expectations void when the env pins the layout";
+  for (Backend b : available_backends()) {
+    BackendGuard guard(b);
+    // Byte-linear widths never prefer altmap (the layouts coincide).
+    EXPECT_EQ(preferred_layout(4), RegionLayout::kStandard);
+    EXPECT_EQ(preferred_layout(8), RegionLayout::kStandard);
+    const RegionLayout wide = b == Backend::kScalar ? RegionLayout::kStandard
+                                                    : RegionLayout::kAltmap;
+    EXPECT_EQ(preferred_layout(16), wide) << backend_name(b);
+    EXPECT_EQ(preferred_layout(32), wide) << backend_name(b);
+
+    force_layout(RegionLayout::kStandard);
+    EXPECT_EQ(preferred_layout(32), RegionLayout::kStandard);
+    force_layout(RegionLayout::kAltmap);
+    EXPECT_EQ(preferred_layout(32), RegionLayout::kAltmap);
+    EXPECT_EQ(preferred_layout(8), RegionLayout::kStandard) << "force never touches w<16";
+    reset_layout();
+    EXPECT_EQ(preferred_layout(32), wide) << backend_name(b);
+  }
+}
+
+TEST(RegionLayoutDispatchTest, HasSimdIsPerWidth) {
+  if (std::getenv("STAIR_GF_LAYOUT"))
+    GTEST_SKIP() << "auto-detection expectations void when the env pins the layout";
+  for (Backend b : available_backends()) {
+    BackendGuard guard(b);
+    const bool simd = b != Backend::kScalar;
+    EXPECT_EQ(has_simd(4), simd) << backend_name(b);
+    EXPECT_EQ(has_simd(8), simd) << backend_name(b);
+    EXPECT_EQ(has_simd(16), simd) << backend_name(b);
+    // w = 32 vectorizes only through altmap.
+    EXPECT_EQ(has_simd(32), simd) << backend_name(b);
+    force_layout(RegionLayout::kStandard);
+    EXPECT_FALSE(has_simd(32)) << backend_name(b);
+    reset_layout();
   }
 }
 

@@ -9,6 +9,8 @@
 #include <cstring>
 #include <vector>
 
+#include "gf/kernel.h"
+#include "gf/region.h"
 #include "stair/cost_model.h"
 #include "stair/stair_code.h"
 #include "util/rng.h"
@@ -123,6 +125,77 @@ TEST_P(StairSweepTest, CoreInvariantsHoldOnRandomConfigs) {
     ASSERT_TRUE(code.decode(stripe.view(), mask));
     stripe.get_data(out);
     ASSERT_EQ(out, data);
+  }
+}
+
+// Acceptance sweep for the region-layout refactor: the full encode + decode
+// cycle must be byte-identical whichever layout the compiled replay uses
+// internally (standard vs altmap) on every compiled backend, for every word
+// size — including symbol sizes with partial trailing altmap blocks. The
+// scalar-backend standard-layout run is the reference; every other
+// (backend, layout) pair must reproduce its stripes exactly, and decode
+// must restore them from a within-coverage erasure.
+TEST_P(StairSweepTest, LayoutAndBackendEquivalence) {
+  // Restores auto-dispatch even when an ASSERT unwinds mid-sweep.
+  struct DispatchGuard {
+    ~DispatchGuard() {
+      gf::reset_layout();
+      gf::reset_backend();
+    }
+  } dispatch_guard;
+  Rng rng(GetParam().seed * 131 + 7);
+
+  for (int w : {8, 16, 32}) {
+    StairConfig cfg{.n = 6, .r = 4, .m = 1, .e = {1, 2}, .w = w};
+    if (cfg.minimum_w() > w) continue;
+    const StairCode code(cfg);
+    // 72 = one full 64-byte altmap block + a standard-layout tail;
+    // 192 = exact blocks. Both multiples of w/8 for every width here.
+    for (std::size_t symbol : {std::size_t{72}, std::size_t{192}}) {
+      SCOPED_TRACE(cfg.to_string() + " symbol=" + std::to_string(symbol));
+      StripeBuffer stripe(code, symbol);
+      std::vector<std::uint8_t> data(stripe.data_size());
+      rng.fill(data);
+
+      // A fixed within-coverage erasure: one whole chunk + a sector hit.
+      std::vector<bool> mask(cfg.n * cfg.r, false);
+      for (std::size_t i = 0; i < cfg.r; ++i) mask[i * cfg.n + 2] = true;
+      mask[1 * cfg.n + 4] = true;
+      ASSERT_TRUE(code.is_recoverable(mask));
+
+      auto stripe_bytes = [&] {
+        std::vector<std::uint8_t> bytes;
+        for (const auto& region : stripe.view().stored)
+          bytes.insert(bytes.end(), region.begin(), region.end());
+        return bytes;
+      };
+
+      std::vector<std::uint8_t> ref_encoded;
+      for (gf::Backend b : {gf::Backend::kScalar, gf::Backend::kSsse3, gf::Backend::kAvx2,
+                            gf::Backend::kGfni}) {
+        if (!gf::backend_supported(b)) continue;
+        ASSERT_TRUE(gf::force_backend(b));
+        for (gf::RegionLayout layout :
+             {gf::RegionLayout::kStandard, gf::RegionLayout::kAltmap}) {
+          SCOPED_TRACE(std::string(gf::backend_name(b)) + "/" + gf::layout_name(layout));
+          gf::force_layout(layout);
+
+          stripe.set_data(data);
+          code.encode(stripe.view());
+          const std::vector<std::uint8_t> encoded = stripe_bytes();
+          if (ref_encoded.empty())
+            ref_encoded = encoded;
+          else
+            ASSERT_EQ(encoded, ref_encoded) << "encode diverged";
+
+          Rng garbage(GetParam().seed + w + symbol);
+          for (std::size_t idx = 0; idx < mask.size(); ++idx)
+            if (mask[idx]) garbage.fill(stripe.view().stored[idx]);
+          ASSERT_TRUE(code.decode(stripe.view(), mask));
+          ASSERT_EQ(stripe_bytes(), ref_encoded) << "decode diverged";
+        }
+      }
+    }
   }
 }
 
