@@ -2,34 +2,36 @@
 //
 //   $ ./file_codec encode <input> <dir> [n=8] [r=16] [m=2] [e=1,2]
 //   $ ./file_codec damage <dir> <device> [device...]
+//   $ ./file_codec corrupt <dir> <device> <stripe> [bytes=256]
 //   $ ./file_codec decode <dir> <output>
-//   $ ./file_codec            # self-demo: encode -> damage -> decode -> verify
+//   $ ./file_codec            # self-demo: encode -> damage+corrupt -> decode
 //
-// encode splits the input into stripes, encodes each, and writes one
-// dev_NN.bin per device plus a manifest. damage deletes device files (a
-// device failure). decode reconstructs the original file from whatever
-// devices survive, as long as the losses are within the code's coverage.
+// encode splits the input into stripes and writes a StripeStore: one
+// dev_NN.bin per device plus a manifest with per-chunk checksums. damage
+// deletes whole device files (device failures); corrupt scribbles over one
+// chunk (a torn write / latent sector error, caught by the checksums).
+// decode reconstructs the original file from whatever survives, serving
+// damaged stripes through the Codec session's plan cache — the degraded-read
+// path.
 //
-// Both encode and decode run through a Codec session with a ring of stripes
-// in flight: stripe K's region work overlaps stripe K-1's file IO and the
-// pool stays saturated across stripes (decode additionally shares one
-// compiled plan for the whole file — every stripe has the same failure
-// pattern). Results are byte-identical to the serial per-stripe calls.
+// All file IO runs through the async stripe-IO pipeline (stair/io_pipeline.h):
+// chunk reads/writes for stripe k+d overlap the coding work for stripe k
+// through a bounded ring of leased stripe slots, on the io_uring backend when
+// the kernel offers it (STAIR_IO_BACKEND=threads|uring|auto overrides). This
+// replaced the example's original hand-rolled ring, whose slots kept
+// workspace leases across stripe boundaries; the pipeline's slots are leased
+// per stripe and every workspace passes the session's owner-generation check.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
-#include <functional>
-#include <optional>
 #include <string>
 #include <vector>
 
-#include "stair/codec.h"
-#include "stair/stair_code.h"
+#include "stair/io_pipeline.h"
 #include "util/rng.h"
-#include "util/thread_pool.h"
 
 namespace fs = std::filesystem;
 using namespace stair;
@@ -38,166 +40,31 @@ namespace {
 
 constexpr std::size_t kSymbolBytes = 4096;
 
-/// Ring of stripes in flight through a Codec session, shared by the encode
-/// and decode pipelines: begin(s) hands back stripe s's slot after draining
-/// the submission that previously occupied it (slots recur in stripe order,
-/// so per-device file IO stays ordered), and drain_all finishes the tail.
-/// `drain` consumes one completed slot (wait + IO).
-class StripeRing {
- public:
-  struct Slot {
-    std::optional<StripeBuffer> buf;
-    Codec::Handle handle;
-  };
-
-  explicit StripeRing(std::function<void(Slot&)> drain)
-      : slots_(std::min<std::size_t>(4, ThreadPool::default_pool().concurrency())),
-        drain_(std::move(drain)) {}
-
-  Slot& begin(std::size_t stripe, const StairCode& code, std::size_t symbol_bytes) {
-    Slot& slot = slots_[stripe % slots_.size()];
-    finish(slot);
-    if (!slot.buf) slot.buf.emplace(code, symbol_bytes);
-    return slot;
-  }
-
-  void drain_all(std::size_t next_stripe) {
-    for (std::size_t d = 0; d < slots_.size(); ++d)
-      finish(slots_[(next_stripe + d) % slots_.size()]);
-  }
-
- private:
-  void finish(Slot& slot) {
-    if (!slot.handle.valid()) return;
-    drain_(slot);
-    slot.handle = Codec::Handle();
-  }
-
-  std::vector<Slot> slots_;
-  std::function<void(Slot&)> drain_;
-};
-
-std::uint64_t fnv64(const std::vector<std::uint8_t>& bytes) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (std::uint8_t b : bytes) {
-    h ^= b;
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-std::vector<std::size_t> parse_e(const std::string& s) {
-  std::vector<std::size_t> e;
-  std::size_t pos = 0;
-  while (pos < s.size()) {
-    std::size_t next = s.find(',', pos);
-    if (next == std::string::npos) next = s.size();
-    e.push_back(std::strtoull(s.substr(pos, next - pos).c_str(), nullptr, 10));
-    pos = next + 1;
-  }
-  return e;
-}
-
-std::string device_file(const fs::path& dir, std::size_t j) {
-  char name[32];
-  std::snprintf(name, sizeof name, "dev_%02zu.bin", j);
-  return (dir / name).string();
-}
-
-struct Manifest {
-  StairConfig cfg;
-  std::size_t file_size = 0;
-  std::size_t stripes = 0;
-  std::uint64_t checksum = 0;
-};
-
-void write_manifest(const fs::path& dir, const Manifest& m) {
-  std::ofstream out(dir / "manifest.txt");
-  out << "n " << m.cfg.n << "\nr " << m.cfg.r << "\nm " << m.cfg.m << "\ne ";
-  for (std::size_t i = 0; i < m.cfg.e.size(); ++i) out << (i ? "," : "") << m.cfg.e[i];
-  out << "\nw " << m.cfg.w << "\nsymbol " << kSymbolBytes << "\nfile_size " << m.file_size
-      << "\nstripes " << m.stripes << "\nchecksum " << m.checksum << "\n";
-}
-
-Manifest read_manifest(const fs::path& dir) {
-  std::ifstream in(dir / "manifest.txt");
-  if (!in) throw std::runtime_error("missing manifest.txt in " + dir.string());
-  Manifest m;
-  std::string key;
-  while (in >> key) {
-    if (key == "n") in >> m.cfg.n;
-    else if (key == "r") in >> m.cfg.r;
-    else if (key == "m") in >> m.cfg.m;
-    else if (key == "e") {
-      std::string v;
-      in >> v;
-      m.cfg.e = parse_e(v);
-    } else if (key == "w") in >> m.cfg.w;
-    else if (key == "symbol") { std::size_t ignored; in >> ignored; }
-    else if (key == "file_size") in >> m.file_size;
-    else if (key == "stripes") in >> m.stripes;
-    else if (key == "checksum") in >> m.checksum;
-  }
-  return m;
+void print_stats(const char* op, const IoPipeline::Stats& st, io::Backend backend) {
+  std::printf("%s: %zu stripes (%zu degraded, %zu unrecoverable), "
+              "%zu chunks missing, %zu sectors corrupt, %.1f MB read, %.1f MB written [%s IO]\n",
+              op, st.stripes, st.degraded_stripes, st.failed_stripes, st.chunks_missing,
+              st.sectors_corrupt, st.bytes_read / (1024.0 * 1024.0),
+              st.bytes_written / (1024.0 * 1024.0), io::backend_name(backend));
+  if (!st.ok) std::fprintf(stderr, "%s failed: %s\n", op, st.error.c_str());
 }
 
 int cmd_encode(const fs::path& input, const fs::path& dir, StairConfig cfg) {
   cfg.w = std::max(cfg.minimum_w(), 8);
   cfg.validate();
-  const StairCode code(cfg);
-
-  std::ifstream in(input, std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", input.string().c_str());
-    return 1;
-  }
-  std::vector<std::uint8_t> file((std::istreambuf_iterator<char>(in)),
-                                 std::istreambuf_iterator<char>());
-
-  const std::size_t stripe_data = code.data_symbol_count() * kSymbolBytes;
-  const std::size_t stripes = (file.size() + stripe_data - 1) / stripe_data;
-  Manifest manifest{cfg, file.size(), stripes, fnv64(file)};
-
-  fs::create_directories(dir);
-  std::vector<std::ofstream> devs;
-  for (std::size_t j = 0; j < cfg.n; ++j)
-    devs.emplace_back(device_file(dir, j), std::ios::binary);
-
-  // Pipeline: a ring of stripes in flight through the codec session; a
-  // slot's device writes happen when its slot comes around again, so stripe
-  // K's encode overlaps stripe K-1's IO and device order is preserved. The
-  // ring is declared before the codec so an exception unwinding mid-file
-  // destroys the codec (draining in-flight jobs) before the buffers they
-  // write to.
-  StripeRing ring([&](StripeRing::Slot& slot) {
-    slot.handle.wait();
-    for (std::size_t j = 0; j < cfg.n; ++j)
-      for (std::size_t i = 0; i < cfg.r; ++i)
-        devs[j].write(reinterpret_cast<const char*>(slot.buf->symbol(i, j).data()),
-                      static_cast<std::streamsize>(kSymbolBytes));
-  });
-  Codec codec(code);
-
-  std::vector<std::uint8_t> chunk(stripe_data);
-  for (std::size_t s = 0; s < stripes; ++s) {
-    StripeRing::Slot& slot = ring.begin(s, code, kSymbolBytes);
-    std::fill(chunk.begin(), chunk.end(), std::uint8_t{0});
-    const std::size_t offset = s * stripe_data;
-    const std::size_t len = std::min(stripe_data, file.size() - offset);
-    std::memcpy(chunk.data(), file.data() + offset, len);
-    slot.buf->set_data(chunk);
-    slot.handle = codec.submit_encode(slot.buf->view());
-  }
-  ring.drain_all(stripes);
-  write_manifest(dir, manifest);
-  std::printf("encoded %zu bytes into %zu stripes across %zu device files (%s)\n",
-              file.size(), stripes, cfg.n, cfg.to_string().c_str());
-  return 0;
+  Codec codec(cfg);
+  IoPipeline pipeline(codec, {.symbol_bytes = kSymbolBytes});
+  const IoPipeline::Stats st = pipeline.encode_file(input.string(), dir.string());
+  print_stats("encode", st, pipeline.engine().backend());
+  if (st.ok)
+    std::printf("encoded into %zu stripes across %zu device files (%s)\n", st.stripes,
+                cfg.n, cfg.to_string().c_str());
+  return st.ok ? 0 : 1;
 }
 
 int cmd_damage(const fs::path& dir, const std::vector<std::size_t>& devices) {
   for (std::size_t j : devices) {
-    const std::string path = device_file(dir, j);
+    const std::string path = StripeStore::device_path(dir.string(), j);
     if (fs::remove(path))
       std::printf("destroyed device %zu (%s)\n", j, path.c_str());
     else
@@ -206,85 +73,37 @@ int cmd_damage(const fs::path& dir, const std::vector<std::size_t>& devices) {
   return 0;
 }
 
-int cmd_decode(const fs::path& dir, const fs::path& output) {
-  const Manifest manifest = read_manifest(dir);
-  const StairCode code(manifest.cfg);
-  const StairConfig& cfg = manifest.cfg;
-
-  // Identify surviving devices and load them.
-  std::vector<bool> dead(cfg.n, false);
-  std::vector<std::vector<std::uint8_t>> dev_bytes(cfg.n);
-  for (std::size_t j = 0; j < cfg.n; ++j) {
-    std::ifstream in(device_file(dir, j), std::ios::binary);
-    if (!in) {
-      dead[j] = true;
-      continue;
-    }
-    dev_bytes[j].assign((std::istreambuf_iterator<char>(in)),
-                        std::istreambuf_iterator<char>());
-    const std::size_t expect = manifest.stripes * cfg.r * kSymbolBytes;
-    if (dev_bytes[j].size() != expect) {
-      std::printf("device %zu truncated; treating as failed\n", j);
-      dead[j] = true;
-    }
-  }
-  std::size_t dead_count = 0;
-  for (bool d : dead) dead_count += d;
-  std::printf("devices missing: %zu of %zu\n", dead_count, cfg.n);
-
-  std::vector<bool> mask(cfg.n * cfg.r, false);
-  for (std::size_t j = 0; j < cfg.n; ++j)
-    if (dead[j])
-      for (std::size_t i = 0; i < cfg.r; ++i) mask[i * cfg.n + j] = true;
-  if (!code.is_recoverable(mask)) {
-    std::fprintf(stderr, "losses exceed the code's coverage; cannot recover\n");
+int cmd_corrupt(const fs::path& dir, std::size_t device, std::size_t stripe,
+                std::size_t bytes) {
+  const StripeStore store = StripeStore::load(dir.string());
+  const std::string path = StripeStore::device_path(dir.string(), device);
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
     return 1;
   }
-
-  // Pipeline mirror of cmd_encode: every stripe of the file shares this
-  // failure pattern, so the session plan cache inverts and compiles exactly
-  // once and all in-flight stripes replay the same plan. Ring before codec
-  // for the same unwind-ordering reason as cmd_encode (the drain lambda can
-  // throw with other decodes still in flight).
-  std::vector<std::uint8_t> file;
-  file.reserve(manifest.file_size);
-  std::vector<std::uint8_t> chunk(code.data_symbol_count() * kSymbolBytes);
-  auto append_data = [&](StripeBuffer& buf) {
-    buf.get_data(chunk);
-    const std::size_t want = std::min(chunk.size(), manifest.file_size - file.size());
-    file.insert(file.end(), chunk.begin(), chunk.begin() + want);
-  };
-  StripeRing ring([&](StripeRing::Slot& slot) {
-    if (!slot.handle.ok()) throw std::runtime_error("decode failed mid-file");
-    append_data(*slot.buf);
-  });
-  Codec codec(code);
-
-  for (std::size_t s = 0; s < manifest.stripes; ++s) {
-    StripeRing::Slot& slot = ring.begin(s, code, kSymbolBytes);
-    for (std::size_t j = 0; j < cfg.n; ++j) {
-      if (dead[j]) continue;
-      for (std::size_t i = 0; i < cfg.r; ++i)
-        std::memcpy(slot.buf->symbol(i, j).data(),
-                    dev_bytes[j].data() + (s * cfg.r + i) * kSymbolBytes, kSymbolBytes);
-    }
-    if (dead_count)
-      slot.handle = codec.submit_decode(slot.buf->view(), mask);
-    else
-      append_data(*slot.buf);
-  }
-  ring.drain_all(manifest.stripes);
-
-  if (fnv64(file) != manifest.checksum) {
-    std::fprintf(stderr, "checksum mismatch after recovery\n");
-    return 1;
-  }
-  std::ofstream out(output, std::ios::binary);
-  out.write(reinterpret_cast<const char*>(file.data()),
-            static_cast<std::streamsize>(file.size()));
-  std::printf("recovered %zu bytes to %s (checksum verified)\n", file.size(),
-              output.string().c_str());
+  bytes = std::min(bytes, store.chunk_bytes());
+  std::vector<std::uint8_t> garbage(bytes);
+  Rng rng(stripe * 1000 + device);
+  rng.fill(garbage);
+  f.seekp(static_cast<std::streamoff>(stripe * store.chunk_bytes()));
+  f.write(reinterpret_cast<const char*>(garbage.data()),
+          static_cast<std::streamsize>(garbage.size()));
+  std::printf("corrupted %zu bytes of chunk (stripe %zu, device %zu) in %s\n", bytes,
+              stripe, device, path.c_str());
   return 0;
+}
+
+int cmd_decode(const fs::path& dir, const fs::path& output) {
+  const StripeStore store = StripeStore::load(dir.string());
+  Codec codec(store.cfg);
+  IoPipeline pipeline(codec);
+  const IoPipeline::Stats st = pipeline.decode_file(dir.string(), output.string());
+  print_stats("decode", st, pipeline.engine().backend());
+  if (st.ok)
+    std::printf("recovered %zu bytes to %s (checksums verified)\n", store.file_size,
+                output.string().c_str());
+  return st.ok ? 0 : 1;
 }
 
 int self_demo() {
@@ -294,8 +113,8 @@ int self_demo() {
 
   // A 1.5 MB random file.
   const fs::path input = dir / "original.bin";
+  std::vector<std::uint8_t> bytes(3 * 512 * 1024 / 2);
   {
-    std::vector<std::uint8_t> bytes(3 * 512 * 1024 / 2);
     Rng rng(99);
     rng.fill(bytes);
     std::ofstream out(input, std::ios::binary);
@@ -305,9 +124,20 @@ int self_demo() {
 
   const fs::path store = dir / "store";
   if (cmd_encode(input, store, {.n = 8, .r = 16, .m = 2, .e = {1, 2}})) return 1;
-  if (cmd_damage(store, {1, 6})) return 1;
+  // One whole device lost, plus a torn chunk on a surviving device: the mixed
+  // device+sector pattern the paper's coverage exists for.
+  if (cmd_damage(store, {6})) return 1;
+  if (cmd_corrupt(store, 1, 0, 512)) return 1;
   const fs::path restored = dir / "restored.bin";
   if (cmd_decode(store, restored)) return 1;
+
+  std::ifstream in(restored, std::ios::binary);
+  std::vector<std::uint8_t> recovered((std::istreambuf_iterator<char>(in)),
+                                      std::istreambuf_iterator<char>());
+  if (recovered != bytes) {
+    std::fprintf(stderr, "self-demo FAILED: restored bytes differ\n");
+    return 1;
+  }
   std::printf("self-demo passed; artifacts in %s\n", dir.string().c_str());
   return 0;
 }
@@ -317,23 +147,34 @@ int self_demo() {
 int main(int argc, char** argv) {
   if (argc < 2) return self_demo();
   const std::string cmd = argv[1];
-  if (cmd == "encode" && argc >= 4) {
-    StairConfig cfg{.n = 8, .r = 16, .m = 2, .e = {1, 2}};
-    if (argc > 4) cfg.n = std::strtoull(argv[4], nullptr, 10);
-    if (argc > 5) cfg.r = std::strtoull(argv[5], nullptr, 10);
-    if (argc > 6) cfg.m = std::strtoull(argv[6], nullptr, 10);
-    if (argc > 7) cfg.e = parse_e(argv[7]);
-    return cmd_encode(argv[2], argv[3], cfg);
+  try {
+    if (cmd == "encode" && argc >= 4) {
+      StairConfig cfg{.n = 8, .r = 16, .m = 2, .e = {1, 2}};
+      if (argc > 4) cfg.n = std::strtoull(argv[4], nullptr, 10);
+      if (argc > 5) cfg.r = std::strtoull(argv[5], nullptr, 10);
+      if (argc > 6) cfg.m = std::strtoull(argv[6], nullptr, 10);
+      if (argc > 7) cfg.e = parse_coverage_list(argv[7]);
+      return cmd_encode(argv[2], argv[3], cfg);
+    }
+    if (cmd == "damage" && argc >= 4) {
+      std::vector<std::size_t> devices;
+      for (int i = 3; i < argc; ++i) devices.push_back(std::strtoull(argv[i], nullptr, 10));
+      return cmd_damage(argv[2], devices);
+    }
+    if (cmd == "corrupt" && argc >= 5) {
+      return cmd_corrupt(argv[2], std::strtoull(argv[3], nullptr, 10),
+                         std::strtoull(argv[4], nullptr, 10),
+                         argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 256);
+    }
+    if (cmd == "decode" && argc >= 4) return cmd_decode(argv[2], argv[3]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
-  if (cmd == "damage" && argc >= 4) {
-    std::vector<std::size_t> devices;
-    for (int i = 3; i < argc; ++i) devices.push_back(std::strtoull(argv[i], nullptr, 10));
-    return cmd_damage(argv[2], devices);
-  }
-  if (cmd == "decode" && argc >= 4) return cmd_decode(argv[2], argv[3]);
   std::fprintf(stderr,
                "usage: %s encode <input> <dir> [n r m e] | damage <dir> <dev...> |\n"
-               "       %s decode <dir> <output> | %s (self-demo)\n",
-               argv[0], argv[0], argv[0]);
+               "       %s corrupt <dir> <dev> <stripe> [bytes] | %s decode <dir> <output> |\n"
+               "       %s (self-demo)\n",
+               argv[0], argv[0], argv[0], argv[0]);
   return 2;
 }

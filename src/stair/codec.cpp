@@ -53,6 +53,8 @@ struct CodecJob {
   std::atomic<bool> done{false};
   bool ok = true;                  // immutable after submit
   std::exception_ptr error;        // guarded by mu; first failure wins
+  Codec::Completion then;          // immutable after submit; run by the last
+                                   // subtask (see Codec::Completion contract)
 
   void replay(std::size_t offset, std::size_t length) const {
     plan->execute_range_converted(ws->symbols_, ws->caller_owned_, layout, offset, length);
@@ -177,6 +179,11 @@ Codec::Handle Codec::launch(const std::shared_ptr<CodecJob>& job, std::size_t su
       }
       if (!last) return;
       job->cv.notify_all();  // job outlives this: the lambda owns a shared_ptr
+      // After `done` is visible, `error` has its final value (no more
+      // subtask writers), so the continuation's ok is stable. Runs before
+      // the jobs_open_ decrement: wait_all() returning implies every
+      // continuation has finished.
+      if (job->then) job->then(job->ok && !job->error);
       jobs_completed_.fetch_add(1, std::memory_order_relaxed);
       {
         // Notify under the lock: once jobs_open_ hits 0 a waiter may return
@@ -191,11 +198,13 @@ Codec::Handle Codec::launch(const std::shared_ptr<CodecJob>& job, std::size_t su
   return Handle(job);
 }
 
-Codec::Handle Codec::submit_encode(const StripeView& stripe, EncodingMethod method) {
+Codec::Handle Codec::submit_encode(const StripeView& stripe, EncodingMethod method,
+                                   Completion then) {
   if (method == EncodingMethod::kAuto) method = code_->select_method();
   const CompiledSchedule& plan = code_->compiled_encoding_schedule(method);
 
   auto job = std::make_shared<CodecJob>();
+  job->then = std::move(then);
   job->kind = CodecJob::Kind::kEncode;
   job->symbol_size = stripe.symbol_size;
   job->plan = &plan;
@@ -209,7 +218,8 @@ Codec::Handle Codec::submit_encode(const StripeView& stripe, EncodingMethod meth
   return launch(job, subtasks);
 }
 
-Codec::Handle Codec::submit_decode(const StripeView& stripe, const std::vector<bool>& erased) {
+Codec::Handle Codec::submit_decode(const StripeView& stripe, const std::vector<bool>& erased,
+                                   Completion then) {
   auto plan = plan_cache_.plan(erased);
   if (!plan) {
     // Outside the coverage: complete immediately (stripe untouched) so the
@@ -220,10 +230,12 @@ Codec::Handle Codec::submit_decode(const StripeView& stripe, const std::vector<b
     job->done.store(true, std::memory_order_release);
     jobs_submitted_.fetch_add(1, std::memory_order_relaxed);
     jobs_completed_.fetch_add(1, std::memory_order_relaxed);
+    if (then) then(false);
     return Handle(job);
   }
 
   auto job = std::make_shared<CodecJob>();
+  job->then = std::move(then);
   job->kind = CodecJob::Kind::kDecode;
   job->symbol_size = stripe.symbol_size;
   job->plan = plan.get();
@@ -240,7 +252,8 @@ Codec::Handle Codec::submit_decode(const StripeView& stripe, const std::vector<b
 }
 
 Codec::Handle Codec::submit_update(const StripeView& stripe, std::size_t data_index,
-                                   std::span<const std::uint8_t> new_content) {
+                                   std::span<const std::uint8_t> new_content,
+                                   Completion then) {
   const UpdateEngine& engine = update_engine();
   if (stripe.stored.size() != code_->layout().stored_count())
     throw std::invalid_argument("Codec::submit_update: stripe view has wrong stored count");
@@ -253,6 +266,7 @@ Codec::Handle Codec::submit_update(const StripeView& stripe, std::size_t data_in
     throw std::invalid_argument("Codec::submit_update: wrong symbol size");
 
   auto job = std::make_shared<CodecJob>();
+  job->then = std::move(then);
   job->kind = CodecJob::Kind::kUpdate;
   job->symbol_size = stripe.symbol_size;
   job->engine = &engine;

@@ -38,6 +38,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -110,19 +111,33 @@ class Codec {
 
   // --- submission -----------------------------------------------------------
 
+  /// Optional continuation attached to a submit: runs exactly once when the
+  /// job completes, with `ok` false for a failed decode or a job that threw
+  /// (Handle::wait still rethrows). It fires on the worker that retires the
+  /// job's last subtask — before the job is counted complete by wait_all(),
+  /// though an individual Handle::wait may return concurrently — and must
+  /// not throw or block on this Codec's completions. This is the hook the
+  /// IO pipeline chains disk writes onto, so compute completions flow back
+  /// into IO without a blocked thread in between. For an immediately-done
+  /// submission (unrecoverable decode mask) it runs inline on the submitter.
+  using Completion = std::function<void(bool ok)>;
+
   /// Enqueues one stripe encode. Malformed views throw here, not in the job.
   Handle submit_encode(const StripeView& stripe,
-                       EncodingMethod method = EncodingMethod::kAuto);
+                       EncodingMethod method = EncodingMethod::kAuto,
+                       Completion then = nullptr);
 
   /// Enqueues one stripe decode through the session plan cache. The mask is
   /// resolved to a compiled plan at submit time (cache hit: O(1); miss: one
   /// inversion+compile, shared with every later stripe of the epoch). An
   /// unrecoverable mask yields an immediately-done handle with ok() false.
-  Handle submit_decode(const StripeView& stripe, const std::vector<bool>& erased);
+  Handle submit_decode(const StripeView& stripe, const std::vector<bool>& erased,
+                       Completion then = nullptr);
 
   /// Enqueues one incremental update (data_index, new bytes) on a stripe.
   Handle submit_update(const StripeView& stripe, std::size_t data_index,
-                       std::span<const std::uint8_t> new_content);
+                       std::span<const std::uint8_t> new_content,
+                       Completion then = nullptr);
 
   /// Blocks until every job submitted so far has completed. Does NOT rethrow
   /// job exceptions (those surface through each Handle::wait / ok).

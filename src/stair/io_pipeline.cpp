@@ -1,0 +1,620 @@
+#include "stair/io_pipeline.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <stdexcept>
+
+#include <unistd.h>
+
+#include "util/thread_pool.h"
+
+namespace stair {
+
+std::vector<std::size_t> parse_coverage_list(const std::string& text) {
+  std::vector<std::size_t> values;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t next = text.find(',', pos);
+    if (next == std::string::npos) next = text.size();
+    values.push_back(std::strtoull(text.substr(pos, next - pos).c_str(), nullptr, 10));
+    pos = next + 1;
+  }
+  return values;
+}
+
+std::uint64_t content_hash64(std::span<const std::uint8_t> bytes) {
+  // 8 input bytes per multiply+rotate round; sectors are hashed on the hot
+  // pipeline path, so this must keep pace with the region kernels.
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ (bytes.size() * 0x100000001b3ULL);
+  std::size_t i = 0;
+  for (; i + 8 <= bytes.size(); i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, bytes.data() + i, 8);
+    h ^= w;
+    h *= 0xff51afd7ed558ccdULL;
+    h = (h << 31) | (h >> 33);
+  }
+  std::uint64_t tail = 0;
+  for (int k = 0; i < bytes.size(); ++i, k += 8) tail |= std::uint64_t{bytes[i]} << k;
+  h ^= tail ^ 0xc4ceb9fe1a85ec53ULL;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  return h ^ (h >> 29);
+}
+
+namespace {
+
+/// Hash over a sequence of 64-bit hashes (8-byte LE each, in order): the
+/// per-stripe data hash folds its data sectors' hashes, the whole-file check
+/// folds the per-stripe hashes. Stripes retire out of order; this stays
+/// deterministic and never rereads content bytes.
+std::uint64_t combine_hashes(std::span<const std::uint64_t> hashes) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(hashes.size() * 8);
+  for (std::uint64_t h : hashes)
+    for (int i = 0; i < 8; ++i) bytes.push_back(static_cast<std::uint8_t>(h >> (8 * i)));
+  return content_hash64(bytes);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// StripeStore
+// ---------------------------------------------------------------------------
+
+std::string StripeStore::device_path(const std::string& dir, std::size_t device) {
+  char name[32];
+  std::snprintf(name, sizeof name, "dev_%02zu.bin", device);
+  return dir + "/" + name;
+}
+
+std::string StripeStore::manifest_path(const std::string& dir) {
+  return dir + "/manifest.txt";
+}
+
+void StripeStore::save(const std::string& dir) const {
+  std::ofstream out(manifest_path(dir), std::ios::trunc);
+  if (!out) throw std::runtime_error("StripeStore: cannot write " + manifest_path(dir));
+  out << "stair_store 1\n"
+      << "n " << cfg.n << "\nr " << cfg.r << "\nm " << cfg.m << "\ne ";
+  for (std::size_t i = 0; i < cfg.e.size(); ++i) out << (i ? "," : "") << cfg.e[i];
+  if (cfg.e.empty()) out << "-";
+  out << "\nw " << cfg.w << "\nsymbol " << symbol_bytes << "\nfile_size " << file_size
+      << "\nstripes " << stripes << "\ndata_checksum " << data_checksum << "\n";
+  // One line per (stripe, device) chunk: its r sector checksums in row order.
+  for (std::size_t s = 0; s < stripes; ++s)
+    for (std::size_t j = 0; j < cfg.n; ++j) {
+      out << "chunk " << s << " " << j;
+      for (std::size_t i = 0; i < cfg.r; ++i)
+        out << " " << sector_checksums[(s * cfg.n + j) * cfg.r + i];
+      out << "\n";
+    }
+  out.flush();
+  if (!out) throw std::runtime_error("StripeStore: write failed for " + manifest_path(dir));
+}
+
+StripeStore StripeStore::load(const std::string& dir) {
+  std::ifstream in(manifest_path(dir));
+  if (!in) throw std::runtime_error("StripeStore: missing " + manifest_path(dir));
+  StripeStore store;
+  std::string key;
+  while (in >> key) {
+    if (key == "stair_store") {
+      int version;
+      in >> version;
+    } else if (key == "n") {
+      in >> store.cfg.n;
+    } else if (key == "r") {
+      in >> store.cfg.r;
+    } else if (key == "m") {
+      in >> store.cfg.m;
+    } else if (key == "e") {
+      std::string v;
+      in >> v;
+      store.cfg.e = v == "-" ? std::vector<std::size_t>{} : parse_coverage_list(v);
+    } else if (key == "w") {
+      in >> store.cfg.w;
+    } else if (key == "symbol") {
+      in >> store.symbol_bytes;
+    } else if (key == "file_size") {
+      in >> store.file_size;
+    } else if (key == "stripes") {
+      in >> store.stripes;
+    } else if (key == "data_checksum") {
+      in >> store.data_checksum;
+    } else if (key == "chunk") {
+      // Header keys precede chunk lines (we write the manifest), so the
+      // geometry is known here.
+      if (store.cfg.n == 0 || store.cfg.r == 0)
+        throw std::runtime_error("StripeStore: chunk line before geometry");
+      std::size_t s, j;
+      in >> s >> j;
+      const std::size_t need = store.stripes * store.cfg.n * store.cfg.r;
+      if (store.sector_checksums.size() != need) store.sector_checksums.assign(need, 0);
+      if (s >= store.stripes || j >= store.cfg.n)
+        throw std::runtime_error("StripeStore: chunk line out of range");
+      for (std::size_t i = 0; i < store.cfg.r; ++i)
+        in >> store.sector_checksums[(s * store.cfg.n + j) * store.cfg.r + i];
+    }
+  }
+  store.cfg.validate();
+  if (store.symbol_bytes == 0)
+    throw std::runtime_error("StripeStore: manifest missing symbol size");
+  if (store.sector_checksums.size() != store.stripes * store.cfg.n * store.cfg.r)
+    throw std::runtime_error("StripeStore: manifest sector checksum count mismatch");
+  return store;
+}
+
+// ---------------------------------------------------------------------------
+// IoPipeline
+// ---------------------------------------------------------------------------
+
+/// One leased stripe slot: the StripeBuffer the Codec works on plus the
+/// staging the IO side reads into / writes from. Reused warm via the pool.
+struct IoPipeline::Slot {
+  std::optional<StripeBuffer> buf;
+  std::vector<std::uint8_t> data;                 // flat stripe data staging
+  std::vector<std::vector<std::uint8_t>> chunks;  // per-device chunk staging
+  std::vector<io::Result> results;                // decode: per-chunk outcome
+  std::vector<bool> mask;                         // decode: erased symbols
+  std::atomic<std::size_t> pending{0};            // countdown to stage change
+};
+
+/// Per-operation shared state. Lives on the encode_file/decode_file stack;
+/// drain() guarantees no callback outlives it.
+struct IoPipeline::Run {
+  const StripeStore* store = nullptr;
+  int file_fd = -1;  // input (encode) / output (decode)
+  std::vector<int> dev_fds;
+  std::size_t symbol_bytes = 0;
+  std::size_t stripe_data = 0;  // data bytes per stripe
+  std::size_t chunk_bytes = 0;
+  // Data-symbol positions in data order: canonical ids from the layout,
+  // decomposed to (row, device) once so the hash fold below needs no layout.
+  std::vector<std::pair<std::size_t, std::size_t>> data_positions;
+  std::vector<std::uint64_t> stripe_hashes;  // disjoint per-stripe writes
+  std::vector<std::uint64_t>* sector_checksums = nullptr;  // encode fills these
+
+  void set_data_positions(const StairLayout& layout) {
+    data_positions.clear();
+    data_positions.reserve(layout.data_ids().size());
+    for (std::uint32_t id : layout.data_ids())
+      data_positions.emplace_back(layout.row_of(id), layout.col_of(id));
+  }
+
+  /// The stripe's data hash: its data sectors' hashes folded in data order.
+  /// `hash_of(row, device)` supplies each sector's hash (manifest/computed).
+  template <typename HashOf>
+  std::uint64_t stripe_data_hash(HashOf&& hash_of) const {
+    std::vector<std::uint64_t> hashes;
+    hashes.reserve(data_positions.size());
+    for (const auto& [row, dev] : data_positions) hashes.push_back(hash_of(row, dev));
+    return combine_hashes(hashes);
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t in_flight = 0;  // stripes currently owning a slot; guarded by mu
+  std::string error;          // first fatal failure; guarded by mu
+
+  std::atomic<std::size_t> degraded{0}, failed{0}, missing{0}, corrupt{0};
+  std::atomic<std::uint64_t> bytes_read{0}, bytes_written{0};
+
+  bool has_fatal() {
+    std::lock_guard<std::mutex> lock(mu);
+    return !error.empty();
+  }
+};
+
+IoPipeline::IoPipeline(Codec& codec) : IoPipeline(codec, Options{}) {}
+
+IoPipeline::IoPipeline(Codec& codec, Options options)
+    : codec_(codec), options_(options) {
+  if (options_.queue_depth == 0) options_.queue_depth = 1;
+  if (options_.engine) {
+    engine_ = options_.engine;
+  } else {
+    // kAuto defers to STAIR_IO_BACKEND; an explicit option wins over the env.
+    const io::Backend requested = options_.backend == io::Backend::kAuto
+                                      ? io::backend_from_env()
+                                      : options_.backend;
+    owned_engine_ = io::Engine::create(requested, options_.io);
+    engine_ = owned_engine_.get();
+  }
+}
+
+IoPipeline::~IoPipeline() = default;
+
+IoPipeline::SlotLease IoPipeline::acquire_slot(Run& run) {
+  {
+    std::unique_lock<std::mutex> lock(run.mu);
+    run.cv.wait(lock, [&] { return run.in_flight < options_.queue_depth; });
+    ++run.in_flight;
+  }
+  return slots_.acquire();
+}
+
+void IoPipeline::retire_slot(Run& run) {
+  // Notify under the lock: once in_flight hits 0 a racing drain() returns
+  // and the stack-allocated Run (and its cv) is destroyed.
+  std::lock_guard<std::mutex> lock(run.mu);
+  --run.in_flight;
+  run.cv.notify_all();
+}
+
+void IoPipeline::fatal(Run& run, std::string message) {
+  std::lock_guard<std::mutex> lock(run.mu);
+  if (run.error.empty()) run.error = std::move(message);
+}
+
+void IoPipeline::drain(Run& run) {
+  std::unique_lock<std::mutex> lock(run.mu);
+  run.cv.wait(lock, [&] { return run.in_flight == 0; });
+}
+
+namespace {
+
+std::string errno_text(int err) {
+  return err ? std::string(std::strerror(err)) : std::string("short transfer");
+}
+
+}  // namespace
+
+void IoPipeline::prepare_slot(Slot& slot, const StairCode& code, const Run& run,
+                              std::size_t devices) {
+  if (!slot.buf || slot.buf->symbol_size() != run.symbol_bytes)
+    slot.buf.emplace(code, run.symbol_bytes);
+  slot.data.resize(run.stripe_data);
+  slot.chunks.resize(devices);
+  for (auto& c : slot.chunks) c.resize(run.chunk_bytes);
+  slot.results.resize(devices);
+}
+
+IoPipeline::Stats IoPipeline::encode_file(const std::string& input_path,
+                                          const std::string& store_dir) {
+  Stats st;
+  const StairCode& code = codec_.code();
+  const StairConfig& cfg = code.config();
+
+  std::error_code ec;
+  std::filesystem::create_directories(store_dir, ec);
+
+  const int in_fd = engine_->open_read(input_path);
+  if (in_fd < 0) {
+    st.error = "cannot open input " + input_path;
+    return st;
+  }
+  const std::uint64_t file_size = engine_->file_size(in_fd);
+
+  Run run;
+  run.symbol_bytes = options_.symbol_bytes;
+  run.stripe_data = code.data_symbol_count() * run.symbol_bytes;
+  run.chunk_bytes = cfg.r * run.symbol_bytes;
+  run.set_data_positions(code.layout());
+  const std::size_t stripes =
+      file_size ? static_cast<std::size_t>((file_size + run.stripe_data - 1) / run.stripe_data)
+                : 0;
+
+  StripeStore store;
+  store.cfg = cfg;
+  store.symbol_bytes = run.symbol_bytes;
+  store.file_size = static_cast<std::size_t>(file_size);
+  store.stripes = stripes;
+  store.sector_checksums.assign(stripes * cfg.n * cfg.r, 0);
+  run.store = &store;
+  run.sector_checksums = &store.sector_checksums;
+  run.stripe_hashes.assign(stripes, 0);
+  run.file_fd = in_fd;
+
+  run.dev_fds.assign(cfg.n, -1);
+  for (std::size_t j = 0; j < cfg.n; ++j) {
+    run.dev_fds[j] = engine_->open_write(StripeStore::device_path(store_dir, j));
+    if (run.dev_fds[j] < 0)
+      fatal(run, "cannot create " + StripeStore::device_path(store_dir, j));
+  }
+
+  if (!run.has_fatal()) {
+    for (std::size_t s = 0; s < stripes; ++s) {
+      if (run.has_fatal()) break;
+      SlotLease slot = acquire_slot(run);
+      prepare_slot(*slot, code, run, cfg.n);
+      const std::size_t offset = s * run.stripe_data;
+      const std::size_t len =
+          std::min<std::size_t>(run.stripe_data, static_cast<std::size_t>(file_size) - offset);
+      std::fill(slot->data.begin() + static_cast<std::ptrdiff_t>(len), slot->data.end(), 0);
+      Slot* raw = slot.get();
+      // The continuation (1+ MB set_data + submit) is bounced onto the codec
+      // pool: IO completion threads — the single uring reaper in particular —
+      // must stay free to complete transfers, not process stripes.
+      engine_->read(run.file_fd, offset, std::span(raw->data.data(), len),
+                    [this, &run, slot = std::move(slot), s, len](const io::Result& r) mutable {
+                      codec_.pool().submit([this, &run, slot = std::move(slot), s, len, r]() mutable {
+                        encode_on_input_read(run, std::move(slot), s, len, r);
+                      });
+                    });
+    }
+  }
+  drain(run);
+  engine_->flush();
+  engine_->close(in_fd);
+  for (int fd : run.dev_fds) engine_->close(fd);
+
+  st.stripes = stripes;
+  st.bytes_read = run.bytes_read.load();
+  st.bytes_written = run.bytes_written.load();
+  {
+    std::lock_guard<std::mutex> lock(run.mu);
+    st.error = run.error;
+  }
+  if (st.error.empty()) {
+    store.data_checksum = combine_hashes(run.stripe_hashes);
+    try {
+      store.save(store_dir);
+      st.ok = true;
+    } catch (const std::exception& e) {
+      st.error = e.what();
+    }
+  }
+  return st;
+}
+
+void IoPipeline::encode_on_input_read(Run& run, SlotLease slot, std::size_t stripe,
+                                      std::size_t data_len, const io::Result& r) {
+  run.bytes_read.fetch_add(r.bytes, std::memory_order_relaxed);
+  if (r.error || r.bytes < data_len) {
+    fatal(run, "input read failed at stripe " + std::to_string(stripe) + ": " +
+                   errno_text(r.error));
+    slot.reset();
+    retire_slot(run);
+    return;
+  }
+  try {
+    slot->buf->set_data(slot->data);
+    Slot* raw = slot.get();
+    codec_.submit_encode(raw->buf->view(), options_.method,
+                         [this, &run, slot = std::move(slot), stripe](bool ok) mutable {
+                           encode_on_encoded(run, std::move(slot), stripe, ok);
+                         });
+  } catch (const std::exception& e) {
+    fatal(run, std::string("submit_encode failed: ") + e.what());
+    retire_slot(run);
+  }
+}
+
+void IoPipeline::encode_on_encoded(Run& run, SlotLease slot, std::size_t stripe, bool ok) {
+  if (!ok) {
+    fatal(run, "encode job failed at stripe " + std::to_string(stripe));
+    slot.reset();
+    retire_slot(run);
+    return;
+  }
+  try {
+    const StairConfig& cfg = codec_.code().config();
+    Slot& sl = *slot;
+    // Gather each device's chunk (its r symbols, stripe-contiguous on disk)
+    // and fingerprint every sector; the manifest rows are disjoint per stripe.
+    for (std::size_t j = 0; j < cfg.n; ++j) {
+      auto& chunk = sl.chunks[j];
+      for (std::size_t i = 0; i < cfg.r; ++i) {
+        const auto symbol = sl.buf->symbol(i, j);
+        std::memcpy(chunk.data() + i * run.symbol_bytes, symbol.data(), run.symbol_bytes);
+        (*run.sector_checksums)[(stripe * cfg.n + j) * cfg.r + i] = content_hash64(symbol);
+      }
+    }
+    // The stripe's data hash folds the data sectors' hashes just computed —
+    // no second pass over the bytes.
+    run.stripe_hashes[stripe] = run.stripe_data_hash([&](std::size_t row, std::size_t dev) {
+      return (*run.sector_checksums)[(stripe * cfg.n + dev) * cfg.r + row];
+    });
+    sl.pending.store(cfg.n, std::memory_order_relaxed);
+    for (std::size_t j = 0; j < cfg.n; ++j) {
+      Slot* raw = slot.get();
+      engine_->write(run.dev_fds[j], stripe * run.chunk_bytes, raw->chunks[j],
+                     [this, &run, slot](const io::Result& r) mutable {
+                       run.bytes_written.fetch_add(r.bytes, std::memory_order_relaxed);
+                       if (r.error || r.bytes < run.chunk_bytes)
+                         fatal(run, "device write failed: " + errno_text(r.error));
+                       if (slot->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                         slot.reset();
+                         retire_slot(run);
+                       }
+                     });
+    }
+  } catch (const std::exception& e) {
+    fatal(run, std::string("encode completion failed: ") + e.what());
+    retire_slot(run);
+  }
+}
+
+IoPipeline::Stats IoPipeline::decode_file(const std::string& store_dir,
+                                          const std::string& output_path) {
+  Stats st;
+  StripeStore store;
+  try {
+    store = StripeStore::load(store_dir);
+  } catch (const std::exception& e) {
+    st.error = e.what();
+    return st;
+  }
+  const StairCode& code = codec_.code();
+  if (!(store.cfg == code.config())) {
+    st.error = "store config " + store.cfg.to_string() + " does not match codec config " +
+               code.config().to_string();
+    return st;
+  }
+
+  Run run;
+  run.store = &store;
+  run.symbol_bytes = store.symbol_bytes;
+  run.stripe_data = code.data_symbol_count() * store.symbol_bytes;
+  run.chunk_bytes = store.chunk_bytes();
+  run.set_data_positions(code.layout());
+  run.stripe_hashes.assign(store.stripes, 0);
+
+  run.dev_fds.assign(store.cfg.n, -1);
+  for (std::size_t j = 0; j < store.cfg.n; ++j)
+    run.dev_fds[j] = engine_->open_read(StripeStore::device_path(store_dir, j));
+
+  run.file_fd = engine_->open_write(output_path);
+  if (run.file_fd < 0) {
+    for (int fd : run.dev_fds) engine_->close(fd);
+    st.error = "cannot create output " + output_path;
+    return st;
+  }
+
+  for (std::size_t s = 0; s < store.stripes; ++s) {
+    if (run.has_fatal()) break;
+    SlotLease slot = acquire_slot(run);
+    prepare_slot(*slot, code, run, store.cfg.n);
+    std::fill(slot->results.begin(), slot->results.end(), io::Result{});
+    slot->pending.store(store.cfg.n, std::memory_order_relaxed);
+    Slot* raw = slot.get();
+    for (std::size_t j = 0; j < store.cfg.n; ++j) {
+      if (run.dev_fds[j] < 0) {
+        decode_on_chunk_read(run, slot, s, j, io::Result{ENOENT, 0});
+      } else {
+        engine_->read(run.dev_fds[j], s * run.chunk_bytes, raw->chunks[j],
+                      [this, &run, slot, s, j](const io::Result& r) mutable {
+                        decode_on_chunk_read(run, std::move(slot), s, j, r);
+                      });
+      }
+    }
+    slot.reset();  // stages own their copies now
+  }
+  drain(run);
+  engine_->flush();
+  // Failed trailing stripes must not shorten the file silently; recoverable
+  // content has been written at its exact offsets either way.
+  if (engine_->truncate(run.file_fd, store.file_size) != 0)
+    fatal(run, "truncate on output failed");
+  engine_->close(run.file_fd);
+  for (int fd : run.dev_fds) engine_->close(fd);
+
+  st.stripes = store.stripes;
+  st.degraded_stripes = run.degraded.load();
+  st.failed_stripes = run.failed.load();
+  st.chunks_missing = run.missing.load();
+  st.sectors_corrupt = run.corrupt.load();
+  st.bytes_read = run.bytes_read.load();
+  st.bytes_written = run.bytes_written.load();
+  {
+    std::lock_guard<std::mutex> lock(run.mu);
+    st.error = run.error;
+  }
+  if (st.error.empty()) {
+    if (st.failed_stripes) {
+      st.error = std::to_string(st.failed_stripes) + " stripe(s) unrecoverable";
+    } else if (combine_hashes(run.stripe_hashes) != store.data_checksum) {
+      st.error = "reassembled data does not match the manifest checksum";
+    } else {
+      st.ok = true;
+    }
+  }
+  return st;
+}
+
+void IoPipeline::decode_on_chunk_read(Run& run, SlotLease slot, std::size_t stripe,
+                                      std::size_t device, const io::Result& r) {
+  run.bytes_read.fetch_add(r.bytes, std::memory_order_relaxed);
+  slot->results[device] = r;  // devices are disjoint; countdown publishes
+  if (slot->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Assembly (per-sector verify + stripe scatter) is real work: bounce it
+    // onto the codec pool so IO completion threads keep completing IO and
+    // clean-stripe decode parallelizes across the pool, not the reaper.
+    codec_.pool().submit([this, &run, slot = std::move(slot), stripe]() mutable {
+      decode_assemble(run, std::move(slot), stripe);
+    });
+  }
+}
+
+void IoPipeline::decode_assemble(Run& run, SlotLease slot, std::size_t stripe) {
+  try {
+    const StairConfig& cfg = run.store->cfg;
+    Slot& sl = *slot;
+    sl.mask.assign(cfg.r * cfg.n, false);
+    std::vector<bool>& mask = sl.mask;
+    bool degraded = false;
+    for (std::size_t j = 0; j < cfg.n; ++j) {
+      const io::Result& r = sl.results[j];
+      if (r.error != 0 || r.bytes != run.chunk_bytes) {
+        // The transfer itself failed (missing device, EIO, short chunk):
+        // nothing in this chunk can be trusted — erase the whole column.
+        run.missing.fetch_add(1, std::memory_order_relaxed);
+        for (std::size_t i = 0; i < cfg.r; ++i) mask[i * cfg.n + j] = true;
+        degraded = true;
+        continue;
+      }
+      // The transfer succeeded: verify sector by sector, erasing exactly the
+      // sectors whose content lies (torn write, bit rot). This is what turns
+      // a scribbled-on chunk into a *sector* failure pattern for the code's
+      // e coverage instead of burning one of its m device credits.
+      for (std::size_t i = 0; i < cfg.r; ++i) {
+        std::memcpy(sl.buf->symbol(i, j).data(), sl.chunks[j].data() + i * run.symbol_bytes,
+                    run.symbol_bytes);
+        if (content_hash64(sl.buf->symbol(i, j)) != run.store->sector_checksum(stripe, j, i)) {
+          run.corrupt.fetch_add(1, std::memory_order_relaxed);
+          mask[i * cfg.n + j] = true;
+          degraded = true;
+        }
+      }
+    }
+    if (!degraded) {
+      decode_write_data(run, std::move(slot), stripe);
+      return;
+    }
+    run.degraded.fetch_add(1, std::memory_order_relaxed);
+    Slot* raw = slot.get();
+    // The degraded-read path: the mask resolves through the session's plan
+    // cache, so every stripe of a failure epoch replays one compiled plan.
+    codec_.submit_decode(raw->buf->view(), mask,
+                         [this, &run, slot = std::move(slot), stripe](bool ok) mutable {
+                           if (!ok) {
+                             // Outside the code's coverage: a failed stripe,
+                             // counted, not thrown.
+                             run.failed.fetch_add(1, std::memory_order_relaxed);
+                             slot.reset();
+                             retire_slot(run);
+                             return;
+                           }
+                           decode_write_data(run, std::move(slot), stripe);
+                         });
+  } catch (const std::exception& e) {
+    fatal(run, std::string("decode assemble failed: ") + e.what());
+    retire_slot(run);
+  }
+}
+
+void IoPipeline::decode_write_data(Run& run, SlotLease slot, std::size_t stripe) {
+  try {
+    const StairConfig& cfg = run.store->cfg;
+    Slot& sl = *slot;
+    // Fold the stripe's data hash from sector hashes: verified sectors reuse
+    // the manifest value (verification just recomputed it), reconstructed
+    // sectors are hashed fresh — the end-to-end check covers decode output.
+    run.stripe_hashes[stripe] = run.stripe_data_hash([&](std::size_t row, std::size_t dev) {
+      return sl.mask[row * cfg.n + dev]
+                 ? content_hash64(sl.buf->symbol(row, dev))
+                 : run.store->sector_checksum(stripe, dev, row);
+    });
+    sl.buf->get_data(sl.data);
+    const std::size_t offset = stripe * run.stripe_data;
+    const std::size_t len = std::min(run.stripe_data, run.store->file_size - offset);
+    Slot* raw = slot.get();
+    engine_->write(run.file_fd, offset, std::span(raw->data.data(), len),
+                   [this, &run, slot = std::move(slot), len](const io::Result& r) mutable {
+                     run.bytes_written.fetch_add(r.bytes, std::memory_order_relaxed);
+                     if (r.error || r.bytes < len)
+                       fatal(run, "output write failed: " + errno_text(r.error));
+                     slot.reset();
+                     retire_slot(run);
+                   });
+  } catch (const std::exception& e) {
+    fatal(run, std::string("decode write failed: ") + e.what());
+    retire_slot(run);
+  }
+}
+
+}  // namespace stair

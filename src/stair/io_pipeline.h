@@ -1,0 +1,180 @@
+// IoPipeline — async stripe IO feeding the Codec session.
+//
+// The Codec (stair/codec.h) turned the coding path into a stripe-batch
+// pipeline, but it still assumed every stripe was resident in memory. This
+// layer closes the remaining seam named by the roadmap: chunk-file IO runs
+// through an async engine (util/stripe_io.h) with a bounded ring of leased
+// stripe slots, and IO completions chain directly into submit_encode /
+// submit_decode (and compute completions chain back into writes), so disk
+// work for stripe k+d overlaps region work for stripe k with no thread ever
+// blocked between the stages:
+//
+//   encode:  read(input chunk k) ──▶ submit_encode ──▶ write(n device chunks)
+//   decode:  read(n device chunks k) ─▶ [verify checksums, build mask]
+//              ├─ clean: write(output chunk k)
+//              └─ degraded: submit_decode via the session plan cache ─▶ write
+//
+// The on-disk layout is a StripeStore: one dev_NN.bin per device (stripe k's
+// chunk of device j at byte k * r * symbol_bytes), plus a manifest recording
+// the config and a checksum per (stripe, device) chunk. Checksums are what
+// make degraded reads honest: a chunk that is missing, short, unreadable
+// (EIO), or torn (checksum mismatch) is treated as erased for exactly its
+// stripe, the mask is resolved through the session's DecodePlanCache (every
+// stripe of a failure epoch shares one inversion+compile), and the stripe is
+// reconstructed in the pipeline. Patterns outside the code's coverage fail
+// that stripe's handle and are counted — never thrown mid-pipeline.
+//
+// Depth: `queue_depth` stripes are in flight at once, each leasing a slot
+// (StripeBuffer + staging) from a WorkspacePool that settles at the depth
+// high-water mark. IO transfers are bounded by depth x (n + 1), so the
+// engine never needs its own backpressure against the pipeline.
+//
+// A pipeline is bound to one Codec (whose code defines the stripe geometry)
+// and runs one file operation at a time; distinct pipelines on distinct
+// codecs may run concurrently.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stair/codec.h"
+#include "util/stripe_io.h"
+#include "util/workspace_pool.h"
+
+namespace stair {
+
+/// Parses a comma-separated coverage vector ("1,2" -> {1, 2}) — the format
+/// both the manifest and file_codec's CLI use for `e`.
+std::vector<std::size_t> parse_coverage_list(const std::string& text);
+
+/// 64-bit content hash over a byte span — the sector checksum. A word-wise
+/// multiply-rotate mixer (~8 bytes/cycle of input vs 1 for classic FNV): the
+/// checksum pass must not become the pipeline's bottleneck next to the SIMD
+/// region kernels. Deterministic for a given platform endianness; plenty for
+/// torn-write/bit-rot detection, not a cryptographic integrity layer.
+std::uint64_t content_hash64(std::span<const std::uint8_t> bytes);
+
+/// The on-disk stripe store: per-device chunk files plus the manifest that
+/// decode needs (config, geometry, per-sector checksums, whole-file check).
+struct StripeStore {
+  StairConfig cfg;
+  std::size_t symbol_bytes = 0;
+  std::size_t file_size = 0;   // original file bytes (tail stripe is padded)
+  std::size_t stripes = 0;
+  /// FNV over the per-stripe data checksums (8-byte LE each, stripe order) —
+  /// order-independent to compute with stripes completing out of order.
+  std::uint64_t data_checksum = 0;
+  /// Checksum of each stored sector — symbol (row i, device j) of stripe k at
+  /// [(k * cfg.n + j) * cfg.r + i]. Sector granularity is what lets decode
+  /// erase exactly the torn/rotted sectors of a surviving device instead of
+  /// writing off its whole chunk: the mixed device+sector failure patterns
+  /// STAIR's coverage is about.
+  std::vector<std::uint64_t> sector_checksums;
+
+  std::size_t chunk_bytes() const { return cfg.r * symbol_bytes; }
+  std::uint64_t sector_checksum(std::size_t stripe, std::size_t device,
+                                std::size_t row) const {
+    return sector_checksums[(stripe * cfg.n + device) * cfg.r + row];
+  }
+
+  static std::string device_path(const std::string& dir, std::size_t device);
+  static std::string manifest_path(const std::string& dir);
+
+  /// Writes manifest.txt into `dir` (throws on IO failure).
+  void save(const std::string& dir) const;
+  /// Loads and validates manifest.txt (throws std::runtime_error).
+  static StripeStore load(const std::string& dir);
+};
+
+class IoPipeline {
+ public:
+  struct Options {
+    /// Stripes in flight (ring depth). 1 degrades to read-compute-write
+    /// lockstep; >= 4 keeps IO and compute overlapped.
+    std::size_t queue_depth = 4;
+    /// Bytes per symbol when encoding (decode takes it from the manifest).
+    std::size_t symbol_bytes = 4096;
+    /// Encoding method for encode_file.
+    EncodingMethod method = EncodingMethod::kAuto;
+    /// IO engine to run on (borrowed; fault-injection tests pass a wrapped
+    /// one). nullptr: the pipeline creates and owns one per `backend`.
+    io::Engine* engine = nullptr;
+    io::Backend backend = io::Backend::kAuto;  // used only when engine == nullptr
+    io::Engine::Options io;                    // used only when engine == nullptr
+  };
+
+  /// Per-operation outcome + counters. `ok` is the everything-checks-out
+  /// bit: no fatal IO error, no unrecoverable stripe, and (decode) the
+  /// reassembled data matching the manifest checksum.
+  struct Stats {
+    bool ok = false;
+    std::string error;                 // first fatal error (empty when ok)
+    std::size_t stripes = 0;
+    std::size_t degraded_stripes = 0;  // reconstructed through the plan cache
+    std::size_t failed_stripes = 0;    // pattern outside the code's coverage
+    std::size_t chunks_missing = 0;    // open/read failure or short chunk
+    std::size_t sectors_corrupt = 0;   // read fine, sector checksum mismatch
+    std::uint64_t bytes_read = 0;
+    std::uint64_t bytes_written = 0;
+  };
+
+  explicit IoPipeline(Codec& codec);
+  IoPipeline(Codec& codec, Options options);
+  ~IoPipeline();
+
+  IoPipeline(const IoPipeline&) = delete;
+  IoPipeline& operator=(const IoPipeline&) = delete;
+
+  /// Splits `input_path` into stripes, encodes each through the Codec, and
+  /// writes the StripeStore into `store_dir` (created if needed). Returns
+  /// stats; never throws for IO-shaped failures (see Stats.error).
+  Stats encode_file(const std::string& input_path, const std::string& store_dir);
+
+  /// Reassembles the original file from `store_dir` into `output_path`,
+  /// serving degraded stripes through the session plan cache. Stats.ok is
+  /// false when any stripe was unrecoverable or the final checksum failed;
+  /// whatever was recoverable has still been written.
+  Stats decode_file(const std::string& store_dir, const std::string& output_path);
+
+  io::Engine& engine() { return *engine_; }
+  Codec& codec() { return codec_; }
+  /// Slot-pool high-water mark (== stripes concurrently in flight, settles
+  /// at queue_depth).
+  std::size_t slots_created() const { return slots_.created(); }
+
+ private:
+  struct Slot;
+  struct Run;
+
+  using SlotLease = WorkspacePool<Slot>::Lease;
+
+  static void prepare_slot(Slot& slot, const StairCode& code, const Run& run,
+                           std::size_t devices);
+  SlotLease acquire_slot(Run& run);
+  void retire_slot(Run& run);
+  void fatal(Run& run, std::string message);
+  void drain(Run& run);
+
+  // Stage bodies (each runs on an engine/pool thread; must not throw).
+  void encode_on_input_read(Run& run, SlotLease slot, std::size_t stripe,
+                            std::size_t data_len, const io::Result& r);
+  void encode_on_encoded(Run& run, SlotLease slot, std::size_t stripe, bool ok);
+  void decode_on_chunk_read(Run& run, SlotLease slot, std::size_t stripe,
+                            std::size_t device, const io::Result& r);
+  void decode_assemble(Run& run, SlotLease slot, std::size_t stripe);
+  void decode_write_data(Run& run, SlotLease slot, std::size_t stripe);
+
+  Codec& codec_;
+  Options options_;
+  std::unique_ptr<io::Engine> owned_engine_;
+  io::Engine* engine_;
+  WorkspacePool<Slot> slots_;
+};
+
+}  // namespace stair

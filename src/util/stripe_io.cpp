@@ -1,0 +1,658 @@
+#include "util/stripe_io.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <stdexcept>
+#include <string_view>
+#include <thread>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#if defined(__linux__) && __has_include(<linux/io_uring.h>)
+#define STAIR_HAVE_URING_SYSCALLS 1
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#endif
+
+namespace stair::io {
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kAuto: return "auto";
+    case Backend::kThreads: return "threads";
+    case Backend::kUring: return "uring";
+  }
+  return "?";
+}
+
+Backend backend_from_env() {
+  const char* v = std::getenv("STAIR_IO_BACKEND");
+  if (!v) return Backend::kAuto;
+  const std::string_view s(v);
+  if (s == "threads") return Backend::kThreads;
+  if (s == "uring") return Backend::kUring;
+  return Backend::kAuto;
+}
+
+int Engine::open_read(const std::string& path) {
+  return ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+}
+
+int Engine::open_write(const std::string& path) {
+  return ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+}
+
+void Engine::close(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+std::uint64_t Engine::file_size(int fd) const {
+  struct stat st;
+  if (::fstat(fd, &st) != 0) return 0;
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+int Engine::truncate(int fd, std::uint64_t size) {
+  return ::ftruncate(fd, static_cast<off_t>(size)) == 0 ? 0 : errno;
+}
+
+namespace {
+
+/// Full-transfer pread loop: retries short reads, stops at EOF or error.
+Result read_full(int fd, std::uint64_t offset, std::span<std::uint8_t> buf) {
+  std::size_t done = 0;
+  while (done < buf.size()) {
+    const ssize_t n = ::pread(fd, buf.data() + done, buf.size() - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return {errno, done};
+    }
+    if (n == 0) break;  // EOF
+    done += static_cast<std::size_t>(n);
+  }
+  return {0, done};
+}
+
+/// Full-transfer pwrite loop.
+Result write_full(int fd, std::uint64_t offset, std::span<const std::uint8_t> buf) {
+  std::size_t done = 0;
+  while (done < buf.size()) {
+    const ssize_t n = ::pwrite(fd, buf.data() + done, buf.size() - done,
+                               static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return {errno, done};
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return {0, done};
+}
+
+// ---------------------------------------------------------------------------
+// Thread backend: a small pool of pread/pwrite workers draining a queue.
+// ---------------------------------------------------------------------------
+
+class ThreadEngine : public Engine {
+ public:
+  explicit ThreadEngine(Options options) {
+    const std::size_t n = options.threads ? options.threads : 1;
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ~ThreadEngine() override {
+    flush();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  Backend backend() const override { return Backend::kThreads; }
+
+  void read(int fd, std::uint64_t offset, std::span<std::uint8_t> buf,
+            Callback cb) override {
+    enqueue({false, fd, offset, buf.data(), nullptr, buf.size(), std::move(cb)});
+  }
+
+  void write(int fd, std::uint64_t offset, std::span<const std::uint8_t> buf,
+             Callback cb) override {
+    enqueue({true, fd, offset, nullptr, buf.data(), buf.size(), std::move(cb)});
+  }
+
+  void flush() override {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  }
+
+ private:
+  struct Op {
+    bool is_write;
+    int fd;
+    std::uint64_t offset;
+    std::uint8_t* rbuf;
+    const std::uint8_t* wbuf;
+    std::size_t len;
+    Callback cb;
+  };
+
+  void enqueue(Op op) {
+    // Notify under the lock: an unlocked notify can touch the cv after a
+    // racing completion let flush() return and the destructor tear it down.
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(op));
+    cv_.notify_one();
+  }
+
+  void worker_loop() {
+    for (;;) {
+      Op op;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop_ && drained
+        op = std::move(queue_.front());
+        queue_.pop_front();
+        ++active_;
+      }
+      const Result r = op.is_write ? write_full(op.fd, op.offset, {op.wbuf, op.len})
+                                   : read_full(op.fd, op.offset, {op.rbuf, op.len});
+      op.cb(r);
+      {
+        // Notify under the lock (see enqueue): after --active_ reaches the
+        // flush predicate, the engine may be destroyed.
+        std::lock_guard<std::mutex> lock(mu_);
+        --active_;
+        idle_cv_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_, idle_cv_;
+  std::deque<Op> queue_;   // guarded by mu_
+  std::size_t active_ = 0; // guarded by mu_
+  bool stop_ = false;      // guarded by mu_
+};
+
+// ---------------------------------------------------------------------------
+// io_uring backend, through raw syscalls (no liburing). One submission mutex,
+// one completion-reaper thread dispatching callbacks; short transfers are
+// continued from the reaper so callers always see whole-or-nothing results.
+// ---------------------------------------------------------------------------
+
+#ifdef STAIR_HAVE_URING_SYSCALLS
+
+int sys_io_uring_setup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int sys_io_uring_enter(int fd, unsigned to_submit, unsigned min_complete, unsigned flags) {
+  return static_cast<int>(
+      ::syscall(__NR_io_uring_enter, fd, to_submit, min_complete, flags, nullptr, 0));
+}
+
+int sys_io_uring_register(int fd, unsigned opcode, void* arg, unsigned nr_args) {
+  return static_cast<int>(::syscall(__NR_io_uring_register, fd, opcode, arg, nr_args));
+}
+
+class UringEngine : public Engine {
+ public:
+  /// Throws std::runtime_error when the ring cannot be set up (caller falls
+  /// back to the thread backend).
+  explicit UringEngine(Options options) {
+    unsigned entries = 8;
+    while (entries < options.queue_depth && entries < 4096) entries *= 2;
+    std::memset(&params_, 0, sizeof params_);
+    ring_fd_ = sys_io_uring_setup(entries, &params_);
+    if (ring_fd_ < 0) throw std::runtime_error("io_uring_setup failed");
+
+    sq_ring_bytes_ = params_.sq_off.array + params_.sq_entries * sizeof(unsigned);
+    cq_ring_bytes_ = params_.cq_off.cqes + params_.cq_entries * sizeof(io_uring_cqe);
+    const bool single_mmap = params_.features & IORING_FEAT_SINGLE_MMAP;
+    if (single_mmap) sq_ring_bytes_ = cq_ring_bytes_ = std::max(sq_ring_bytes_, cq_ring_bytes_);
+
+    sq_ring_ = ::mmap(nullptr, sq_ring_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+    cq_ring_ = single_mmap
+                   ? sq_ring_
+                   : ::mmap(nullptr, cq_ring_bytes_, PROT_READ | PROT_WRITE,
+                            MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING);
+    sqes_ = static_cast<io_uring_sqe*>(
+        ::mmap(nullptr, params_.sq_entries * sizeof(io_uring_sqe), PROT_READ | PROT_WRITE,
+               MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES));
+    if (sq_ring_ == MAP_FAILED || cq_ring_ == MAP_FAILED ||
+        sqes_ == static_cast<void*>(MAP_FAILED)) {
+      teardown();
+      throw std::runtime_error("io_uring ring mmap failed");
+    }
+
+    auto* sq = static_cast<std::uint8_t*>(sq_ring_);
+    sq_head_ = reinterpret_cast<unsigned*>(sq + params_.sq_off.head);
+    sq_tail_ = reinterpret_cast<unsigned*>(sq + params_.sq_off.tail);
+    sq_mask_ = *reinterpret_cast<unsigned*>(sq + params_.sq_off.ring_mask);
+    sq_array_ = reinterpret_cast<unsigned*>(sq + params_.sq_off.array);
+    auto* cq = static_cast<std::uint8_t*>(cq_ring_);
+    cq_head_ = reinterpret_cast<unsigned*>(cq + params_.cq_off.head);
+    cq_tail_ = reinterpret_cast<unsigned*>(cq + params_.cq_off.tail);
+    cq_mask_ = *reinterpret_cast<unsigned*>(cq + params_.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<io_uring_cqe*>(cq + params_.cq_off.cqes);
+
+    // The cq holds 2x sq_entries; capping in-flight below it means a cqe slot
+    // always exists, so completions can never be dropped on overflow.
+    max_in_flight_ = params_.cq_entries - 1;
+    reaper_ = std::thread([this] { reaper_loop(); });
+  }
+
+  ~UringEngine() override {
+    flush();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+      push_sqe_locked(IORING_OP_NOP, -1, 0, nullptr, 0, nullptr);  // wake the reaper
+    }
+    reaper_.join();
+    teardown();
+  }
+
+  Backend backend() const override { return Backend::kUring; }
+
+  void read(int fd, std::uint64_t offset, std::span<std::uint8_t> buf,
+            Callback cb) override {
+    submit(false, fd, offset, buf.data(), buf.size(), std::move(cb));
+  }
+
+  void write(int fd, std::uint64_t offset, std::span<const std::uint8_t> buf,
+             Callback cb) override {
+    submit(true, fd, offset, const_cast<std::uint8_t*>(buf.data()), buf.size(),
+           std::move(cb));
+  }
+
+  void flush() override {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  }
+
+ private:
+  // One logical transfer; lives on the heap until fully retired. `done`
+  // tracks bytes from completed sqes so short transfers continue where they
+  // stopped.
+  struct Op {
+    bool is_write;
+    int fd;
+    std::uint64_t offset;
+    std::uint8_t* buf;
+    std::size_t len;
+    std::size_t done = 0;
+    Callback cb;
+  };
+
+  void teardown() {
+    if (sqes_ && sqes_ != static_cast<void*>(MAP_FAILED))
+      ::munmap(sqes_, params_.sq_entries * sizeof(io_uring_sqe));
+    if (cq_ring_ && cq_ring_ != MAP_FAILED && cq_ring_ != sq_ring_)
+      ::munmap(cq_ring_, cq_ring_bytes_);
+    if (sq_ring_ && sq_ring_ != MAP_FAILED) ::munmap(sq_ring_, sq_ring_bytes_);
+    if (ring_fd_ >= 0) ::close(ring_fd_);
+  }
+
+  // Fills one sqe and submits it to the kernel. Caller holds mu_; the enter()
+  // consumes the sqe immediately, so the sq ring cannot fill up under the
+  // lock and pushes from the reaper (continuations) can never block.
+  // Returns 0 or the errno the submission ultimately failed with — a
+  // dropped submission must not be silent (its op would never complete and
+  // flush() would hang on in_flight_ forever).
+  int push_sqe_locked(unsigned op, int fd, std::uint64_t offset, void* addr,
+                      std::size_t len, Op* user) {
+    const unsigned tail = *sq_tail_;
+    const unsigned idx = tail & sq_mask_;
+    io_uring_sqe& sqe = sqes_[idx];
+    std::memset(&sqe, 0, sizeof sqe);
+    sqe.opcode = static_cast<std::uint8_t>(op);
+    sqe.fd = fd;
+    sqe.off = offset;
+    sqe.addr = reinterpret_cast<std::uint64_t>(addr);
+    sqe.len = static_cast<unsigned>(len);
+    sqe.user_data = reinterpret_cast<std::uint64_t>(user);
+    sq_array_[idx] = idx;
+    __atomic_store_n(sq_tail_, tail + 1, __ATOMIC_RELEASE);
+    for (;;) {
+      if (sys_io_uring_enter(ring_fd_, 1, 0, 0) >= 0) return 0;
+      // EBUSY/EAGAIN: the kernel wants completions reaped (cq backlog) or
+      // memory freed first — the reaper drains concurrently, so yield and
+      // retry. Anything else is a hard failure the caller must surface.
+      if (errno == EINTR) continue;
+      if (errno == EBUSY || errno == EAGAIN) {
+        std::this_thread::yield();
+        continue;
+      }
+      return errno;
+    }
+  }
+
+  // push_sqe_locked for a transfer op. Returns the submission errno (0 on
+  // success); on failure the CALLER must finish(op, ...) after releasing
+  // mu_ — finishing takes the lock and runs the callback.
+  int push_op_locked(Op* op, std::uint64_t offset, std::uint8_t* buf, std::size_t len) {
+    return push_sqe_locked(op->is_write ? IORING_OP_WRITE : IORING_OP_READ, op->fd,
+                           offset, buf, len, op);
+  }
+
+  void submit(bool is_write, int fd, std::uint64_t offset, std::uint8_t* buf,
+              std::size_t len, Callback cb) {
+    auto* op = new Op{is_write, fd, offset, buf, len, 0, std::move(cb)};
+    int err;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // Keep a free cqe slot per transfer (see max_in_flight_) — but never
+      // block the reaper thread itself: callbacks run there and may chain new
+      // submissions, and a parked reaper retires nothing. Completion-driven
+      // overshoot is absorbed by the kernel's no-drop overflow queue.
+      if (std::this_thread::get_id() != reaper_.get_id())
+        idle_cv_.wait(lock, [this] { return in_flight_ < max_in_flight_; });
+      ++in_flight_;
+      if (broken_) {
+        err = EIO;  // the reaper found the ring dead; nothing will complete
+      } else {
+        live_.push_back(op);
+        err = push_op_locked(op, offset, buf, len);
+      }
+    }
+    if (err != 0) finish(op, {err, 0});
+  }
+
+  void reaper_loop() {
+    for (;;) {
+      unsigned head = *cq_head_;
+      if (head == __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE)) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (stop_ && in_flight_ == 0) return;
+        }
+        const int rc = sys_io_uring_enter(ring_fd_, 0, 1, IORING_ENTER_GETEVENTS);
+        if (rc < 0 && errno != EINTR && errno != EAGAIN && errno != EBUSY) {
+          // The ring is broken (ENOMEM, EBADF, ...): no more cqes will ever
+          // arrive, so fail every live op out — leaving them would hang the
+          // caller's flush()/drain forever instead of surfacing an error.
+          fail_all_live(errno);
+          return;
+        }
+        continue;
+      }
+      const io_uring_cqe cqe = cqes_[head & cq_mask_];
+      __atomic_store_n(cq_head_, head + 1, __ATOMIC_RELEASE);
+      Op* op = reinterpret_cast<Op*>(cqe.user_data);
+      if (!op) continue;  // stop NOP: not a transfer, nothing to retire
+      // The op's fields were written by the submitter under mu_ and handed
+      // over through the kernel ring, whose ordering the memory model (and
+      // TSan) cannot see. Taking mu_ once per completion recreates the
+      // submit-unlock -> here edge explicitly before the fields are read.
+      { std::lock_guard<std::mutex> lock(mu_); }
+      if (cqe.res < 0) {
+        finish(op, {-cqe.res, op->done});
+      } else {
+        op->done += static_cast<std::size_t>(cqe.res);
+        if (cqe.res == 0 || op->done >= op->len) {
+          finish(op, {0, op->done});  // EOF or complete
+        } else {
+          // Short transfer: continue the remainder in-place (same in-flight
+          // slot, so this never waits).
+          int err;
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            err = push_op_locked(op, op->offset + op->done, op->buf + op->done,
+                                 op->len - op->done);
+          }
+          if (err != 0) finish(op, {err, op->done});
+        }
+      }
+    }
+  }
+
+  void finish(Op* op, const Result& r) {
+    op->cb(r);
+    delete op;
+    // Notify under the lock: once in_flight_ hits the flush predicate the
+    // engine may be destroyed, so the cv must not be touched after unlock.
+    std::lock_guard<std::mutex> lock(mu_);
+    std::erase(live_, op);
+    --in_flight_;
+    idle_cv_.notify_all();
+  }
+
+  void fail_all_live(int err) {
+    std::vector<Op*> doomed;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      broken_ = true;  // later submits fail fast instead of being orphaned
+      doomed.swap(live_);
+    }
+    for (Op* op : doomed) finish(op, {err, op->done});
+  }
+
+  io_uring_params params_{};
+  int ring_fd_ = -1;
+  void* sq_ring_ = nullptr;
+  void* cq_ring_ = nullptr;
+  io_uring_sqe* sqes_ = nullptr;
+  std::size_t sq_ring_bytes_ = 0, cq_ring_bytes_ = 0;
+  unsigned *sq_head_ = nullptr, *sq_tail_ = nullptr, *sq_array_ = nullptr;
+  unsigned *cq_head_ = nullptr, *cq_tail_ = nullptr;
+  unsigned sq_mask_ = 0, cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+
+  std::mutex mu_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_ = 0;  // guarded by mu_
+  std::vector<Op*> live_;      // guarded by mu_; ops awaiting completion
+  std::size_t max_in_flight_ = 0;
+  bool stop_ = false;    // guarded by mu_
+  bool broken_ = false;  // guarded by mu_; reaper hit a hard ring error
+  std::thread reaper_;
+};
+
+#endif  // STAIR_HAVE_URING_SYSCALLS
+
+}  // namespace
+
+bool Engine::uring_supported() {
+#if defined(STAIR_HAVE_URING_SYSCALLS) && defined(IORING_REGISTER_PROBE)
+  static const bool supported = [] {
+    io_uring_params p;
+    std::memset(&p, 0, sizeof p);
+    const int fd = sys_io_uring_setup(4, &p);
+    if (fd < 0) return false;
+    // setup succeeding is not enough: the engine needs IORING_OP_READ/WRITE
+    // (5.6+), so probe the opcodes. Kernels too old for the probe (also
+    // 5.6+) lack the opcodes too and correctly fall back to threads.
+    bool ok = false;
+    std::vector<std::uint8_t> mem(
+        sizeof(io_uring_probe) + IORING_OP_LAST * sizeof(io_uring_probe_op), 0);
+    auto* probe = reinterpret_cast<io_uring_probe*>(mem.data());
+    if (sys_io_uring_register(fd, IORING_REGISTER_PROBE, probe, IORING_OP_LAST) == 0) {
+      const auto op_supported = [&](unsigned op) {
+        return op < probe->ops_len && (probe->ops[op].flags & IO_URING_OP_SUPPORTED);
+      };
+      ok = op_supported(IORING_OP_READ) && op_supported(IORING_OP_WRITE) &&
+           op_supported(IORING_OP_NOP);
+    }
+    ::close(fd);
+    return ok;
+  }();
+  return supported;
+#else
+  return false;
+#endif
+}
+
+std::unique_ptr<Engine> Engine::create(Backend requested) { return create(requested, Options{}); }
+
+std::unique_ptr<Engine> Engine::create(Backend requested, Options options) {
+#ifdef STAIR_HAVE_URING_SYSCALLS
+  if (requested != Backend::kThreads && uring_supported()) {
+    try {
+      return std::make_unique<UringEngine>(options);
+    } catch (...) {
+      // Probe raced a sandbox/rlimit change; the thread backend always works.
+    }
+  }
+#endif
+  (void)requested;
+  return std::make_unique<ThreadEngine>(options);
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectingEngine
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string final_component(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+FaultInjectingEngine::FaultInjectingEngine(std::unique_ptr<Engine> inner)
+    : inner_(std::move(inner)) {}
+
+FaultInjectingEngine::~FaultInjectingEngine() = default;
+
+void FaultInjectingEngine::add_fault(Fault fault) {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_.push_back(std::move(fault));
+}
+
+void FaultInjectingEngine::clear_faults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_.clear();
+}
+
+std::uint64_t FaultInjectingEngine::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+int FaultInjectingEngine::open_read(const std::string& path) {
+  const int fd = inner_->open_read(path);
+  if (fd >= 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    files_.emplace_back(fd, final_component(path));
+  }
+  return fd;
+}
+
+int FaultInjectingEngine::open_write(const std::string& path) {
+  const int fd = inner_->open_write(path);
+  if (fd >= 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    files_.emplace_back(fd, final_component(path));
+  }
+  return fd;
+}
+
+void FaultInjectingEngine::close(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::erase_if(files_, [fd](const auto& e) { return e.first == fd; });
+  }
+  inner_->close(fd);
+}
+
+std::optional<Fault> FaultInjectingEngine::match(bool is_write, int fd,
+                                                 std::uint64_t offset,
+                                                 std::uint64_t length) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string* name = nullptr;
+  for (const auto& [f, n] : files_)
+    if (f == fd) {
+      name = &n;
+      break;
+    }
+  if (!name) return std::nullopt;
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    const Fault& rule = faults_[i];
+    const bool write_kind =
+        rule.kind == Fault::Kind::kWriteError || rule.kind == Fault::Kind::kTornWrite;
+    if (write_kind != is_write || rule.file != *name) continue;
+    const std::uint64_t rule_end =
+        rule.length == ~0ULL ? ~0ULL : rule.offset + rule.length;
+    if (offset + length <= rule.offset || offset >= rule_end) continue;
+    Fault hit = rule;
+    ++hits_;
+    if (rule.once) faults_.erase(faults_.begin() + static_cast<std::ptrdiff_t>(i));
+    return hit;
+  }
+  return std::nullopt;
+}
+
+void FaultInjectingEngine::read(int fd, std::uint64_t offset,
+                                std::span<std::uint8_t> buf, Callback cb) {
+  const auto fault = match(false, fd, offset, buf.size());
+  if (!fault) {
+    inner_->read(fd, offset, buf, std::move(cb));
+    return;
+  }
+  switch (fault->kind) {
+    case Fault::Kind::kReadError:
+      cb(Result{fault->error, 0});
+      return;
+    case Fault::Kind::kShortRead: {
+      // Deliver a genuine prefix, then under-report: the bytes the "device"
+      // managed before giving up.
+      const std::size_t keep = std::min(fault->keep_bytes, buf.size());
+      inner_->read(fd, offset, buf, [cb = std::move(cb), keep](const Result& r) {
+        cb(Result{0, std::min(keep, r.bytes)});
+      });
+      return;
+    }
+    default:  // write kinds never match reads
+      inner_->read(fd, offset, buf, std::move(cb));
+      return;
+  }
+}
+
+void FaultInjectingEngine::write(int fd, std::uint64_t offset,
+                                 std::span<const std::uint8_t> buf, Callback cb) {
+  const auto fault = match(true, fd, offset, buf.size());
+  if (!fault) {
+    inner_->write(fd, offset, buf, std::move(cb));
+    return;
+  }
+  switch (fault->kind) {
+    case Fault::Kind::kWriteError:
+      cb(Result{fault->error, 0});
+      return;
+    case Fault::Kind::kTornWrite: {
+      // The prefix lands; the report claims everything did. The lie is what
+      // per-chunk checksums exist to catch on the next read.
+      const std::size_t keep = std::min(fault->keep_bytes, buf.size());
+      const std::size_t full = buf.size();
+      if (keep == 0) {
+        cb(Result{0, full});
+        return;
+      }
+      inner_->write(fd, offset, buf.first(keep),
+                    [cb = std::move(cb), full](const Result&) { cb(Result{0, full}); });
+      return;
+    }
+    default:
+      inner_->write(fd, offset, buf, std::move(cb));
+      return;
+  }
+}
+
+}  // namespace stair::io

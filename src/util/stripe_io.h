@@ -1,0 +1,193 @@
+// Async stripe-chunk IO engine — the disk side of the serving pipeline.
+//
+// The Codec session keeps N stripes of *compute* in flight; this engine keeps
+// their chunk reads and writes in flight alongside, so IO for stripe k+d
+// overlaps region work for stripe k instead of serializing in front of it.
+// The model is a tiny completion-callback engine, deliberately smaller than a
+// general event loop:
+//
+//   * read/write submit one positioned transfer (pread/pwrite semantics) and
+//     return immediately; the callback fires on an engine thread when the
+//     transfer has fully completed (or failed),
+//   * transfers are whole-or-nothing: the engine internally continues short
+//     transfers, so the callback sees bytes < requested only at end-of-file
+//     (reads) or with a nonzero errno,
+//   * flush() blocks the caller until every submitted transfer has retired.
+//
+// Two backends, selected at runtime (STAIR_IO_BACKEND = threads | uring |
+// auto, or Engine::create's argument): a portable pread/pwrite thread pool,
+// and a Linux io_uring ring driven through raw syscalls (no liburing
+// dependency). kAuto prefers io_uring and silently falls back when the
+// kernel or a seccomp sandbox refuses io_uring_setup — backend() reports
+// what was actually built, and every backend produces identical results.
+//
+// Callbacks run on engine threads and must not throw. They MAY submit new
+// transfers (that is how the pipeline chains read -> encode -> write), and
+// submission never blocks on completions, so callback-driven chains cannot
+// deadlock; backpressure is the caller's job (the IoPipeline bounds stripes
+// in flight, which bounds transfers at stripes x (n + 1)).
+//
+// FaultInjectingEngine wraps any engine with a deterministic fault plan —
+// EIO reads, short reads, torn writes, failed writes — keyed on file name
+// and byte range, which is how the test battery simulates lost sectors and
+// dying devices underneath an unmodified pipeline.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace stair::io {
+
+enum class Backend : std::uint8_t { kAuto = 0, kThreads = 1, kUring = 2 };
+
+/// "auto" / "threads" / "uring".
+const char* backend_name(Backend b);
+
+/// STAIR_IO_BACKEND environment override (threads | uring | auto); kAuto
+/// when unset or unparseable.
+Backend backend_from_env();
+
+/// One completed transfer: `error` is an errno value (0 = success) and
+/// `bytes` the total bytes transferred. A successful read reports
+/// bytes < requested only when the file ended first.
+struct Result {
+  int error = 0;
+  std::size_t bytes = 0;
+
+  bool ok() const { return error == 0; }
+};
+
+using Callback = std::function<void(const Result&)>;
+
+class Engine {
+ public:
+  struct Options {
+    /// io_uring submission-queue entries (rounded up to a power of two) and
+    /// the cap on transfers in flight before submit briefly yields to the
+    /// completion reaper. Thread backend: soft queue sizing only.
+    std::size_t queue_depth = 64;
+    /// Worker threads performing pread/pwrite (thread backend only).
+    std::size_t threads = 2;
+  };
+
+  virtual ~Engine() = default;
+
+  /// The backend actually running (kAuto never; create() resolves it).
+  virtual Backend backend() const = 0;
+
+  /// Submits one positioned read of buf.size() bytes at `offset`; cb fires
+  /// on an engine thread once the transfer retires. Never blocks on other
+  /// transfers' completions.
+  virtual void read(int fd, std::uint64_t offset, std::span<std::uint8_t> buf,
+                    Callback cb) = 0;
+
+  /// Submits one positioned write; same contract as read().
+  virtual void write(int fd, std::uint64_t offset, std::span<const std::uint8_t> buf,
+                     Callback cb) = 0;
+
+  /// Blocks until every transfer submitted so far has retired (callbacks
+  /// included). Not for use from callbacks.
+  virtual void flush() = 0;
+
+  // File handles flow through the engine so a wrapping engine (fault
+  // injection) can key faults on the path behind an fd. Base implementations
+  // are plain open/close.
+
+  /// Opens for reading; -1 with errno set on failure (missing device file).
+  virtual int open_read(const std::string& path);
+  /// Opens for writing, created/truncated; -1 with errno on failure.
+  virtual int open_write(const std::string& path);
+  virtual void close(int fd);
+
+  /// Size of a file opened through this engine, in bytes (fstat; 0 on
+  /// failure). Virtual so engines with synthetic fds (in-memory benchmark
+  /// baseline) can answer for their own handles.
+  virtual std::uint64_t file_size(int fd) const;
+
+  /// Sets the file's length (ftruncate). Returns 0 or an errno value.
+  virtual int truncate(int fd, std::uint64_t size);
+
+  /// True when io_uring_setup succeeds on this kernel/sandbox (probed once).
+  static bool uring_supported();
+
+  /// Builds the requested backend; kAuto (and kUring when unsupported)
+  /// resolve to io_uring if available, else threads.
+  static std::unique_ptr<Engine> create(Backend requested, Options options);
+  static std::unique_ptr<Engine> create(Backend requested = backend_from_env());
+};
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// One injected fault, matched against transfers on (file, byte range). A
+/// transfer matches when its fd was opened through this engine for a path
+/// whose final component equals `file` and its byte range intersects
+/// [offset, offset + length). Matching is deterministic: rules are checked
+/// in registration order, first match wins.
+struct Fault {
+  enum class Kind : std::uint8_t {
+    kReadError,   // read fails with `error`, no bytes transferred
+    kShortRead,   // read succeeds but reports only `keep_bytes` bytes
+    kWriteError,  // write fails with `error`, nothing written
+    kTornWrite,   // only the first `keep_bytes` hit the file, but the write
+                  // REPORTS full success — silent corruption for checksums
+                  // to catch on the next read
+  };
+
+  Kind kind = Kind::kReadError;
+  std::string file;                // final path component, e.g. "dev_03.bin"
+  std::uint64_t offset = 0;        // start of the faulty byte range
+  std::uint64_t length = ~0ULL;    // range length (default: whole file)
+  int error = 5;                   // EIO; reported by the *Error kinds
+  std::size_t keep_bytes = 0;      // kShortRead / kTornWrite prefix
+  bool once = false;               // consume the rule after its first hit
+};
+
+/// Deterministic fault-injecting decorator: delegates to an inner engine,
+/// applying the registered fault plan. Thread-safe; rules may be added
+/// between operations but not concurrently with them.
+class FaultInjectingEngine : public Engine {
+ public:
+  explicit FaultInjectingEngine(std::unique_ptr<Engine> inner);
+  ~FaultInjectingEngine() override;
+
+  void add_fault(Fault fault);
+  void clear_faults();
+  /// Faults applied so far (tests assert the plan actually fired).
+  std::uint64_t hits() const;
+
+  Backend backend() const override { return inner_->backend(); }
+  void read(int fd, std::uint64_t offset, std::span<std::uint8_t> buf,
+            Callback cb) override;
+  void write(int fd, std::uint64_t offset, std::span<const std::uint8_t> buf,
+             Callback cb) override;
+  void flush() override { inner_->flush(); }
+
+  int open_read(const std::string& path) override;
+  int open_write(const std::string& path) override;
+  void close(int fd) override;
+  std::uint64_t file_size(int fd) const override { return inner_->file_size(fd); }
+  int truncate(int fd, std::uint64_t size) override { return inner_->truncate(fd, size); }
+
+ private:
+  /// First matching rule for the op, applying `once` consumption; nullopt
+  /// when the transfer should pass through untouched.
+  std::optional<Fault> match(bool is_write, int fd, std::uint64_t offset,
+                             std::uint64_t length);
+
+  std::unique_ptr<Engine> inner_;
+  mutable std::mutex mu_;
+  std::vector<Fault> faults_;            // guarded by mu_
+  std::vector<std::pair<int, std::string>> files_;  // fd -> final component
+  std::uint64_t hits_ = 0;               // guarded by mu_
+};
+
+}  // namespace stair::io

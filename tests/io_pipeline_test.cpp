@@ -1,0 +1,503 @@
+// IO pipeline battery: clean round trips on every IO backend, the
+// fault-injection matrix (device-only / sector-only / mixed patterns, EIO,
+// short reads, torn writes — every recoverable class reconstructs
+// byte-identically, unrecoverable classes surface as failed handles), the
+// deterministic seeded injector, and cross-backend determinism of the whole
+// file path (GF backend x region layout x IO backend x pool width).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "gf/kernel.h"
+#include "gf/region.h"
+#include "stair/io_pipeline.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace stair {
+namespace {
+
+namespace fs = std::filesystem;
+
+// --- plumbing ---------------------------------------------------------------
+
+struct TempDir {
+  fs::path path;
+
+  explicit TempDir(const std::string& hint) {
+    path = fs::temp_directory_path() /
+           ("stair_io_test_" + hint + "_" + std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+
+  std::string str() const { return path.string(); }
+};
+
+std::vector<std::uint8_t> write_random_file(const fs::path& p, std::size_t bytes,
+                                            std::uint64_t seed) {
+  std::vector<std::uint8_t> data(bytes);
+  Rng rng(seed);
+  rng.fill(data);
+  std::ofstream out(p, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  return data;
+}
+
+std::vector<std::uint8_t> read_all(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+/// Flips bytes in [offset, offset+len) of `p` — guaranteed content change,
+/// so the sector checksums must mismatch.
+void flip_bytes(const fs::path& p, std::uint64_t offset, std::size_t len) {
+  std::fstream f(p, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f) << "cannot open " << p;
+  std::vector<char> buf(len);
+  f.seekg(static_cast<std::streamoff>(offset));
+  f.read(buf.data(), static_cast<std::streamsize>(len));
+  for (char& c : buf) c = static_cast<char>(c ^ 0xA5);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(buf.data(), static_cast<std::streamsize>(len));
+}
+
+struct StoreCase {
+  StairConfig cfg;
+  std::size_t symbol;
+};
+
+// Three configs spanning the coverage shapes (m=1/2, two- and three-entry e).
+std::vector<StoreCase> fault_cases() {
+  return {
+      {{.n = 6, .r = 4, .m = 1, .e = {1, 2}, .w = 8}, 512},
+      {{.n = 8, .r = 6, .m = 2, .e = {1, 2}, .w = 8}, 256},
+      {{.n = 9, .r = 4, .m = 2, .e = {1, 1, 2}, .w = 8}, 384},
+  };
+}
+
+std::vector<io::Backend> io_backends() {
+  std::vector<io::Backend> b{io::Backend::kThreads};
+  if (io::Engine::uring_supported()) b.push_back(io::Backend::kUring);
+  return b;
+}
+
+/// Encodes `bytes` of seeded random data into dir/store and returns them.
+std::vector<std::uint8_t> encode_store(const TempDir& dir, const StoreCase& c,
+                                       std::size_t bytes, std::uint64_t seed,
+                                       IoPipeline::Options opts = {},
+                                       IoPipeline::Stats* stats_out = nullptr) {
+  const auto data = write_random_file(dir.path / "input.bin", bytes, seed);
+  Codec codec(c.cfg);
+  opts.symbol_bytes = c.symbol;
+  IoPipeline pipeline(codec, opts);
+  const auto st = pipeline.encode_file((dir.path / "input.bin").string(),
+                                       (dir.path / "store").string());
+  if (stats_out) *stats_out = st;
+  EXPECT_TRUE(st.ok) << st.error;
+  return data;
+}
+
+IoPipeline::Stats decode_store(const TempDir& dir, const StoreCase& c,
+                               IoPipeline::Options opts = {}) {
+  Codec codec(c.cfg);
+  IoPipeline pipeline(codec, opts);
+  return pipeline.decode_file((dir.path / "store").string(),
+                              (dir.path / "output.bin").string());
+}
+
+std::string dev_path(const TempDir& dir, std::size_t j) {
+  return StripeStore::device_path((dir.path / "store").string(), j);
+}
+
+// --- clean round trips ------------------------------------------------------
+
+TEST(IoPipeline, RoundTripAllBackendsAndDepths) {
+  for (io::Backend backend : io_backends()) {
+    for (std::size_t depth : {std::size_t{1}, std::size_t{4}}) {
+      SCOPED_TRACE(std::string(io::backend_name(backend)) + " depth=" +
+                   std::to_string(depth));
+      const StoreCase c = fault_cases()[0];
+      TempDir dir("roundtrip");
+      // 4 full stripes + a partial tail exercises padding and ftruncate.
+      Codec codec(c.cfg);
+      const std::size_t data_bytes =
+          codec.code().data_symbol_count() * c.symbol * 4 + 1234;
+      IoPipeline::Stats enc;
+      const auto data = encode_store(dir, c, data_bytes, 42,
+                                     {.queue_depth = depth, .backend = backend}, &enc);
+      EXPECT_EQ(enc.stripes, 5u);
+      const auto dec = decode_store(dir, c, {.queue_depth = depth, .backend = backend});
+      EXPECT_TRUE(dec.ok) << dec.error;
+      EXPECT_EQ(dec.degraded_stripes, 0u);
+      EXPECT_EQ(read_all(dir.path / "output.bin"), data);
+    }
+  }
+}
+
+TEST(IoPipeline, EmptyFileRoundTrip) {
+  const StoreCase c = fault_cases()[0];
+  TempDir dir("empty");
+  const auto data = encode_store(dir, c, 0, 1);
+  const auto dec = decode_store(dir, c);
+  EXPECT_TRUE(dec.ok) << dec.error;
+  EXPECT_EQ(dec.stripes, 0u);
+  EXPECT_EQ(read_all(dir.path / "output.bin"), data);
+}
+
+TEST(IoPipeline, SlotRingSettlesAtQueueDepth) {
+  const StoreCase c = fault_cases()[0];
+  TempDir dir("slots");
+  write_random_file(dir.path / "input.bin", 64 * 1024, 7);
+  Codec codec(c.cfg);
+  IoPipeline pipeline(codec, {.queue_depth = 3, .symbol_bytes = c.symbol});
+  const auto enc = pipeline.encode_file((dir.path / "input.bin").string(),
+                                        (dir.path / "store").string());
+  ASSERT_TRUE(enc.ok) << enc.error;
+  const auto dec = pipeline.decode_file((dir.path / "store").string(),
+                                        (dir.path / "output.bin").string());
+  ASSERT_TRUE(dec.ok) << dec.error;
+  // The ring bounds stripes in flight; the pool may briefly overshoot while
+  // a retiring slot's lease unwinds, but it must not grow with stripe count.
+  EXPECT_LE(pipeline.slots_created(), 3u + 2u);
+}
+
+// --- recoverable fault classes ----------------------------------------------
+
+// Every recoverable pattern class (device-only, sector-only, mixed), for all
+// three coverage shapes. Each asserts byte-identical reconstruction and that
+// the degraded path actually ran.
+
+TEST(IoPipelineFaults, DeviceOnlyPatterns) {
+  for (const StoreCase& c : fault_cases()) {
+    SCOPED_TRACE(c.cfg.to_string());
+    TempDir dir("dev_only");
+    const auto data = encode_store(dir, c, 150 * 1000, 11);
+    // Lose exactly m whole devices — the paper's device-failure budget.
+    for (std::size_t j = 0; j < c.cfg.m; ++j)
+      ASSERT_TRUE(fs::remove(dev_path(dir, j + 1)));
+    const auto dec = decode_store(dir, c);
+    EXPECT_TRUE(dec.ok) << dec.error;
+    EXPECT_EQ(dec.degraded_stripes, dec.stripes);
+    EXPECT_EQ(dec.chunks_missing, c.cfg.m * dec.stripes);
+    EXPECT_EQ(dec.failed_stripes, 0u);
+    EXPECT_EQ(read_all(dir.path / "output.bin"), data);
+  }
+}
+
+TEST(IoPipelineFaults, SectorOnlyPatterns) {
+  for (const StoreCase& c : fault_cases()) {
+    SCOPED_TRACE(c.cfg.to_string());
+    TempDir dir("sector_only");
+    const auto data = encode_store(dir, c, 120 * 1000, 12);
+    // Per stripe 0 and 1: chunk of device k+1 gets exactly e[k] corrupt
+    // sectors — the maximal sector-only pattern the coverage vector admits.
+    const std::size_t chunk_bytes = c.cfg.r * c.symbol;
+    std::size_t expect_corrupt = 0;
+    for (std::size_t s = 0; s < 2; ++s)
+      for (std::size_t k = 0; k < c.cfg.e.size(); ++k)
+        for (std::size_t i = 0; i < c.cfg.e[k]; ++i) {
+          flip_bytes(dev_path(dir, k + 1), s * chunk_bytes + i * c.symbol, 64);
+          ++expect_corrupt;
+        }
+    const auto dec = decode_store(dir, c);
+    EXPECT_TRUE(dec.ok) << dec.error;
+    EXPECT_EQ(dec.degraded_stripes, 2u);
+    EXPECT_EQ(dec.sectors_corrupt, expect_corrupt);
+    EXPECT_EQ(read_all(dir.path / "output.bin"), data);
+  }
+}
+
+TEST(IoPipelineFaults, MixedDeviceAndSectorPatterns) {
+  for (const StoreCase& c : fault_cases()) {
+    SCOPED_TRACE(c.cfg.to_string());
+    TempDir dir("mixed");
+    const auto data = encode_store(dir, c, 130 * 1000, 13);
+    // m whole devices lost AND the full e-shaped sector pattern on surviving
+    // devices — the exact worst case the STAIR construction guarantees.
+    for (std::size_t j = 0; j < c.cfg.m; ++j)
+      ASSERT_TRUE(fs::remove(dev_path(dir, j)));
+    const std::size_t chunk_bytes = c.cfg.r * c.symbol;
+    for (std::size_t s = 0; s < 2; ++s)
+      for (std::size_t k = 0; k < c.cfg.e.size(); ++k)
+        for (std::size_t i = 0; i < c.cfg.e[k]; ++i)
+          flip_bytes(dev_path(dir, c.cfg.m + k), s * chunk_bytes + i * c.symbol, 32);
+    const auto dec = decode_store(dir, c);
+    EXPECT_TRUE(dec.ok) << dec.error;
+    EXPECT_EQ(dec.degraded_stripes, dec.stripes);
+    EXPECT_EQ(dec.failed_stripes, 0u);
+    EXPECT_EQ(read_all(dir.path / "output.bin"), data);
+  }
+}
+
+// --- injected IO faults (engine-level) --------------------------------------
+
+TEST(IoPipelineFaults, EioChunkReadActsAsDeviceLossForItsStripe) {
+  const StoreCase c = fault_cases()[1];
+  TempDir dir("eio");
+  const auto data = encode_store(dir, c, 100 * 1000, 14);
+  const std::size_t chunk_bytes = c.cfg.r * c.symbol;
+
+  auto injected = std::make_unique<io::FaultInjectingEngine>(
+      io::Engine::create(io::Backend::kThreads));
+  // Chunk (stripe 1, device 3) dies with EIO; stripe 0/2... stay clean.
+  injected->add_fault({.kind = io::Fault::Kind::kReadError,
+                       .file = "dev_03.bin",
+                       .offset = 1 * chunk_bytes,
+                       .length = chunk_bytes});
+  const auto dec = decode_store(dir, c, {.engine = injected.get()});
+  EXPECT_TRUE(dec.ok) << dec.error;
+  EXPECT_EQ(dec.degraded_stripes, 1u);
+  EXPECT_EQ(dec.chunks_missing, 1u);
+  EXPECT_GE(injected->hits(), 1u);
+  EXPECT_EQ(read_all(dir.path / "output.bin"), data);
+}
+
+TEST(IoPipelineFaults, ShortChunkReadActsAsDeviceLossForItsStripe) {
+  const StoreCase c = fault_cases()[0];
+  TempDir dir("short");
+  const auto data = encode_store(dir, c, 90 * 1000, 15);
+  const std::size_t chunk_bytes = c.cfg.r * c.symbol;
+
+  auto injected = std::make_unique<io::FaultInjectingEngine>(
+      io::Engine::create(io::Backend::kThreads));
+  injected->add_fault({.kind = io::Fault::Kind::kShortRead,
+                       .file = "dev_02.bin",
+                       .offset = 0,
+                       .length = chunk_bytes,
+                       .keep_bytes = chunk_bytes / 2});
+  const auto dec = decode_store(dir, c, {.engine = injected.get()});
+  EXPECT_TRUE(dec.ok) << dec.error;
+  EXPECT_EQ(dec.degraded_stripes, 1u);
+  EXPECT_EQ(dec.chunks_missing, 1u);
+  EXPECT_EQ(read_all(dir.path / "output.bin"), data);
+}
+
+TEST(IoPipelineFaults, TornWriteIsCaughtBySectorChecksumsOnRead) {
+  const StoreCase c = fault_cases()[1];
+  TempDir dir("torn");
+  const std::size_t chunk_bytes = c.cfg.r * c.symbol;
+
+  auto injected = std::make_unique<io::FaultInjectingEngine>(
+      io::Engine::create(io::Backend::kThreads));
+  // The write of chunk (stripe 0, device 5) tears after 1.5 symbols but
+  // REPORTS success: encode must complete "ok" — this is silent corruption.
+  injected->add_fault({.kind = io::Fault::Kind::kTornWrite,
+                       .file = "dev_05.bin",
+                       .offset = 0,
+                       .length = chunk_bytes,
+                       .keep_bytes = c.symbol + c.symbol / 2});
+  IoPipeline::Stats enc;
+  const auto data =
+      encode_store(dir, c, 110 * 1000, 16, {.engine = injected.get()}, &enc);
+  ASSERT_TRUE(enc.ok) << enc.error;  // the tear is not observable at write time
+  EXPECT_GE(injected->hits(), 1u);
+
+  // An unmodified engine decodes: the checksums catch the lie, the torn
+  // sectors (all but the first whole one) are erased and reconstructed.
+  const auto dec = decode_store(dir, c);
+  EXPECT_TRUE(dec.ok) << dec.error;
+  EXPECT_EQ(dec.degraded_stripes, 1u);
+  EXPECT_GE(dec.sectors_corrupt, c.cfg.r - 2);
+  EXPECT_EQ(read_all(dir.path / "output.bin"), data);
+}
+
+TEST(IoPipelineFaults, DeviceWriteErrorFailsEncodeCleanly) {
+  const StoreCase c = fault_cases()[0];
+  TempDir dir("werr");
+  write_random_file(dir.path / "input.bin", 80 * 1000, 17);
+  auto injected = std::make_unique<io::FaultInjectingEngine>(
+      io::Engine::create(io::Backend::kThreads));
+  injected->add_fault({.kind = io::Fault::Kind::kWriteError, .file = "dev_01.bin"});
+  Codec codec(c.cfg);
+  IoPipeline pipeline(codec, {.symbol_bytes = c.symbol, .engine = injected.get()});
+  const auto st = pipeline.encode_file((dir.path / "input.bin").string(),
+                                       (dir.path / "store").string());
+  EXPECT_FALSE(st.ok);
+  EXPECT_FALSE(st.error.empty());
+}
+
+// --- unrecoverable patterns -------------------------------------------------
+
+TEST(IoPipelineFaults, UnrecoverableDevicePatternFailsWithoutCrashing) {
+  for (const StoreCase& c : fault_cases()) {
+    SCOPED_TRACE(c.cfg.to_string());
+    TempDir dir("unrec_dev");
+    encode_store(dir, c, 100 * 1000, 18);
+    for (std::size_t j = 0; j <= c.cfg.m; ++j)  // m+1 devices: over budget
+      ASSERT_TRUE(fs::remove(dev_path(dir, j)));
+    const auto dec = decode_store(dir, c);
+    EXPECT_FALSE(dec.ok);
+    EXPECT_EQ(dec.failed_stripes, dec.stripes);
+    EXPECT_FALSE(dec.error.empty());
+    // The output exists at full size (holes where nothing was recoverable).
+    EXPECT_TRUE(fs::exists(dir.path / "output.bin"));
+    EXPECT_EQ(fs::file_size(dir.path / "output.bin"),
+              StripeStore::load((dir.path / "store").string()).file_size);
+  }
+}
+
+TEST(IoPipelineFaults, UnrecoverableSectorPatternFailsOnlyItsStripe) {
+  const StoreCase c = fault_cases()[0];  // m=1, e={1,2}
+  TempDir dir("unrec_sector");
+  const auto data = encode_store(dir, c, 100 * 1000, 19);
+  const std::size_t chunk_bytes = c.cfg.r * c.symbol;
+  // Stripe 1: corrupt the SAME row in m + m' + 1 = 4 distinct chunks — one
+  // row with 4 erasures exceeds the row code's m + m' budget, and as chunk
+  // errors {1,1,1,1} it cannot fit m plus e = {1,2} either. Self-check the
+  // pattern is really outside the guarantee before asserting on the stats.
+  std::vector<bool> stripe_mask(c.cfg.r * c.cfg.n, false);
+  for (std::size_t j = 0; j < 4; ++j) {
+    flip_bytes(dev_path(dir, j), 1 * chunk_bytes + 0 * c.symbol, 16);
+    stripe_mask[0 * c.cfg.n + j] = true;
+  }
+  ASSERT_FALSE(StairCode(c.cfg).is_recoverable(stripe_mask));
+  const auto dec = decode_store(dir, c);
+  EXPECT_FALSE(dec.ok);
+  EXPECT_EQ(dec.failed_stripes, 1u);
+  // Every other stripe still reconstructed: compare all bytes outside
+  // stripe 1's data range.
+  Codec codec(c.cfg);
+  const std::size_t stripe_data = codec.code().data_symbol_count() * c.symbol;
+  const auto out = read_all(dir.path / "output.bin");
+  ASSERT_EQ(out.size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i >= stripe_data && i < 2 * stripe_data) continue;
+    ASSERT_EQ(out[i], data[i]) << "byte " << i << " outside the failed stripe";
+  }
+}
+
+// --- seeded injector determinism --------------------------------------------
+
+// The soak/fault harness promise: a fault plan drawn from a seed behaves
+// identically on every run — same stats, same bytes — so any failure
+// reproduces from its logged seed.
+TEST(IoPipelineFaults, SeededFaultPlanIsDeterministic) {
+  const StoreCase c = fault_cases()[1];
+  const std::uint64_t seed = 0xF00D;
+  SCOPED_TRACE("fault plan seed=" + std::to_string(seed));
+  TempDir dir("seeded");
+  const auto data = encode_store(dir, c, 140 * 1000, 20);
+  const std::size_t chunk_bytes = c.cfg.r * c.symbol;
+  const std::size_t stripes = StripeStore::load((dir.path / "store").string()).stripes;
+
+  auto build_plan = [&](io::FaultInjectingEngine& eng) {
+    Rng rng(seed);
+    for (int k = 0; k < 3; ++k) {
+      const std::size_t s = rng.next_below(stripes);
+      const std::size_t j = rng.next_below(c.cfg.n);
+      char file[16];
+      std::snprintf(file, sizeof file, "dev_%02zu.bin", j);
+      const auto kind = rng.chance(0.5) ? io::Fault::Kind::kReadError
+                                        : io::Fault::Kind::kShortRead;
+      eng.add_fault({.kind = kind,
+                     .file = file,
+                     .offset = s * chunk_bytes,
+                     .length = chunk_bytes,
+                     .keep_bytes = chunk_bytes / 4});
+    }
+  };
+
+  auto run_once = [&](const fs::path& out) {
+    auto injected = std::make_unique<io::FaultInjectingEngine>(
+        io::Engine::create(io::Backend::kThreads));
+    build_plan(*injected);
+    Codec codec(c.cfg);
+    IoPipeline pipeline(codec, {.engine = injected.get()});
+    return pipeline.decode_file((dir.path / "store").string(), out.string());
+  };
+
+  const auto first = run_once(dir.path / "out1.bin");
+  const auto second = run_once(dir.path / "out2.bin");
+  EXPECT_EQ(first.ok, second.ok);
+  EXPECT_EQ(first.degraded_stripes, second.degraded_stripes);
+  EXPECT_EQ(first.failed_stripes, second.failed_stripes);
+  EXPECT_EQ(first.chunks_missing, second.chunks_missing);
+  EXPECT_EQ(read_all(dir.path / "out1.bin"), read_all(dir.path / "out2.bin"));
+  if (first.ok) EXPECT_EQ(read_all(dir.path / "out1.bin"), data);
+}
+
+// --- cross-backend determinism ----------------------------------------------
+
+// Extends stair_sweep_test's LayoutAndBackendEquivalence to the IO path: the
+// bytes that land on disk (device files AND manifest) and the bytes decoded
+// back must be identical across every GF backend x region layout x IO
+// backend x pool width for a golden config set.
+TEST(IoPipelineDeterminism, CrossBackendByteIdenticalStores) {
+  struct DispatchGuard {
+    ~DispatchGuard() {
+      gf::reset_layout();
+      gf::reset_backend();
+    }
+  } guard;
+
+  for (StoreCase c : {StoreCase{{.n = 6, .r = 4, .m = 1, .e = {1, 2}, .w = 8}, 256},
+                      StoreCase{{.n = 6, .r = 4, .m = 1, .e = {1, 2}, .w = 16}, 256}}) {
+    SCOPED_TRACE(c.cfg.to_string());
+    TempDir dir("xdet");
+    const auto data = write_random_file(dir.path / "input.bin", 90 * 1000, 21);
+
+    std::vector<std::vector<std::uint8_t>> ref_devs;
+    std::vector<std::uint8_t> ref_manifest;
+
+    for (gf::Backend gfb : {gf::Backend::kScalar, gf::Backend::kSsse3,
+                            gf::Backend::kAvx2, gf::Backend::kGfni}) {
+      if (!gf::backend_supported(gfb)) continue;
+      ASSERT_TRUE(gf::force_backend(gfb));
+      for (gf::RegionLayout layout :
+           {gf::RegionLayout::kStandard, gf::RegionLayout::kAltmap}) {
+        gf::force_layout(layout);
+        for (io::Backend iob : io_backends()) {
+          for (std::size_t width : {std::size_t{1}, std::size_t{3}}) {
+            SCOPED_TRACE(std::string(gf::backend_name(gfb)) + "/" +
+                         gf::layout_name(layout) + "/" + io::backend_name(iob) +
+                         "/pool" + std::to_string(width));
+            const fs::path store = dir.path / "store";
+            fs::remove_all(store);
+
+            ThreadPool pool(width);
+            Codec codec(c.cfg, {.pool = &pool});
+            IoPipeline pipeline(codec, {.queue_depth = 3,
+                                        .symbol_bytes = c.symbol,
+                                        .backend = iob});
+            const auto enc = pipeline.encode_file((dir.path / "input.bin").string(),
+                                                  store.string());
+            ASSERT_TRUE(enc.ok) << enc.error;
+
+            std::vector<std::vector<std::uint8_t>> devs;
+            for (std::size_t j = 0; j < c.cfg.n; ++j)
+              devs.push_back(read_all(dev_path(dir, j)));
+            auto manifest = read_all(store / "manifest.txt");
+            if (ref_devs.empty()) {
+              ref_devs = std::move(devs);
+              ref_manifest = std::move(manifest);
+            } else {
+              ASSERT_EQ(devs, ref_devs) << "device bytes diverged";
+              ASSERT_EQ(manifest, ref_manifest) << "manifest diverged";
+            }
+
+            // Degraded decode must agree too: lose device 2, flip a sector.
+            ASSERT_TRUE(fs::remove(dev_path(dir, 2)));
+            flip_bytes(dev_path(dir, 4), c.symbol, 16);
+            const auto dec = pipeline.decode_file(
+                store.string(), (dir.path / "output.bin").string());
+            ASSERT_TRUE(dec.ok) << dec.error;
+            ASSERT_EQ(read_all(dir.path / "output.bin"), data);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stair
