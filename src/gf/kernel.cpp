@@ -32,6 +32,12 @@ bool cpu_supports(Backend b) {
     case Backend::kAvx2: return __builtin_cpu_supports("avx2");
     case Backend::kGfni:
       return __builtin_cpu_supports("gfni") && __builtin_cpu_supports("avx2");
+    case Backend::kAvx512:
+      // BW for zmm byte shuffles/shifts, VL because the TU's 128/256-bit
+      // helper code (tails, conversions) compiles to EVEX encodings. GFNI is
+      // NOT required: the TU selects vpshufb kernels at runtime without it.
+      return __builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bw") &&
+             __builtin_cpu_supports("avx512vl");
   }
   return false;
 #else
@@ -59,11 +65,12 @@ int detect_layout_mode() {
 Backend detect_backend() {
   if (const char* env = std::getenv("STAIR_GF_BACKEND")) {
     const std::string want(env);
-    for (Backend b : {Backend::kScalar, Backend::kSsse3, Backend::kAvx2, Backend::kGfni})
+    for (Backend b : {Backend::kScalar, Backend::kSsse3, Backend::kAvx2, Backend::kGfni,
+                      Backend::kAvx512})
       if (want == backend_name(b) && backend_supported(b)) return b;
     // Unknown or unsupported request: fall through to auto-detection.
   }
-  for (Backend b : {Backend::kGfni, Backend::kAvx2, Backend::kSsse3})
+  for (Backend b : {Backend::kAvx512, Backend::kGfni, Backend::kAvx2, Backend::kSsse3})
     if (backend_supported(b)) return b;
   return Backend::kScalar;
 }
@@ -82,6 +89,10 @@ const KernelFns& fns_for(Backend b) {
   static const KernelFns gfni = detail::gfni_kernel_fns();
   if (b == Backend::kGfni) return gfni;
 #endif
+#ifdef STAIR_HAVE_AVX512
+  static const KernelFns avx512 = detail::avx512_kernel_fns();
+  if (b == Backend::kAvx512) return avx512;
+#endif
   (void)b;
   return scalar;
 }
@@ -96,6 +107,7 @@ const char* backend_name(Backend b) {
     case Backend::kSsse3: return "ssse3";
     case Backend::kAvx2: return "avx2";
     case Backend::kGfni: return "gfni";
+    case Backend::kAvx512: return "avx512";
   }
   return "?";
 }
@@ -122,6 +134,12 @@ bool backend_compiled(Backend b) {
 #else
       return false;
 #endif
+    case Backend::kAvx512:
+#ifdef STAIR_HAVE_AVX512
+      return true;
+#else
+      return false;
+#endif
   }
   return false;
 }
@@ -144,6 +162,17 @@ bool force_backend(Backend b) {
 }
 
 void reset_backend() { g_backend.store(-1, std::memory_order_relaxed); }
+
+bool avx512_shuffle_variant_fns(KernelFns* out) {
+#ifdef STAIR_HAVE_AVX512
+  if (!backend_supported(Backend::kAvx512)) return false;
+  *out = detail::avx512_kernel_fns_variant(/*use_gfni=*/false);
+  return true;
+#else
+  (void)out;
+  return false;
+#endif
+}
 
 // ---------------------------------------------------------------------------
 // Region layouts (declared in region.h; the dispatch tables live here)
@@ -175,6 +204,15 @@ void force_layout(RegionLayout layout) {
 }
 
 void reset_layout() { g_layout.store(-2, std::memory_order_relaxed); }
+
+bool layout_forced() {
+  int mode = g_layout.load(std::memory_order_relaxed);
+  if (mode == -2) {
+    mode = detect_layout_mode();
+    g_layout.store(mode, std::memory_order_relaxed);
+  }
+  return mode >= 0;
+}
 
 void convert_region(int w, RegionLayout from, RegionLayout to,
                     std::span<std::uint8_t> data) {

@@ -4,13 +4,15 @@
 // region primitive (§5.3, after [Plank FAST'13]). This module turns that
 // primitive into a subsystem:
 //
-//  * Backend dispatch. The region kernels exist in four builds — scalar,
-//    SSSE3 (pshufb, 16 B/iter), AVX2 (vpshufb, 32 B/iter) and GFNI
-//    (gf2p8affineqb over AVX2 widths) — all compiled into one binary (each
-//    in its own translation unit with its own ISA flags) and selected once
-//    at startup via CPUID. `force_backend()` or the STAIR_GF_BACKEND
-//    environment variable (scalar | ssse3 | avx2 | gfni) override the
-//    choice for testing and benchmarking.
+//  * Backend dispatch. The region kernels exist in five builds — scalar,
+//    SSSE3 (pshufb, 16 B/iter), AVX2 (vpshufb, 32 B/iter), GFNI
+//    (gf2p8affineqb over AVX2 widths) and AVX-512 (zmm vpshufb at
+//    64 B/iter, upgrading to vgf2p8affineqb when the CPU also has GFNI) —
+//    all compiled into one binary (each in its own translation unit with
+//    its own ISA flags) and selected once at startup via CPUID.
+//    `force_backend()` or the STAIR_GF_BACKEND environment variable
+//    (scalar | ssse3 | avx2 | gfni | avx512) override the choice for
+//    testing and benchmarking.
 //
 //  * Layout dispatch. Each backend's function table is indexed by
 //    (RegionLayout, word size): the standard little-endian kernels, the
@@ -44,10 +46,14 @@ namespace stair::gf {
 /// Kernel instruction-set backends, in ascending capability order. kGfni is
 /// AVX2-width with GF2P8AFFINEQB: one instruction per 32 bytes for the
 /// byte-linear widths (w = 4/8), and a (w/8 x w/8) grid of composed affine
-/// ops per altmap block for w = 16/32.
-enum class Backend { kScalar = 0, kSsse3 = 1, kAvx2 = 2, kGfni = 3 };
+/// ops per altmap block for w = 16/32. kAvx512 runs the same algorithms at
+/// zmm width (64 B/iter; requires AVX512F+BW+VL) and picks per process
+/// between a pure-vpshufb kernel set and the composed-affine set when the
+/// CPU also reports GFNI — so it covers both Skylake-SP-era parts (AVX-512
+/// without GFNI) and Ice-Lake-and-later ones.
+enum class Backend { kScalar = 0, kSsse3 = 1, kAvx2 = 2, kGfni = 3, kAvx512 = 4 };
 
-/// "scalar" / "ssse3" / "avx2" / "gfni".
+/// "scalar" / "ssse3" / "avx2" / "gfni" / "avx512".
 const char* backend_name(Backend b);
 
 /// True if this binary contains kernels for `b` (compile-time property).
@@ -131,7 +137,22 @@ KernelFns avx2_kernel_fns();
 #ifdef STAIR_HAVE_GFNI
 KernelFns gfni_kernel_fns();
 #endif
+#ifdef STAIR_HAVE_AVX512
+// The dispatch-time table: the vgf2p8affineqb variant when the CPU reports
+// GFNI, the zmm-vpshufb variant otherwise.
+KernelFns avx512_kernel_fns();
+// Both variants, selectable explicitly (tests cross-check the vpshufb set
+// on GFNI machines, where auto-selection would hide it).
+KernelFns avx512_kernel_fns_variant(bool use_gfni);
+#endif
 }  // namespace detail
+
+/// Fills `out` with the avx512 backend's pure-vpshufb kernel variant — the
+/// set a GFNI-less AVX-512 part would dispatch to. Returns false (out
+/// untouched) when the avx512 TU isn't compiled in or this CPU can't run
+/// it. Lets tests drive the raw kernels (via CompiledKernel::tables()) on
+/// GFNI machines where normal dispatch auto-upgrades past them.
+bool avx512_shuffle_variant_fns(KernelFns* out);
 
 /// Precomputed multiply-by-`a` region kernel over GF(2^w). Immutable after
 /// construction; safe to share across threads. Dispatches to the active

@@ -1,0 +1,322 @@
+// AVX-512 backend: the kernels_impl.h algorithms widened to zmm (64 bytes
+// per iteration), compiled with -mavx512f -mavx512bw -mavx512vl (+AVX2 and
+// GFNI so the shared helpers and the composed-affine bodies are available
+// under EVEX encodings).
+//
+// Unlike the other TUs, this one carries TWO complete kernel variants and
+// picks between them once per process:
+//
+//  * the vpshufb variant — zmm VPSHUFB over 128-bit-broadcast nibble tables,
+//    the widening of the AVX2 split-table kernels. This is all a
+//    Skylake-SP-era part (AVX-512 without GFNI) can run, so it is the
+//    dispatch default when CPUID lacks GFNI;
+//  * the composed-affine variant — zmm VGF2P8AFFINEQB, the widening of the
+//    GFNI backend's byte-linear and (w/8 x w/8) affine-grid kernels, chosen
+//    when the CPU reports GFNI.
+//
+// Backend support (kernel.cpp) requires only AVX512F+BW+VL, so the variant
+// split keeps the backend usable across both CPU generations while tests
+// can pin the vpshufb set explicitly via avx512_shuffle_variant_fns().
+//
+// Tail and block handling follow the backend contract exactly: altmap
+// kernels process whole 64-byte blocks (odd trailing blocks drop to the
+// shared xmm block forms), and every kernel hands the final partial word
+// run to the scalar standard loops, resuming at the first unprocessed byte.
+#include "gf/kernels_impl.h"
+
+#if !defined(__AVX512F__) || !defined(__AVX512BW__)
+#error "kernels_avx512.cpp must be compiled with AVX-512 flags"
+#endif
+
+namespace stair::gf::detail {
+
+namespace {
+
+inline __m512i loadu512(const std::uint8_t* p) {
+  return _mm512_loadu_si512(reinterpret_cast<const void*>(p));
+}
+
+inline void storeu512(std::uint8_t* p, __m512i v) {
+  _mm512_storeu_si512(reinterpret_cast<void*>(p), v);
+}
+
+// A 16-byte nibble table broadcast to all four 128-bit lanes (VPSHUFB
+// indexes within each lane, same as the AVX2 bcast128 idiom).
+inline __m512i bcast128_512(const std::uint8_t* table16) {
+  return _mm512_broadcast_i32x4(_mm_load_si128(reinterpret_cast<const __m128i*>(table16)));
+}
+
+template <bool Accum>
+inline void store_prod512(std::uint8_t* dst, __m512i prod) {
+  if (Accum) prod = _mm512_xor_si512(prod, loadu512(dst));
+  storeu512(dst, prod);
+}
+
+// Two 32-byte plane halves of consecutive 64-byte altmap blocks in one zmm
+// (the w = 16 altmap kernels run 128 bytes — two blocks — per iteration).
+inline __m512i load_planes32(const std::uint8_t* block0, const std::uint8_t* block1) {
+  return _mm512_inserti64x4(_mm512_castsi256_si512(loadu256(block0)), loadu256(block1), 1);
+}
+
+template <bool Accum>
+inline void store_planes32(std::uint8_t* block0, std::uint8_t* block1, __m512i prod) {
+  if (Accum) prod = _mm512_xor_si512(prod, load_planes32(block0, block1));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(block0), _mm512_castsi512_si256(prod));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(block1),
+                      _mm512_extracti64x4_epi64(prod, 1));
+}
+
+// Four 16-byte planes of consecutive 64-byte altmap blocks in one zmm (the
+// w = 32 altmap kernels run 256 bytes — four blocks — per iteration).
+inline __m512i load_planes16(const std::uint8_t* p0, const std::uint8_t* p1,
+                             const std::uint8_t* p2, const std::uint8_t* p3) {
+  __m512i v = _mm512_castsi128_si512(loadu128(p0));
+  v = _mm512_inserti32x4(v, loadu128(p1), 1);
+  v = _mm512_inserti32x4(v, loadu128(p2), 2);
+  v = _mm512_inserti32x4(v, loadu128(p3), 3);
+  return v;
+}
+
+template <bool Accum>
+inline void store_planes16(std::uint8_t* p0, std::uint8_t* p1, std::uint8_t* p2,
+                           std::uint8_t* p3, __m512i prod) {
+  if (Accum) prod = _mm512_xor_si512(prod, load_planes16(p0, p1, p2, p3));
+  storeu128(p0, _mm512_castsi512_si128(prod));
+  storeu128(p1, _mm512_extracti32x4_epi32(prod, 1));
+  storeu128(p2, _mm512_extracti32x4_epi32(prod, 2));
+  storeu128(p3, _mm512_extracti32x4_epi32(prod, 3));
+}
+
+// ---------------------------------------------------------------------------
+// Byte-linear widths (w = 4/8): one zmm per 64 bytes — a single
+// VGF2P8AFFINEQB, or two VPSHUFB lookups through the nibble tables.
+// ---------------------------------------------------------------------------
+
+template <bool Accum, bool UseGfni>
+inline void byte_linear_loop512(const KernelTables& t, const std::uint8_t* src,
+                                std::uint8_t* dst, std::size_t n, std::size_t& done) {
+  std::size_t i = 0;
+  if constexpr (UseGfni) {
+    const __m512i m = _mm512_set1_epi64(static_cast<long long>(t.affine8));
+    for (; i + 64 <= n; i += 64)
+      store_prod512<Accum>(dst + i, _mm512_gf2p8affine_epi64_epi8(loadu512(src + i), m, 0));
+  } else {
+    const __m512i tlo = bcast128_512(t.nib[0][0]);
+    const __m512i thi = bcast128_512(t.nib[1][0]);
+    const __m512i mask = _mm512_set1_epi8(0x0f);
+    for (; i + 64 <= n; i += 64) {
+      const __m512i x = loadu512(src + i);
+      const __m512i plo = _mm512_shuffle_epi8(tlo, _mm512_and_si512(x, mask));
+      const __m512i phi =
+          _mm512_shuffle_epi8(thi, _mm512_and_si512(_mm512_srli_epi64(x, 4), mask));
+      store_prod512<Accum>(dst + i, _mm512_xor_si512(plo, phi));
+    }
+  }
+  done = i;
+}
+
+template <bool Accum, bool UseGfni>
+void k512_w4(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+             std::size_t n) {
+  std::size_t i = 0;
+  byte_linear_loop512<Accum, UseGfni>(t, src, dst, n, i);
+  scalar_w4<Accum>(t, src, dst, n, i);
+}
+
+template <bool Accum, bool UseGfni>
+void k512_w8(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+             std::size_t n) {
+  std::size_t i = 0;
+  byte_linear_loop512<Accum, UseGfni>(t, src, dst, n, i);
+  scalar_w8<Accum>(t, src, dst, n, i);
+}
+
+// ---------------------------------------------------------------------------
+// w = 16, standard layout: the AVX2 16-bit-lane nibble kernel at zmm width.
+// GFNI buys nothing here (the composed-affine trick needs planar bytes), so
+// both variants share it.
+// ---------------------------------------------------------------------------
+
+template <bool Accum>
+void k512_w16(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+              std::size_t n) {
+  __m512i lo[4], hi[4];
+  for (int k = 0; k < 4; ++k) {
+    lo[k] = bcast128_512(t.nib[k][0]);
+    hi[k] = bcast128_512(t.nib[k][1]);
+  }
+  const __m512i nibm = _mm512_set1_epi16(0x000f);
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m512i x = loadu512(src + i);
+    const __m512i idx[4] = {
+        _mm512_and_si512(x, nibm), _mm512_and_si512(_mm512_srli_epi16(x, 4), nibm),
+        _mm512_and_si512(_mm512_srli_epi16(x, 8), nibm),
+        _mm512_and_si512(_mm512_srli_epi16(x, 12), nibm)};
+    __m512i plo = _mm512_setzero_si512(), phi = _mm512_setzero_si512();
+    for (int k = 0; k < 4; ++k) {
+      plo = _mm512_xor_si512(plo, _mm512_shuffle_epi8(lo[k], idx[k]));
+      phi = _mm512_xor_si512(phi, _mm512_shuffle_epi8(hi[k], idx[k]));
+    }
+    store_prod512<Accum>(dst + i, _mm512_xor_si512(plo, _mm512_slli_epi16(phi, 8)));
+  }
+  scalar_w16<Accum>(t, src, dst, n, i);
+}
+
+// w = 32, standard layout: the wide-table scalar loop wins on every backend
+// (see the kernels_impl.h note); altmap is this width's vectorized path.
+template <bool Accum>
+void k512_w32(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+              std::size_t n) {
+  scalar_w32<Accum>(t, src, dst, n);
+}
+
+// ---------------------------------------------------------------------------
+// w = 16, altmap: two 64-byte blocks per iteration — the blocks' lo-byte
+// planes fill one zmm, the hi-byte planes another.
+// ---------------------------------------------------------------------------
+
+template <bool Accum, bool UseGfni>
+void k512_w16_alt(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+                  std::size_t n) {
+  std::size_t i = 0;
+  if constexpr (UseGfni) {
+    const __m512i m00 = _mm512_set1_epi64(static_cast<long long>(t.affine_wide[0][0]));
+    const __m512i m01 = _mm512_set1_epi64(static_cast<long long>(t.affine_wide[0][1]));
+    const __m512i m10 = _mm512_set1_epi64(static_cast<long long>(t.affine_wide[1][0]));
+    const __m512i m11 = _mm512_set1_epi64(static_cast<long long>(t.affine_wide[1][1]));
+    for (; i + 128 <= n; i += 128) {
+      const __m512i lo = load_planes32(src + i, src + i + 64);
+      const __m512i hi = load_planes32(src + i + 32, src + i + 96);
+      store_planes32<Accum>(dst + i, dst + i + 64,
+                            _mm512_xor_si512(_mm512_gf2p8affine_epi64_epi8(lo, m00, 0),
+                                             _mm512_gf2p8affine_epi64_epi8(hi, m01, 0)));
+      store_planes32<Accum>(dst + i + 32, dst + i + 96,
+                            _mm512_xor_si512(_mm512_gf2p8affine_epi64_epi8(lo, m10, 0),
+                                             _mm512_gf2p8affine_epi64_epi8(hi, m11, 0)));
+    }
+  } else {
+    __m512i tlo[4], thi[4];
+    for (int k = 0; k < 4; ++k) {
+      tlo[k] = bcast128_512(t.nib[k][0]);
+      thi[k] = bcast128_512(t.nib[k][1]);
+    }
+    const __m512i mask = _mm512_set1_epi8(0x0f);
+    for (; i + 128 <= n; i += 128) {
+      const __m512i lo_bytes = load_planes32(src + i, src + i + 64);
+      const __m512i hi_bytes = load_planes32(src + i + 32, src + i + 96);
+      const __m512i idx[4] = {
+          _mm512_and_si512(lo_bytes, mask),
+          _mm512_and_si512(_mm512_srli_epi64(lo_bytes, 4), mask),
+          _mm512_and_si512(hi_bytes, mask),
+          _mm512_and_si512(_mm512_srli_epi64(hi_bytes, 4), mask)};
+      __m512i out_lo = _mm512_setzero_si512(), out_hi = _mm512_setzero_si512();
+      for (int k = 0; k < 4; ++k) {
+        out_lo = _mm512_xor_si512(out_lo, _mm512_shuffle_epi8(tlo[k], idx[k]));
+        out_hi = _mm512_xor_si512(out_hi, _mm512_shuffle_epi8(thi[k], idx[k]));
+      }
+      store_planes32<Accum>(dst + i, dst + i + 64, out_lo);
+      store_planes32<Accum>(dst + i + 32, dst + i + 96, out_hi);
+    }
+  }
+  if (i + 64 <= n) {  // odd trailing block: the shared xmm block form
+    altmap_w16_block128<Accum>(t, src + i, dst + i);
+    i += 64;
+  }
+  scalar_w16<Accum>(t, src, dst, n, i);
+}
+
+// ---------------------------------------------------------------------------
+// w = 32, altmap: four 64-byte blocks per iteration — plane c of all four
+// blocks fills one zmm.
+// ---------------------------------------------------------------------------
+
+template <bool Accum, bool UseGfni>
+void k512_w32_alt(const KernelTables& t, const std::uint8_t* src, std::uint8_t* dst,
+                  std::size_t n) {
+  std::size_t i = 0;
+  if constexpr (UseGfni) {
+    __m512i m[4][4];
+    for (int b = 0; b < 4; ++b)
+      for (int c = 0; c < 4; ++c)
+        m[b][c] = _mm512_set1_epi64(static_cast<long long>(t.affine_wide[b][c]));
+    for (; i + 256 <= n; i += 256) {
+      __m512i plane[4];
+      for (int c = 0; c < 4; ++c)
+        plane[c] = load_planes16(src + i + 16 * c, src + i + 64 + 16 * c,
+                                 src + i + 128 + 16 * c, src + i + 192 + 16 * c);
+      for (int b = 0; b < 4; ++b) {
+        __m512i out = _mm512_gf2p8affine_epi64_epi8(plane[0], m[b][0], 0);
+        for (int c = 1; c < 4; ++c)
+          out = _mm512_xor_si512(out, _mm512_gf2p8affine_epi64_epi8(plane[c], m[b][c], 0));
+        store_planes16<Accum>(dst + i + 16 * b, dst + i + 64 + 16 * b,
+                              dst + i + 128 + 16 * b, dst + i + 192 + 16 * b, out);
+      }
+    }
+  } else {
+    const __m512i mask = _mm512_set1_epi8(0x0f);
+    for (; i + 256 <= n; i += 256) {
+      __m512i idx[8];
+      for (int c = 0; c < 4; ++c) {
+        const __m512i plane = load_planes16(src + i + 16 * c, src + i + 64 + 16 * c,
+                                            src + i + 128 + 16 * c, src + i + 192 + 16 * c);
+        idx[2 * c] = _mm512_and_si512(plane, mask);
+        idx[2 * c + 1] = _mm512_and_si512(_mm512_srli_epi64(plane, 4), mask);
+      }
+      for (int b = 0; b < 4; ++b) {
+        __m512i out = _mm512_setzero_si512();
+        for (int k = 0; k < 8; ++k)
+          out = _mm512_xor_si512(out, _mm512_shuffle_epi8(bcast128_512(t.nib[k][b]), idx[k]));
+        store_planes16<Accum>(dst + i + 16 * b, dst + i + 64 + 16 * b,
+                              dst + i + 128 + 16 * b, dst + i + 192 + 16 * b, out);
+      }
+    }
+  }
+  for (; i + 64 <= n; i += 64)  // up to three trailing blocks: xmm width
+    altmap_w32_block128<Accum>(t, src + i, dst + i);
+  scalar_w32<Accum>(t, src, dst, n, i);
+}
+
+template <bool UseGfni>
+KernelFns make_avx512_fns() {
+  constexpr int kStd = static_cast<int>(RegionLayout::kStandard);
+  constexpr int kAlt = static_cast<int>(RegionLayout::kAltmap);
+  // Start from the impl table (built here as the AVX2+GFNI set) for the
+  // conversion kernels, then override every multiply entry with the zmm
+  // forms — including the w = 4/8 altmap aliases, which must not keep the
+  // base table's GFNI bodies in the vpshufb variant.
+  KernelFns fns = impl_kernel_fns();
+  fns.mult_xor[kStd][0] = k512_w4<true, UseGfni>;
+  fns.mult_xor[kStd][1] = k512_w8<true, UseGfni>;
+  fns.mult_xor[kStd][2] = k512_w16<true>;
+  fns.mult_xor[kStd][3] = k512_w32<true>;
+  fns.mult[kStd][0] = k512_w4<false, UseGfni>;
+  fns.mult[kStd][1] = k512_w8<false, UseGfni>;
+  fns.mult[kStd][2] = k512_w16<false>;
+  fns.mult[kStd][3] = k512_w32<false>;
+  fns.mult_xor[kAlt][0] = k512_w4<true, UseGfni>;
+  fns.mult_xor[kAlt][1] = k512_w8<true, UseGfni>;
+  fns.mult_xor[kAlt][2] = k512_w16_alt<true, UseGfni>;
+  fns.mult_xor[kAlt][3] = k512_w32_alt<true, UseGfni>;
+  fns.mult[kAlt][0] = k512_w4<false, UseGfni>;
+  fns.mult[kAlt][1] = k512_w8<false, UseGfni>;
+  fns.mult[kAlt][2] = k512_w16_alt<false, UseGfni>;
+  fns.mult[kAlt][3] = k512_w32_alt<false, UseGfni>;
+  return fns;
+}
+
+}  // namespace
+
+KernelFns avx512_kernel_fns_variant(bool use_gfni) {
+  return use_gfni ? make_avx512_fns<true>() : make_avx512_fns<false>();
+}
+
+KernelFns avx512_kernel_fns() {
+#if defined(__x86_64__) || defined(__i386__)
+  return avx512_kernel_fns_variant(__builtin_cpu_supports("gfni"));
+#else
+  return avx512_kernel_fns_variant(false);
+#endif
+}
+
+}  // namespace stair::gf::detail

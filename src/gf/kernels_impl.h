@@ -1,9 +1,11 @@
 // Region-kernel bodies, compiled once per backend translation unit.
 //
 // Included by kernels_scalar.cpp / kernels_ssse3.cpp / kernels_avx2.cpp /
-// kernels_gfni.cpp, each built with different ISA flags; the preprocessor
-// selects the widest loop those flags allow, so one source yields four
-// distinct binary kernel sets. Every function here is `static` on purpose:
+// kernels_gfni.cpp / kernels_avx512.cpp, each built with different ISA
+// flags; the preprocessor selects the widest loop those flags allow, so one
+// source yields five distinct binary kernel sets (the AVX-512 TU overrides
+// the multiply entries with its own zmm loops and keeps this header's
+// conversions and tails). Every function here is `static` on purpose:
 // each TU must get its own copy compiled under its own flags — a shared
 // inline definition would let the linker pick, say, the AVX2 instantiation
 // for the scalar backend and fault on pre-AVX2 machines.

@@ -88,6 +88,12 @@ RegionLayout preferred_layout(int w);
 void force_layout(RegionLayout layout);
 void reset_layout();
 
+/// True while the layout choice is pinned — by force_layout() or the
+/// STAIR_GF_LAYOUT environment variable. Measured-policy layers (the
+/// autotuner's per-code layout selection) must defer to a pin, exactly as
+/// preferred_layout does.
+bool layout_forced();
+
 /// True if the active backend (see gf/kernel.h) runs a vectorized Mult_XOR
 /// at width `w` in that width's preferred layout. Replaces the misleading
 /// has_simd_w8(): since the altmap kernels, SIMD coverage is per-width —
@@ -112,8 +118,21 @@ std::size_t cache_aware_slice_bytes(std::size_t region_bytes, std::size_t partic
 
 /// The cache budget behind cache_aware_slice_bytes and compiled-schedule
 /// strip-mining: the combined footprint allowed for one strip of every
-/// referenced region. Half a typical L2 by default so split tables and
-/// bookkeeping fit alongside; STAIR_STRIP_BYTES overrides (read once).
+/// referenced region. Resolution order: the STAIR_STRIP_BYTES environment
+/// variable (read once) > a budget installed via set_region_cache_budget()
+/// (the autotuner's measured value) > half the detected per-core L2
+/// (sysfs/CPUID), falling back to half of 1.5 MiB when detection fails —
+/// half so split tables and bookkeeping fit alongside the strips.
 std::size_t region_cache_budget();
+
+/// Installs a measured cache budget (bytes; 0 reverts to the detected
+/// default). The environment override still wins. This is the hook the
+/// stair-layer autotuner drives — gf/ stays independent of it.
+void set_region_cache_budget(std::size_t bytes);
+
+/// Per-core L2 data-cache size detected from sysfs (Linux) or CPUID
+/// deterministic cache parameters; 0 when neither reports one. Exposed so
+/// tests and benches can report what the budget default was derived from.
+std::size_t detected_l2_cache_bytes();
 
 }  // namespace stair::gf

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "gf/region.h"
+#include "stair/autotune.h"
 #include "util/thread_pool.h"
 
 namespace stair {
@@ -116,13 +117,19 @@ Codec::Codec(StairConfig cfg, Options options)
       code_(owned_code_.get()),
       pool_(options.pool ? options.pool : &ThreadPool::default_pool()),
       options_(options),
-      plan_cache_(*code_, options.plan_cache_capacity) {}
+      plan_cache_(*code_, options.plan_cache_capacity) {
+  // First construction in the process runs (or loads) the measured probe;
+  // afterwards this is a cheap flag check.
+  Autotune::instance().ensure();
+}
 
 Codec::Codec(const StairCode& code, Options options)
     : code_(&code),
       pool_(options.pool ? options.pool : &ThreadPool::default_pool()),
       options_(options),
-      plan_cache_(code, options.plan_cache_capacity) {}
+      plan_cache_(code, options.plan_cache_capacity) {
+  Autotune::instance().ensure();
+}
 
 Codec::~Codec() { wait_all(); }
 
@@ -133,19 +140,31 @@ const UpdateEngine& Codec::update_engine() const {
 }
 
 std::size_t Codec::decide_subtasks(std::size_t symbol_size, std::size_t touched,
-                                   std::size_t* slice_bytes) const {
+                                   gf::RegionLayout layout, std::size_t* slice_bytes) const {
   *slice_bytes = 0;
   // Width counts the workers plus one waiting caller: Handle::wait/wait_all
   // help drain the queue (try_run_one), so the submit pipeline runs on the
   // same participant set as parallel_for.
   const std::size_t width = pool_->concurrency();
-  if (width <= 1 || symbol_size < options_.min_slice_bytes) return 1;
+  if (width <= 1) return 1;
+  // The batch-vs-slice crossover: 0 delegates to the measured tuner (a
+  // slice must out-compute the pool's submit overhead), a nonzero option
+  // pins the classic fixed threshold.
+  const std::size_t min_slice =
+      options_.min_slice_bytes
+          ? options_.min_slice_bytes
+          : Autotune::instance().min_slice_bytes(code_->field().w(), layout);
+  if (symbol_size < min_slice) return 1;
   // Range-slice only when the batch is too small to fill the pool: claimed
   // lanes run whole stripes; idle lanes are filled with slices of this one.
   const std::size_t busy = subtasks_in_flight_.load(std::memory_order_relaxed);
   if (busy + 1 >= width) return 1;
   const std::size_t idle = width - busy;
-  const std::size_t slice = gf::cache_aware_slice_bytes(symbol_size, idle, touched);
+  std::size_t slice = gf::cache_aware_slice_bytes(symbol_size, idle, touched);
+  // Dispatch-overhead floor at the measured (or pinned) threshold: slices
+  // below it spend more time in the queue than in the kernels. Keep the
+  // 64-byte granularity every layout/width requires.
+  if (slice < min_slice) slice = (min_slice + 63) & ~std::size_t{63};
   const std::size_t subtasks = (symbol_size + slice - 1) / slice;
   if (subtasks <= 1) return 1;
   *slice_bytes = slice;
@@ -208,12 +227,18 @@ Codec::Handle Codec::submit_encode(const StripeView& stripe, EncodingMethod meth
   job->kind = CodecJob::Kind::kEncode;
   job->symbol_size = stripe.symbol_size;
   job->plan = &plan;
-  job->layout = gf::preferred_layout(code_->field().w());
+  // Tuned layout: altmap only when the measured throughput gap beats the
+  // boundary conversion at this plan's ops-per-region and stripe size.
+  job->layout = Autotune::instance().choose_layout(
+      code_->field().w(),
+      static_cast<double>(plan.mult_xor_count()) / std::max<std::size_t>(1, plan.touched_symbols()),
+      stripe.symbol_size);
   job->ws = workspaces_.acquire();
   code_->prepare_workspace(stripe, *job->ws);  // validates the view; throws here
 
   std::size_t slice = 0;
-  const std::size_t subtasks = decide_subtasks(stripe.symbol_size, plan.touched_symbols(), &slice);
+  const std::size_t subtasks =
+      decide_subtasks(stripe.symbol_size, plan.touched_symbols(), job->layout, &slice);
   job->slice_bytes = slice;
   return launch(job, subtasks);
 }
@@ -240,13 +265,17 @@ Codec::Handle Codec::submit_decode(const StripeView& stripe, const std::vector<b
   job->symbol_size = stripe.symbol_size;
   job->plan = plan.get();
   job->plan_keepalive = std::move(plan);
-  job->layout = gf::preferred_layout(code_->field().w());
+  job->layout = Autotune::instance().choose_layout(
+      code_->field().w(),
+      static_cast<double>(job->plan->mult_xor_count()) /
+          std::max<std::size_t>(1, job->plan->touched_symbols()),
+      stripe.symbol_size);
   job->ws = workspaces_.acquire();
   code_->prepare_workspace(stripe, *job->ws);
 
   std::size_t slice = 0;
   const std::size_t subtasks =
-      decide_subtasks(stripe.symbol_size, job->plan->touched_symbols(), &slice);
+      decide_subtasks(stripe.symbol_size, job->plan->touched_symbols(), job->layout, &slice);
   job->slice_bytes = slice;
   return launch(job, subtasks);
 }
@@ -278,8 +307,9 @@ Codec::Handle Codec::submit_update(const StripeView& stripe, std::size_t data_in
     *job->delta = AlignedBuffer(stripe.symbol_size);
 
   std::size_t slice = 0;
-  const std::size_t subtasks =
-      decide_subtasks(stripe.symbol_size, engine.touched_regions(data_index), &slice);
+  // Updates run the standard-layout patch kernels (update_engine.cpp).
+  const std::size_t subtasks = decide_subtasks(
+      stripe.symbol_size, engine.touched_regions(data_index), gf::RegionLayout::kStandard, &slice);
   job->slice_bytes = slice;
   return launch(job, subtasks);
 }

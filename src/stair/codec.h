@@ -44,6 +44,7 @@
 #include <span>
 #include <vector>
 
+#include "gf/region.h"
 #include "stair/plan_cache.h"
 #include "stair/stair_code.h"
 #include "stair/update_engine.h"
@@ -63,8 +64,12 @@ class Codec {
     /// Pool to run on; nullptr = the process-wide ThreadPool::default_pool().
     ThreadPool* pool = nullptr;
     /// Symbols below this size are never range-sliced (slicing overhead
-    /// dominates); they run as one task.
-    std::size_t min_slice_bytes = 4096;
+    /// dominates); they run as one task. 0 (the default) delegates the
+    /// threshold to the measured autotuner (stair/autotune.h) — per-slice
+    /// compute time must clear the measured pool dispatch overhead — with
+    /// the classic 4096 as the fallback when tuning is off or unmeasured.
+    /// A nonzero value pins the threshold exactly as before.
+    std::size_t min_slice_bytes = 0;
   };
 
   /// One submitted job's completion handle. Cheap to copy; default-constructed
@@ -155,7 +160,7 @@ class Codec {
 
  private:
   std::size_t decide_subtasks(std::size_t symbol_size, std::size_t touched,
-                              std::size_t* slice_bytes) const;
+                              gf::RegionLayout layout, std::size_t* slice_bytes) const;
   Handle launch(const std::shared_ptr<CodecJob>& job, std::size_t subtasks);
 
   std::unique_ptr<const StairCode> owned_code_;  // cfg constructor only

@@ -8,6 +8,7 @@
 
 #include "gf/region.h"
 
+#include "stair/autotune.h"
 #include "stair/builders.h"
 #include "stair/plan_cache.h"
 #include "util/thread_pool.h"
@@ -195,11 +196,17 @@ void StairCode::run_schedule(const Sched& schedule, const StripeView& stripe, Wo
   Workspace local;
   Workspace& w = ws ? *ws : local;
   prepare_workspace(stripe, w);
-  // The compiled hot path replays in the backend's preferred layout for this
-  // width; the uncompiled Schedule overload stays standard (reference path).
+  // The compiled hot path replays in the measured best layout for this code
+  // and stripe size (falling back to the backend's preferred layout when
+  // the tuner is off); the uncompiled Schedule overload stays standard
+  // (reference path).
   gf::RegionLayout layout = gf::RegionLayout::kStandard;
   if constexpr (std::is_same_v<Sched, CompiledSchedule>)
-    layout = gf::preferred_layout(field().w());
+    layout = Autotune::instance().choose_layout(
+        field().w(),
+        static_cast<double>(schedule.mult_xor_count()) /
+            std::max<std::size_t>(1, schedule.touched_symbols()),
+        stripe.symbol_size);
   if (policy.mode == ExecPolicy::Mode::kSerial) {
     replay_range(schedule, w.symbols_, w.caller_owned_, layout, 0, stripe.symbol_size);
     return;

@@ -27,7 +27,8 @@ namespace {
 
 std::vector<Backend> available_backends() {
   std::vector<Backend> v;
-  for (Backend b : {Backend::kScalar, Backend::kSsse3, Backend::kAvx2, Backend::kGfni})
+  for (Backend b : {Backend::kScalar, Backend::kSsse3, Backend::kAvx2, Backend::kGfni,
+                    Backend::kAvx512})
     if (backend_supported(b)) v.push_back(b);
   return v;
 }
@@ -338,6 +339,80 @@ TEST(RegionLayoutDispatchTest, HasSimdIsPerWidth) {
   }
 }
 
+// The avx512 backend holds two kernel sets — zmm vpshufb (Skylake-SP era)
+// and vgf2p8affineqb (Ice Lake+) — and dispatch auto-upgrades to the GFNI
+// set whenever the CPU has it, which would leave the vpshufb variant
+// untested exactly on the machines that run these tests. Drive its raw
+// function pointers directly against the scalar reference: both layouts,
+// odd tails, unaligned bases, exact aliasing.
+TEST(Avx512ShuffleVariantTest, MatchesScalarReferenceInBothLayouts) {
+  KernelFns fns;
+  if (!avx512_shuffle_variant_fns(&fns))
+    GTEST_SKIP() << "avx512 backend not compiled in or not supported here";
+  Rng rng(811);
+
+  for (int w : {4, 8, 16, 32}) {
+    const Field& f = field(w);
+    const int widx = w == 4 ? 0 : w == 8 ? 1 : w == 16 ? 2 : 3;
+    const std::size_t bytes = w >= 8 ? static_cast<std::size_t>(w) / 8 : 1;
+
+    for (std::size_t base : {std::size_t{64}, std::size_t{100}, std::size_t{192},
+                             std::size_t{1000}, std::size_t{4160}}) {
+      const std::size_t size = base - base % bytes;
+      for (std::size_t offset : {std::size_t{0}, 3 * bytes}) {
+        for (std::uint32_t a : {std::uint32_t{0}, std::uint32_t{1}, std::uint32_t{3},
+                                1 + static_cast<std::uint32_t>(
+                                        rng.next_below(f.max_element()))}) {
+          const CompiledKernel kernel(f, a);
+
+          AlignedBuffer src(offset + size), dst(offset + size), ref(offset + size);
+          rng.fill(src.span());
+          rng.fill(dst.span());
+          std::memcpy(ref.data(), dst.data(), offset + size);
+          const std::vector<std::uint8_t> dst0(dst.data() + offset,
+                                               dst.data() + offset + size);
+
+          // Standard layout, raw mult_xor pointer on an unaligned base.
+          fns.mult_xor[0][widx](kernel.tables(), src.data() + offset,
+                                dst.data() + offset, size);
+          reference_mult_xor(f, a, src.region(offset, size), ref.region(offset, size));
+          ASSERT_EQ(std::memcmp(dst.data(), ref.data(), offset + size), 0)
+              << "standard w=" << w << " a=" << a << " size=" << size
+              << " offset=" << offset;
+
+          // Altmap layout: operands transformed by the independent spec
+          // reference, result compared in altmap space.
+          std::vector<std::uint8_t> src_alt = spec_to_altmap(w, src.region(offset, size));
+          std::vector<std::uint8_t> dst_alt = spec_to_altmap(w, dst0);
+          fns.mult_xor[1][widx](kernel.tables(), src_alt.data(), dst_alt.data(), size);
+          const std::vector<std::uint8_t> expect_alt =
+              spec_to_altmap(w, ref.region(offset, size));
+          ASSERT_EQ(std::memcmp(dst_alt.data(), expect_alt.data(), size), 0)
+              << "altmap w=" << w << " a=" << a << " size=" << size
+              << " offset=" << offset;
+
+          // Overwrite form with exact aliasing (in-place scale), both layouts.
+          std::vector<std::uint8_t> inplace(src.data() + offset,
+                                            src.data() + offset + size);
+          fns.mult[0][widx](kernel.tables(), inplace.data(), inplace.data(), size);
+          std::vector<std::uint8_t> expect(size, 0);
+          reference_mult_xor(f, a, src.region(offset, size), expect);
+          ASSERT_EQ(std::memcmp(inplace.data(), expect.data(), size), 0)
+              << "in-place standard w=" << w << " a=" << a << " size=" << size;
+
+          std::vector<std::uint8_t> inplace_alt =
+              spec_to_altmap(w, src.region(offset, size));
+          fns.mult[1][widx](kernel.tables(), inplace_alt.data(), inplace_alt.data(),
+                            size);
+          const std::vector<std::uint8_t> expect_ip_alt = spec_to_altmap(w, expect);
+          ASSERT_EQ(std::memcmp(inplace_alt.data(), expect_ip_alt.data(), size), 0)
+              << "in-place altmap w=" << w << " a=" << a << " size=" << size;
+        }
+      }
+    }
+  }
+}
+
 TEST(RegionBackendDispatchTest, ScalarAlwaysSupportedAndActiveIsSupported) {
   EXPECT_TRUE(backend_supported(Backend::kScalar));
   EXPECT_TRUE(backend_supported(active_backend()));
@@ -363,7 +438,7 @@ INSTANTIATE_TEST_SUITE_P(
     AllWidthsAllBackends, RegionBackendTest,
     ::testing::Combine(::testing::Values(4, 8, 16, 32),
                        ::testing::Values(Backend::kScalar, Backend::kSsse3, Backend::kAvx2,
-                                         Backend::kGfni)),
+                                         Backend::kGfni, Backend::kAvx512)),
     case_name);
 
 }  // namespace

@@ -11,6 +11,8 @@
 
 #include "gf/kernel.h"
 #include "gf/region.h"
+#include "stair/autotune.h"
+#include "stair/codec.h"
 #include "stair/cost_model.h"
 #include "stair/stair_code.h"
 #include "util/rng.h"
@@ -128,22 +130,46 @@ TEST_P(StairSweepTest, CoreInvariantsHoldOnRandomConfigs) {
   }
 }
 
-// Acceptance sweep for the region-layout refactor: the full encode + decode
-// cycle must be byte-identical whichever layout the compiled replay uses
-// internally (standard vs altmap) on every compiled backend, for every word
-// size — including symbol sizes with partial trailing altmap blocks. The
-// scalar-backend standard-layout run is the reference; every other
-// (backend, layout) pair must reproduce its stripes exactly, and decode
-// must restore them from a within-coverage erasure.
+// Acceptance sweep for the region-layout refactor and the autotuner: the
+// full encode + decode cycle must be byte-identical whichever layout the
+// compiled replay uses internally (standard vs altmap) on every compiled
+// backend, for every word size — including symbol sizes with partial
+// trailing altmap blocks — and whether the measured autotuner is on or off
+// (its decisions are performance-only). The scalar-backend standard-layout
+// run is the reference; every other (backend, layout, autotune) pair must
+// reproduce its stripes exactly, decode must restore them from a
+// within-coverage erasure, and a Codec-session pass with the tuner choosing
+// the layout itself must land on the same bytes.
 TEST_P(StairSweepTest, LayoutAndBackendEquivalence) {
   // Restores auto-dispatch even when an ASSERT unwinds mid-sweep.
   struct DispatchGuard {
     ~DispatchGuard() {
       gf::reset_layout();
       gf::reset_backend();
+      Autotune::instance().reset_for_testing();
     }
   } dispatch_guard;
   Rng rng(GetParam().seed * 131 + 7);
+
+  // Injected measured profile (numbers are made up — only decisions change,
+  // never bytes): altmap 4x standard at w>=16 with cheap conversion, so the
+  // tuner actually picks altmap for multi-op regions instead of silently
+  // deferring to the heuristics.
+  TuneProfile tuned;
+  tuned.measured = true;
+  tuned.fingerprint = "sweep-fake";
+  tuned.dispatch_overhead_ns = 100.0;
+  for (gf::Backend b : {gf::Backend::kScalar, gf::Backend::kSsse3, gf::Backend::kAvx2,
+                        gf::Backend::kGfni, gf::Backend::kAvx512}) {
+    const int bk = static_cast<int>(b);
+    tuned.cells.push_back({bk, static_cast<int>(gf::RegionLayout::kStandard), 8, 65536, 3000.0});
+    for (int w : {16, 32}) {
+      tuned.cells.push_back({bk, static_cast<int>(gf::RegionLayout::kStandard), w, 65536, 1000.0});
+      tuned.cells.push_back({bk, static_cast<int>(gf::RegionLayout::kAltmap), w, 65536, 4000.0});
+      tuned.convert_cells.push_back(
+          {bk, static_cast<int>(gf::RegionLayout::kAltmap), w, 65536, 2000.0});
+    }
+  }
 
   for (int w : {8, 16, 32}) {
     StairConfig cfg{.n = 6, .r = 4, .m = 1, .e = {1, 2}, .w = w};
@@ -172,27 +198,52 @@ TEST_P(StairSweepTest, LayoutAndBackendEquivalence) {
 
       std::vector<std::uint8_t> ref_encoded;
       for (gf::Backend b : {gf::Backend::kScalar, gf::Backend::kSsse3, gf::Backend::kAvx2,
-                            gf::Backend::kGfni}) {
+                            gf::Backend::kGfni, gf::Backend::kAvx512}) {
         if (!gf::backend_supported(b)) continue;
         ASSERT_TRUE(gf::force_backend(b));
-        for (gf::RegionLayout layout :
-             {gf::RegionLayout::kStandard, gf::RegionLayout::kAltmap}) {
-          SCOPED_TRACE(std::string(gf::backend_name(b)) + "/" + gf::layout_name(layout));
-          gf::force_layout(layout);
+        for (bool autotune : {false, true}) {
+          auto& tuner = Autotune::instance();
+          tuner.set_enabled_for_testing(autotune ? 1 : 0);
+          if (autotune) tuner.set_profile_for_testing(tuned);
+          for (gf::RegionLayout layout :
+               {gf::RegionLayout::kStandard, gf::RegionLayout::kAltmap}) {
+            SCOPED_TRACE(std::string(gf::backend_name(b)) + "/" + gf::layout_name(layout) +
+                         (autotune ? "/tuned" : "/untuned"));
+            gf::force_layout(layout);
 
+            stripe.set_data(data);
+            code.encode(stripe.view());
+            const std::vector<std::uint8_t> encoded = stripe_bytes();
+            if (ref_encoded.empty())
+              ref_encoded = encoded;
+            else
+              ASSERT_EQ(encoded, ref_encoded) << "encode diverged";
+
+            Rng garbage(GetParam().seed + w + symbol);
+            for (std::size_t idx = 0; idx < mask.size(); ++idx)
+              if (mask[idx]) garbage.fill(stripe.view().stored[idx]);
+            ASSERT_TRUE(code.decode(stripe.view(), mask));
+            ASSERT_EQ(stripe_bytes(), ref_encoded) << "decode diverged";
+          }
+
+          // Codec-session pass with no forced layout: the tuner (or, when
+          // off, the fixed heuristics) picks the layout and slicing on its
+          // own — bytes must still match the scalar reference exactly.
+          gf::reset_layout();
+          SCOPED_TRACE(std::string(gf::backend_name(b)) +
+                       (autotune ? "/codec-tuned" : "/codec-untuned"));
+          Codec codec(code);
           stripe.set_data(data);
-          code.encode(stripe.view());
-          const std::vector<std::uint8_t> encoded = stripe_bytes();
-          if (ref_encoded.empty())
-            ref_encoded = encoded;
-          else
-            ASSERT_EQ(encoded, ref_encoded) << "encode diverged";
+          auto eh = codec.submit_encode(stripe.view());
+          eh.wait();
+          ASSERT_EQ(stripe_bytes(), ref_encoded) << "codec encode diverged";
 
           Rng garbage(GetParam().seed + w + symbol);
           for (std::size_t idx = 0; idx < mask.size(); ++idx)
             if (mask[idx]) garbage.fill(stripe.view().stored[idx]);
-          ASSERT_TRUE(code.decode(stripe.view(), mask));
-          ASSERT_EQ(stripe_bytes(), ref_encoded) << "decode diverged";
+          auto dh = codec.submit_decode(stripe.view(), mask);
+          ASSERT_TRUE(dh.ok());
+          ASSERT_EQ(stripe_bytes(), ref_encoded) << "codec decode diverged";
         }
       }
     }
