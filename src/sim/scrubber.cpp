@@ -7,13 +7,28 @@ namespace stair::sim {
 double latent_error_probability(const ScrubPolicy& policy) {
   const double rate = policy.error_rate_per_hour;
   const double t = policy.period_hours;
-  if (rate <= 0.0 || t <= 0.0) return 0.0;
+  // Limits, not just guards: as rate -> 0 no errors arrive, and as T -> 0 a
+  // sector is rechecked the instant anything could land — both drive the
+  // expectation to 0. (NaN rate/period also lands here, as "no model".)
+  if (!(rate > 0.0) || !(t > 0.0)) return 0.0;
+  const double x = rate * t;
   // E_{U~Unif(0,T)}[1 - e^(-rate*U)] = 1 - (1 - e^(-rate*T)) / (rate*T).
-  return 1.0 - (-std::expm1(-rate * t)) / (rate * t);
+  // The closed form is 0/0 once x underflows to zero, and for small positive
+  // x it subtracts two values ~1 apart by ~x/2 — catastrophic cancellation
+  // that leaves only a few significant digits by x ~ 1e-12. The series
+  // x/2 - x^2/6 + x^3/24 (error O(x^4)) is exact to double precision below
+  // the switch point and agrees with the closed form above it.
+  if (x < 1e-4) return x / 2.0 - x * x / 6.0 + x * x * x / 24.0;
+  return 1.0 - (-std::expm1(-x)) / x;
 }
 
 double scrubbed_p_sec(double error_rate_per_hour, double period_hours) {
   return latent_error_probability({period_hours, error_rate_per_hour});
+}
+
+double pass_rate_mbps(double store_bytes, double period_hours) {
+  if (!(store_bytes > 0.0) || !(period_hours > 0.0)) return 0.0;
+  return store_bytes / (period_hours * 3600.0) / (1024.0 * 1024.0);
 }
 
 }  // namespace stair::sim

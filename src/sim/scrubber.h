@@ -27,4 +27,11 @@ double latent_error_probability(const ScrubPolicy& policy);
 /// `exposure_hours`.
 double scrubbed_p_sec(double error_rate_per_hour, double period_hours);
 
+/// The token-bucket rate (MB/s of scanned store bytes) a stair::Scrubber
+/// needs to finish one full pass over `store_bytes` every `period_hours` —
+/// the knob that turns this analytic policy into ScrubOptions::rate_mbps
+/// for the operational loop (stair/scrub_repair.h). 0 when either input is
+/// degenerate (read as "unpaced").
+double pass_rate_mbps(double store_bytes, double period_hours);
+
 }  // namespace stair::sim

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <thread>
 #include <utility>
 
@@ -508,17 +509,17 @@ bool Autotune::save_profile(const TuneProfile& p, const std::string& path) {
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "w");
   if (!f) {
-#if defined(_WIN32)
-    return false;
-#else
-    // One level of parent creation covers the default ~/.cache case.
+    // Create the parent chain recursively: STAIR_TUNE_FILE may point
+    // arbitrarily deep (/a/b/c/tune.json), and a silent failure here means
+    // the probe re-runs in every process — the cache must either exist or
+    // the caller must hear that it can't.
     const std::size_t slash = path.rfind('/');
     if (slash == std::string::npos) return false;
-    const std::string dir = path.substr(0, slash);
-    if (mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) return false;
+    std::error_code ec;
+    std::filesystem::create_directories(path.substr(0, slash), ec);
+    if (ec) return false;
     f = std::fopen(tmp.c_str(), "w");
     if (!f) return false;
-#endif
   }
   const std::string json = p.to_json();
   const bool wrote = std::fwrite(json.data(), 1, json.size(), f) == json.size();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -76,8 +77,17 @@ std::string StripeStore::manifest_path(const std::string& dir) {
 }
 
 void StripeStore::save(const std::string& dir) const {
-  std::ofstream out(manifest_path(dir), std::ios::trunc);
-  if (!out) throw std::runtime_error("StripeStore: cannot write " + manifest_path(dir));
+  // Write-aside + rename: the manifest is the store's recovery point, so it
+  // must never be observable half-written. The temp name is unique per call
+  // (concurrent savers — e.g. a repair pass racing another — each rename a
+  // complete file; last rename wins atomically).
+  static std::atomic<std::uint64_t> save_seq{0};
+  const std::string path = manifest_path(dir);
+  const std::string tmp =
+      path + ".tmp" + std::to_string(save_seq.fetch_add(1, std::memory_order_relaxed)) +
+      "." + std::to_string(static_cast<unsigned long>(::getpid()));
+  std::ofstream out(tmp, std::ios::trunc);
+  if (!out) throw std::runtime_error("StripeStore: cannot write " + tmp);
   out << "stair_store 1\n"
       << "n " << cfg.n << "\nr " << cfg.r << "\nm " << cfg.m << "\ne ";
   for (std::size_t i = 0; i < cfg.e.size(); ++i) out << (i ? "," : "") << cfg.e[i];
@@ -93,58 +103,108 @@ void StripeStore::save(const std::string& dir) const {
       out << "\n";
     }
   out.flush();
-  if (!out) throw std::runtime_error("StripeStore: write failed for " + manifest_path(dir));
+  out.close();
+  if (!out) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("StripeStore: write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("StripeStore: cannot publish " + path);
+  }
 }
+
+namespace {
+
+[[noreturn]] void manifest_fail(const std::string& what) {
+  throw std::runtime_error("StripeStore: manifest " + what);
+}
+
+/// Checked extraction: a truncated or garbled manifest must fail the parse,
+/// not hand back a zero that happens to pass a later range check.
+template <typename T>
+T manifest_read(std::istream& in, const char* what) {
+  T value;
+  if (!(in >> value)) manifest_fail(std::string("truncated or garbled at ") + what);
+  return value;
+}
+
+}  // namespace
 
 StripeStore StripeStore::load(const std::string& dir) {
   std::ifstream in(manifest_path(dir));
-  if (!in) throw std::runtime_error("StripeStore: missing " + manifest_path(dir));
+  if (!in) manifest_fail("missing: " + manifest_path(dir));
+  // Every value below is parse-checked as it is read, and the geometry is
+  // overflow- and plausibility-checked *before* it sizes or indexes
+  // sector_checksums: the unchecked (stripe * n + device) * r + row
+  // arithmetic everywhere else relies on a loaded store being
+  // self-consistent, so an adversarial manifest has to be stopped here.
+  constexpr std::size_t kMaxSectors = std::size_t{1} << 32;  // 2^32 checksums = 32 GiB
   StripeStore store;
+  std::size_t chunk_lines = 0;
+  std::vector<bool> seen;
   std::string key;
   while (in >> key) {
     if (key == "stair_store") {
-      int version;
-      in >> version;
+      if (manifest_read<int>(in, "version") != 1) manifest_fail("version unsupported");
     } else if (key == "n") {
-      in >> store.cfg.n;
+      store.cfg.n = manifest_read<std::size_t>(in, "n");
     } else if (key == "r") {
-      in >> store.cfg.r;
+      store.cfg.r = manifest_read<std::size_t>(in, "r");
     } else if (key == "m") {
-      in >> store.cfg.m;
+      store.cfg.m = manifest_read<std::size_t>(in, "m");
     } else if (key == "e") {
-      std::string v;
-      in >> v;
+      const auto v = manifest_read<std::string>(in, "e");
       store.cfg.e = v == "-" ? std::vector<std::size_t>{} : parse_coverage_list(v);
     } else if (key == "w") {
-      in >> store.cfg.w;
+      store.cfg.w = manifest_read<int>(in, "w");
     } else if (key == "symbol") {
-      in >> store.symbol_bytes;
+      store.symbol_bytes = manifest_read<std::size_t>(in, "symbol");
     } else if (key == "file_size") {
-      in >> store.file_size;
+      store.file_size = manifest_read<std::size_t>(in, "file_size");
     } else if (key == "stripes") {
-      in >> store.stripes;
+      store.stripes = manifest_read<std::size_t>(in, "stripes");
     } else if (key == "data_checksum") {
-      in >> store.data_checksum;
+      store.data_checksum = manifest_read<std::uint64_t>(in, "data_checksum");
     } else if (key == "chunk") {
       // Header keys precede chunk lines (we write the manifest), so the
-      // geometry is known here.
-      if (store.cfg.n == 0 || store.cfg.r == 0)
-        throw std::runtime_error("StripeStore: chunk line before geometry");
-      std::size_t s, j;
-      in >> s >> j;
-      const std::size_t need = store.stripes * store.cfg.n * store.cfg.r;
-      if (store.sector_checksums.size() != need) store.sector_checksums.assign(need, 0);
-      if (s >= store.stripes || j >= store.cfg.n)
-        throw std::runtime_error("StripeStore: chunk line out of range");
+      // geometry is known — and validated — here, before the first index.
+      if (store.cfg.n == 0 || store.cfg.r == 0) manifest_fail("chunk line before geometry");
+      if (store.sector_checksums.empty()) {
+        try {
+          store.cfg.validate();
+        } catch (const std::exception& e) {
+          manifest_fail(std::string("geometry invalid: ") + e.what());
+        }
+        if (store.cfg.n > kMaxSectors / store.cfg.r ||
+            store.stripes > kMaxSectors / (store.cfg.n * store.cfg.r))
+          manifest_fail("geometry implausible (stripes * n * r overflows)");
+        store.sector_checksums.assign(store.stripes * store.cfg.n * store.cfg.r, 0);
+        seen.assign(store.stripes * store.cfg.n, false);
+      }
+      const auto s = manifest_read<std::size_t>(in, "chunk stripe");
+      const auto j = manifest_read<std::size_t>(in, "chunk device");
+      if (s >= store.stripes || j >= store.cfg.n) manifest_fail("chunk line out of range");
+      if (seen[s * store.cfg.n + j]) manifest_fail("duplicate chunk line");
+      seen[s * store.cfg.n + j] = true;
+      ++chunk_lines;
       for (std::size_t i = 0; i < store.cfg.r; ++i)
-        in >> store.sector_checksums[(s * store.cfg.n + j) * store.cfg.r + i];
+        store.sector_checksums[(s * store.cfg.n + j) * store.cfg.r + i] =
+            manifest_read<std::uint64_t>(in, "sector checksum");
+    } else {
+      manifest_fail("has unknown key '" + key + "'");
     }
   }
-  store.cfg.validate();
-  if (store.symbol_bytes == 0)
-    throw std::runtime_error("StripeStore: manifest missing symbol size");
-  if (store.sector_checksums.size() != store.stripes * store.cfg.n * store.cfg.r)
-    throw std::runtime_error("StripeStore: manifest sector checksum count mismatch");
+  if (in.bad()) manifest_fail("read failed: " + manifest_path(dir));
+  try {
+    store.cfg.validate();
+  } catch (const std::exception& e) {
+    manifest_fail(std::string("geometry invalid: ") + e.what());
+  }
+  if (store.symbol_bytes == 0) manifest_fail("missing symbol size");
+  if (chunk_lines != store.stripes * store.cfg.n)
+    manifest_fail("truncated: " + std::to_string(chunk_lines) + " of " +
+                  std::to_string(store.stripes * store.cfg.n) + " chunk lines");
   return store;
 }
 
@@ -436,6 +496,9 @@ IoPipeline::Stats IoPipeline::decode_file(const std::string& store_dir,
   try {
     store = StripeStore::load(store_dir);
   } catch (const std::exception& e) {
+    // A bad manifest is a counted, clean failure — the store's recovery
+    // point is gone, which callers distinguish from a recoverable stripe.
+    st.manifest_errors = 1;
     st.error = e.what();
     return st;
   }
@@ -513,6 +576,220 @@ IoPipeline::Stats IoPipeline::decode_file(const std::string& store_dir,
       st.ok = true;
     }
   }
+  return st;
+}
+
+namespace {
+
+/// Per-stripe completion gate for the synchronous ranged-read path: waits
+/// for exactly this stripe's transfers, unlike Engine::flush() which would
+/// also wait out unrelated in-flight IO (a background scrub pass sharing
+/// the engine, rebuild traffic) and so couple foreground latency to it.
+struct CompletionLatch {
+  explicit CompletionLatch(std::size_t n) : remaining(n) {}
+  void done() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (--remaining == 0) cv.notify_all();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return remaining == 0; });
+  }
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t remaining;
+};
+
+}  // namespace
+
+IoPipeline::Stats IoPipeline::read_range(const std::string& store_dir, std::uint64_t offset,
+                                         std::span<std::uint8_t> out) {
+  Stats st;
+  StripeStore store;
+  try {
+    store = StripeStore::load(store_dir);
+  } catch (const std::exception& e) {
+    st.manifest_errors = 1;
+    st.error = e.what();
+    return st;
+  }
+  return read_range(store, store_dir, offset, out);
+}
+
+IoPipeline::Stats IoPipeline::read_range(const StripeStore& store,
+                                         const std::string& store_dir, std::uint64_t offset,
+                                         std::span<std::uint8_t> out) {
+  Stats st;
+  const StairCode& code = codec_.code();
+  if (!(store.cfg == code.config())) {
+    st.error = "store config " + store.cfg.to_string() + " does not match codec config " +
+               code.config().to_string();
+    return st;
+  }
+  if (out.empty()) {
+    st.ok = true;
+    return st;
+  }
+  if (offset > store.file_size || out.size() > store.file_size - offset) {
+    st.error = "range exceeds file size " + std::to_string(store.file_size);
+    return st;
+  }
+
+  const std::size_t symbol = store.symbol_bytes;
+  const std::size_t chunk_bytes = store.chunk_bytes();
+  const std::size_t stripe_data = code.data_symbol_count() * symbol;
+  const StairLayout& layout = code.layout();
+  // (row, device) of each data symbol, in data order — the same order
+  // set_data/get_data use, so data index d of stripe k covers original-file
+  // bytes [k * stripe_data + d * symbol, ... + symbol).
+  std::vector<std::pair<std::size_t, std::size_t>> pos;
+  pos.reserve(layout.data_ids().size());
+  for (std::uint32_t id : layout.data_ids())
+    pos.emplace_back(layout.row_of(id), layout.col_of(id));
+
+  // Devices are opened lazily: a short range touches few of them.
+  std::vector<int> fds(store.cfg.n, -2);
+  auto dev_fd = [&](std::size_t j) {
+    if (fds[j] == -2) fds[j] = engine_->open_read(StripeStore::device_path(store_dir, j));
+    return fds[j];
+  };
+
+  std::vector<std::uint8_t> sectors;      // wanted-sector staging, happy path
+  std::vector<std::uint8_t> chunk_stage;  // whole-stripe staging, degraded path
+  const std::size_t first_stripe = offset / stripe_data;
+  const std::size_t last_stripe = (offset + out.size() - 1) / stripe_data;
+  for (std::size_t s = first_stripe; s <= last_stripe && st.error.empty(); ++s) {
+    ++st.stripes;
+    const std::uint64_t base = std::uint64_t{s} * stripe_data;
+    const std::size_t lo = static_cast<std::size_t>(std::max(offset, base) - base);
+    const std::size_t hi = static_cast<std::size_t>(
+        std::min<std::uint64_t>(offset + out.size(), base + stripe_data) - base);
+    const std::size_t d_lo = lo / symbol;
+    const std::size_t d_hi = (hi - 1) / symbol;
+    const std::size_t count = d_hi - d_lo + 1;
+
+    // Happy path: positioned reads of exactly the sectors the range needs,
+    // each verified against the manifest before a byte is copied out.
+    sectors.assign(count * symbol, 0);
+    std::vector<io::Result> results(count);
+    {
+      CompletionLatch latch(count);
+      for (std::size_t k = 0; k < count; ++k) {
+        const auto [row, dev] = pos[d_lo + k];
+        const int fd = dev_fd(dev);
+        if (fd < 0) {
+          results[k] = io::Result{ENOENT, 0};
+          latch.done();
+          continue;
+        }
+        engine_->read(fd, std::uint64_t{s} * chunk_bytes + row * symbol,
+                      std::span(sectors.data() + k * symbol, symbol),
+                      [&results, &latch, k](const io::Result& r) {
+                        results[k] = r;
+                        latch.done();
+                      });
+      }
+      latch.wait();
+    }
+    bool clean = true;
+    for (std::size_t k = 0; k < count; ++k) {
+      const auto [row, dev] = pos[d_lo + k];
+      st.bytes_read += results[k].bytes;
+      clean = clean && results[k].ok() && results[k].bytes == symbol &&
+              content_hash64(std::span<const std::uint8_t>(sectors.data() + k * symbol,
+                                                           symbol)) ==
+                  store.sector_checksum(s, dev, row);
+    }
+    const std::size_t out_at = static_cast<std::size_t>(base + lo - offset);
+    if (clean) {
+      std::memcpy(out.data() + out_at, sectors.data() + (lo - d_lo * symbol), hi - lo);
+      continue;
+    }
+
+    // Degraded: something the range needs is missing or lying. Read the
+    // whole stripe, build the true erasure mask from per-sector verifies,
+    // and decode only the wanted symbols — the backward slice that
+    // build_degraded_read_schedule cuts from the full decode plan.
+    ++st.degraded_stripes;
+    chunk_stage.assign(store.cfg.n * chunk_bytes, 0);
+    std::vector<io::Result> chunk_results(store.cfg.n);
+    {
+      CompletionLatch latch(store.cfg.n);
+      for (std::size_t j = 0; j < store.cfg.n; ++j) {
+        const int fd = dev_fd(j);
+        if (fd < 0) {
+          chunk_results[j] = io::Result{ENOENT, 0};
+          latch.done();
+          continue;
+        }
+        engine_->read(fd, std::uint64_t{s} * chunk_bytes,
+                      std::span(chunk_stage.data() + j * chunk_bytes, chunk_bytes),
+                      [&chunk_results, &latch, j](const io::Result& r) {
+                        chunk_results[j] = r;
+                        latch.done();
+                      });
+      }
+      latch.wait();
+    }
+    try {
+      StripeBuffer buf(code, symbol);
+      std::vector<bool> mask(store.cfg.r * store.cfg.n, false);
+      for (std::size_t j = 0; j < store.cfg.n; ++j) {
+        st.bytes_read += chunk_results[j].bytes;
+        if (!chunk_results[j].ok() || chunk_results[j].bytes != chunk_bytes) {
+          ++st.chunks_missing;
+          for (std::size_t i = 0; i < store.cfg.r; ++i) mask[i * store.cfg.n + j] = true;
+          continue;
+        }
+        for (std::size_t i = 0; i < store.cfg.r; ++i) {
+          auto dst = buf.symbol(i, j);
+          std::memcpy(dst.data(), chunk_stage.data() + j * chunk_bytes + i * symbol, symbol);
+          if (content_hash64(std::span<const std::uint8_t>(dst)) !=
+              store.sector_checksum(s, j, i)) {
+            ++st.sectors_corrupt;
+            mask[i * store.cfg.n + j] = true;
+          }
+        }
+      }
+      std::vector<std::size_t> wanted;
+      wanted.reserve(count);
+      for (std::size_t k = 0; k < count; ++k) {
+        const auto [row, dev] = pos[d_lo + k];
+        wanted.push_back(layout.stored_index(row, dev));
+      }
+      auto slice = code.build_degraded_read_schedule(mask, wanted);
+      if (!slice) {
+        ++st.failed_stripes;
+        st.error = "stripe " + std::to_string(s) + " unrecoverable for ranged read";
+        break;
+      }
+      code.execute(*slice, buf.view());
+      // The end-to-end guard: every wanted symbol — read or reconstructed —
+      // must match its manifest checksum before its bytes are served.
+      for (std::size_t k = 0; k < count && st.error.empty(); ++k) {
+        const auto [row, dev] = pos[d_lo + k];
+        if (content_hash64(std::span<const std::uint8_t>(buf.symbol(row, dev))) !=
+            store.sector_checksum(s, dev, row)) {
+          ++st.failed_stripes;
+          st.error = "stripe " + std::to_string(s) + " reconstruction failed verification";
+        }
+      }
+      if (!st.error.empty()) break;
+      for (std::size_t k = 0; k < count; ++k) {
+        const auto [row, dev] = pos[d_lo + k];
+        const std::size_t sym_lo = std::max(lo, (d_lo + k) * symbol);
+        const std::size_t sym_hi = std::min(hi, (d_lo + k + 1) * symbol);
+        std::memcpy(out.data() + (base + sym_lo - offset),
+                    buf.symbol(row, dev).data() + (sym_lo - (d_lo + k) * symbol),
+                    sym_hi - sym_lo);
+      }
+    } catch (const std::exception& e) {
+      st.error = std::string("ranged degraded read failed: ") + e.what();
+    }
+  }
+  for (int fd : fds)
+    if (fd >= 0) engine_->close(fd);
+  st.ok = st.error.empty();
   return st;
 }
 

@@ -86,9 +86,15 @@ struct StripeStore {
   static std::string device_path(const std::string& dir, std::size_t device);
   static std::string manifest_path(const std::string& dir);
 
-  /// Writes manifest.txt into `dir` (throws on IO failure).
+  /// Writes manifest.txt into `dir` atomically (unique temp file + rename,
+  /// so a power cut mid-save leaves the previous manifest intact — the
+  /// manifest is the store's recovery point). Throws on IO failure.
   void save(const std::string& dir) const;
-  /// Loads and validates manifest.txt (throws std::runtime_error).
+  /// Loads and validates manifest.txt. Every field is parse-checked and
+  /// bounds-checked before it is used to size or index sector_checksums: a
+  /// truncated, garbled, or adversarial manifest throws std::runtime_error
+  /// with a "manifest" message — never UB. (sector_checksum() itself stays
+  /// unchecked; a loaded store is guaranteed self-consistent.)
   static StripeStore load(const std::string& dir);
 };
 
@@ -120,6 +126,7 @@ class IoPipeline {
     std::size_t failed_stripes = 0;    // pattern outside the code's coverage
     std::size_t chunks_missing = 0;    // open/read failure or short chunk
     std::size_t sectors_corrupt = 0;   // read fine, sector checksum mismatch
+    std::size_t manifest_errors = 0;   // manifest missing/truncated/garbled
     std::uint64_t bytes_read = 0;
     std::uint64_t bytes_written = 0;
   };
@@ -141,6 +148,22 @@ class IoPipeline {
   /// false when any stripe was unrecoverable or the final checksum failed;
   /// whatever was recoverable has still been written.
   Stats decode_file(const std::string& store_dir, const std::string& output_path);
+
+  /// Serves the original-file byte range [offset, offset + out.size()) from
+  /// the store without touching stripes outside it. The happy path reads
+  /// *only the sectors the range needs* (sector-granular positioned reads)
+  /// and verifies each against the manifest; any miss — a missing/short
+  /// chunk, a torn sector, a device mid-rebuild — escalates that stripe to a
+  /// degraded read through StairCode::build_degraded_read_schedule, decoding
+  /// only the wanted symbols (a backward slice of the full decode plan, not
+  /// a stripe repair). This is how client reads keep being served *during*
+  /// a device rebuild. Stats.ok is false when the range exceeds the file or
+  /// a needed stripe is unrecoverable.
+  Stats read_range(const StripeStore& store, const std::string& store_dir,
+                   std::uint64_t offset, std::span<std::uint8_t> out);
+  /// read_range loading the manifest itself (convenience; per-call load).
+  Stats read_range(const std::string& store_dir, std::uint64_t offset,
+                   std::span<std::uint8_t> out);
 
   io::Engine& engine() { return *engine_; }
   Codec& codec() { return codec_; }

@@ -1,0 +1,184 @@
+// Scrubber — online scrub + rolling repair over a StripeStore.
+//
+// sim/scrubber.h models *when* latent sector errors should be hunted; this
+// is the loop that hunts them. A Scrubber walks a StripeStore through the
+// same verify path the IO pipeline uses for degraded reads — per-sector
+// manifest checksums surface latent errors (bit rot, torn writes, vanished
+// chunks) — and escalates every hit into a targeted repair:
+//
+//   scrub:   read(n chunks k) ─▶ [verify every sector, build erasure mask]
+//              ├─ clean: retire
+//              └─ hit:  submit_decode via the session DecodePlanCache
+//                         ─▶ re-verify reconstruction against the manifest
+//                         ─▶ write ONLY the damaged sectors back in place
+//   rebuild: the same walk with one device's column pre-masked and its file
+//            recreated — a bounded-concurrency stream of degraded reads +
+//            re-encodes, paced exactly like scrub.
+//
+// Pacing, because scrub is a guest on a serving node: a token bucket on
+// scanned bytes (rate_mbps / burst) bounds sustained disk traffic, an
+// idle-slot gate holds the next stripe while the Codec is busy with
+// foreground jobs (bounded by max_stall so scrub always makes progress),
+// and stripes_in_flight bounds the ring exactly like IoPipeline's
+// queue_depth. sim::pass_rate_mbps converts a ScrubPolicy period into the
+// rate knob.
+//
+// Repair is write-minimal and checked: reconstruction happens in a leased
+// stripe slot, every reconstructed sector is verified against its manifest
+// checksum *before* any write is issued (a repair must never write bytes it
+// cannot prove), sectors are patched in place through Engine::open_update
+// (no truncation — healthy sectors are untouched), and a fully-masked
+// column writes one whole chunk instead of r sector writes. After a pass
+// that repaired anything the manifest is re-saved (atomic temp + rename),
+// refreshing the store's recovery point.
+//
+// Submissions are phase-tagged (io::PhaseScope): scrub reads carry kScrub,
+// rebuild reads kRebuild, repair writes kRepair — which is what lets the
+// fault decorator aim a fault plan at background maintenance while
+// foreground traffic on the same files stays healthy, and what a future
+// admission layer can prioritize on.
+//
+// A Scrubber shares the Codec (and optionally the Engine) with foreground
+// pipelines; start()/stop() run passes on a background thread for
+// continuous scrubbing. One pass at a time per Scrubber.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "stair/codec.h"
+#include "stair/io_pipeline.h"
+#include "util/stripe_io.h"
+#include "util/workspace_pool.h"
+
+namespace stair {
+
+struct ScrubOptions {
+  /// Stripes in flight at once (the bounded ring; same meaning as
+  /// IoPipeline::Options::queue_depth). Also the rebuild concurrency bound.
+  std::size_t stripes_in_flight = 2;
+  /// Token bucket on scanned store bytes: sustained MB/s (0 = unpaced) and
+  /// the burst the bucket may accumulate while scrub is idle or gated.
+  double rate_mbps = 0.0;
+  double burst_bytes = 8.0 * 1024 * 1024;
+  /// Idle-slot gate: before each stripe, hold while the Codec has more jobs
+  /// in flight than this Scrubber's own — i.e. while foreground traffic is
+  /// active. Bounded by max_stall so a saturated node still gets scrubbed.
+  bool yield_to_foreground = true;
+  std::chrono::milliseconds max_stall{5};
+  /// Custom gate (wins over yield_to_foreground when set): scrub holds
+  /// while it returns true. Wire it to an admission queue's depth.
+  std::function<bool()> hold;
+  /// When false, scrub only detects and counts — no repair writes.
+  bool repair = true;
+  /// IO engine (borrowed — share the pipeline's to test phase-scoped fault
+  /// plans); nullptr: the Scrubber creates and owns one per `backend`.
+  io::Engine* engine = nullptr;
+  io::Backend backend = io::Backend::kAuto;
+  io::Engine::Options io;
+};
+
+/// One pass's outcome. `ok` means no fatal error; `completed` additionally
+/// means the pass was not cut short by stop().
+struct ScrubReport {
+  bool ok = false;
+  bool completed = false;
+  std::string error;                      // first fatal error (empty when ok)
+  std::size_t stripes = 0;                // stripes in the store
+  std::size_t stripes_scanned = 0;        // stripes actually walked
+  std::size_t stripes_degraded = 0;       // at least one bad sector/chunk
+  std::size_t stripes_unrecoverable = 0;  // damage outside the code's coverage
+  std::size_t chunks_missing = 0;         // open/read failure or short chunk
+  std::size_t sectors_corrupt = 0;        // checksum mismatches found
+  std::size_t sectors_repaired = 0;       // reconstructed, verified, rewritten
+  std::size_t repair_failures = 0;        // reconstruction failed verify/write
+  std::size_t throttle_stalls = 0;        // times pacing/gating held the walk
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+
+  /// Fold `p` into this report (background passes aggregate).
+  void accumulate(const ScrubReport& p);
+};
+
+class Scrubber {
+ public:
+  explicit Scrubber(Codec& codec, ScrubOptions options = {});
+  /// Stops the background loop, if running.
+  ~Scrubber();
+
+  Scrubber(const Scrubber&) = delete;
+  Scrubber& operator=(const Scrubber&) = delete;
+
+  /// One full scrub pass over the store in `store_dir`: verify every sector
+  /// of every stripe, repair what the options allow. Blocks until the pass
+  /// drains (internally async: stripes_in_flight stripes overlap).
+  ScrubReport scrub(const std::string& store_dir);
+
+  /// Whole-device rebuild: device `device`'s file is recreated and every
+  /// stripe's column reconstructed through the plan cache as a bounded
+  /// stream (stripes_in_flight degraded reads + re-encodes in flight).
+  /// Damaged sectors found on surviving devices are repaired on the way.
+  ScrubReport rebuild_device(const std::string& store_dir, std::size_t device);
+
+  /// Starts a background thread running scrub passes over `store_dir`
+  /// every `pass_gap` (gap measured end-to-start). No-op if running.
+  void start(const std::string& store_dir,
+             std::chrono::milliseconds pass_gap = std::chrono::milliseconds(0));
+  /// Stops the background loop (current pass winds down at the next stripe
+  /// boundary) and returns the aggregate of every pass it ran.
+  ScrubReport stop();
+
+  std::uint64_t passes_completed() const {
+    return passes_completed_.load(std::memory_order_relaxed);
+  }
+  /// Aggregate of background passes so far (also returned by stop()).
+  ScrubReport background_report() const;
+
+  io::Engine& engine() { return *engine_; }
+  Codec& codec() { return codec_; }
+  /// Slot-pool high-water mark — proves the ring never exceeded
+  /// stripes_in_flight (the rebuild concurrency bound).
+  std::size_t slots_created() const { return slots_.created(); }
+
+ private:
+  struct Slot;
+  struct Pass;
+
+  ScrubReport run_pass(const std::string& store_dir,
+                       std::optional<std::size_t> rebuild_device);
+  void scan_stripe(Pass& pass, std::size_t stripe);
+  void verify_stripe(Pass& pass, WorkspacePool<Slot>::Lease slot, std::size_t stripe);
+  void repair_stripe(Pass& pass, WorkspacePool<Slot>::Lease slot, std::size_t stripe);
+  void pace(Pass& pass, std::size_t bytes);
+
+  Codec& codec_;
+  ScrubOptions options_;
+  std::unique_ptr<io::Engine> owned_engine_;
+  io::Engine* engine_;
+  WorkspacePool<Slot> slots_;
+  /// This Scrubber's own decode jobs in flight — what the idle-slot gate
+  /// subtracts from Codec::jobs_in_flight() to see *foreground* pressure.
+  std::atomic<std::size_t> own_jobs_{0};
+
+  // Token bucket (guarded by bucket_mu_).
+  std::mutex bucket_mu_;
+  double tokens_ = 0.0;
+  std::chrono::steady_clock::time_point bucket_refill_{};
+
+  // Background loop.
+  std::thread loop_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> passes_completed_{0};
+  mutable std::mutex report_mu_;
+  ScrubReport background_report_;  // guarded by report_mu_
+};
+
+}  // namespace stair

@@ -41,12 +41,31 @@ Backend backend_from_env() {
   return Backend::kAuto;
 }
 
+namespace {
+
+IoPhase& phase_slot() {
+  thread_local IoPhase phase = IoPhase::kForeground;
+  return phase;
+}
+
+}  // namespace
+
+IoPhase current_phase() { return phase_slot(); }
+
+PhaseScope::PhaseScope(IoPhase phase) : prev_(phase_slot()) { phase_slot() = phase; }
+
+PhaseScope::~PhaseScope() { phase_slot() = prev_; }
+
 int Engine::open_read(const std::string& path) {
   return ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
 }
 
 int Engine::open_write(const std::string& path) {
   return ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+}
+
+int Engine::open_update(const std::string& path) {
+  return ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
 }
 
 void Engine::close(int fd) {
@@ -564,6 +583,15 @@ int FaultInjectingEngine::open_write(const std::string& path) {
   return fd;
 }
 
+int FaultInjectingEngine::open_update(const std::string& path) {
+  const int fd = inner_->open_update(path);
+  if (fd >= 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    files_.emplace_back(fd, final_component(path));
+  }
+  return fd;
+}
+
 void FaultInjectingEngine::close(int fd) {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -588,6 +616,7 @@ std::optional<Fault> FaultInjectingEngine::match(bool is_write, int fd,
     const bool write_kind =
         rule.kind == Fault::Kind::kWriteError || rule.kind == Fault::Kind::kTornWrite;
     if (write_kind != is_write || rule.file != *name) continue;
+    if (rule.phase && *rule.phase != current_phase()) continue;
     const std::uint64_t rule_end =
         rule.length == ~0ULL ? ~0ULL : rule.offset + rule.length;
     if (offset + length <= rule.offset || offset >= rule_end) continue;

@@ -47,6 +47,30 @@ namespace stair::io {
 
 enum class Backend : std::uint8_t { kAuto = 0, kThreads = 1, kUring = 2 };
 
+/// What a submission is doing for the system, as opposed to what it does to
+/// bytes: foreground client traffic vs the background maintenance phases
+/// (scrub verify reads, targeted repair writes, whole-device rebuild).
+/// Thread-local — a submitter tags its own submissions via PhaseScope and
+/// the tag is read synchronously at submit time, so chained callbacks on
+/// engine threads keep the phase of whoever submitted them.
+enum class IoPhase : std::uint8_t { kForeground = 0, kScrub = 1, kRepair = 2, kRebuild = 3 };
+
+/// The phase submissions from this thread currently carry.
+IoPhase current_phase();
+
+/// RAII tag: submissions made on this thread while the scope is alive carry
+/// `phase`. Nests; restores the previous phase on destruction.
+class PhaseScope {
+ public:
+  explicit PhaseScope(IoPhase phase);
+  ~PhaseScope();
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  IoPhase prev_;
+};
+
 /// "auto" / "threads" / "uring".
 const char* backend_name(Backend b);
 
@@ -104,6 +128,10 @@ class Engine {
   virtual int open_read(const std::string& path);
   /// Opens for writing, created/truncated; -1 with errno on failure.
   virtual int open_write(const std::string& path);
+  /// Opens read-write, created if missing but NOT truncated — in-place
+  /// sector repair must patch the damaged ranges of a chunk file without
+  /// destroying the healthy ones.
+  virtual int open_update(const std::string& path);
   virtual void close(int fd);
 
   /// Size of a file opened through this engine, in bytes (fstat; 0 on
@@ -149,6 +177,10 @@ struct Fault {
   int error = 5;                   // EIO; reported by the *Error kinds
   std::size_t keep_bytes = 0;      // kShortRead / kTornWrite prefix
   bool once = false;               // consume the rule after its first hit
+  /// When set, the rule only matches transfers submitted under this IoPhase
+  /// (see PhaseScope) — a scrub-phase fault plan can fail every scrub read
+  /// of a range while foreground reads of the same bytes stay healthy.
+  std::optional<IoPhase> phase;
 };
 
 /// Deterministic fault-injecting decorator: delegates to an inner engine,
@@ -173,6 +205,7 @@ class FaultInjectingEngine : public Engine {
 
   int open_read(const std::string& path) override;
   int open_write(const std::string& path) override;
+  int open_update(const std::string& path) override;
   void close(int fd) override;
   std::uint64_t file_size(int fd) const override { return inner_->file_size(fd); }
   int truncate(int fd, std::uint64_t size) override { return inner_->truncate(fd, size); }

@@ -9,6 +9,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <string>
 
 #include "gf/kernel.h"
@@ -208,6 +210,35 @@ TEST(AutotuneProfileTest, TuneFileSaveLoadRoundTrips) {
 
   EXPECT_FALSE(Autotune::load_profile(path + ".missing", &q));
   std::remove(path.c_str());
+}
+
+TEST(AutotuneProfileTest, SaveProfileCreatesNestedParentDirs) {
+  // XDG-style tune paths are several levels deep under a cache dir that may
+  // not exist yet; save_profile must create the whole chain, not one level.
+  const std::string base = ::testing::TempDir() + "stair_autotune_nest";
+  const std::string path = base + "/a/b/c/tune.json";
+  std::filesystem::remove_all(base);
+
+  TuneProfile p = fake_profile();
+  ASSERT_TRUE(Autotune::save_profile(p, path));
+
+  TuneProfile q;
+  ASSERT_TRUE(Autotune::load_profile(path, &q));
+  EXPECT_EQ(q.fingerprint, p.fingerprint);
+  std::filesystem::remove_all(base);
+}
+
+TEST(AutotuneProfileTest, SaveProfileSurfacesUnwritablePath) {
+  // A regular file sitting where a parent dir should be: save must report
+  // failure instead of silently dropping the profile.
+  const std::string base = ::testing::TempDir() + "stair_autotune_blocker";
+  std::filesystem::remove_all(base);
+  {
+    std::ofstream blocker(base);
+    blocker << "not a directory\n";
+  }
+  EXPECT_FALSE(Autotune::save_profile(fake_profile(), base + "/sub/tune.json"));
+  std::filesystem::remove_all(base);
 }
 
 TEST(AutotuneCacheBudgetTest, InstalledBudgetDrivesRegionCacheBudget) {

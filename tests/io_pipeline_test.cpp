@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -494,6 +495,193 @@ TEST(IoPipelineDeterminism, CrossBackendByteIdenticalStores) {
             ASSERT_EQ(read_all(dir.path / "output.bin"), data);
           }
         }
+      }
+    }
+  }
+}
+
+// --- manifest hardening -----------------------------------------------------
+
+namespace {
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void spit(const fs::path& p, const std::string& text) {
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+/// Replaces the first occurrence of `from` in the manifest with `to`.
+void patch_manifest(const TempDir& dir, const std::string& from, const std::string& to) {
+  const fs::path mpath = dir.path / "store" / "manifest.txt";
+  std::string text = slurp(mpath);
+  const auto pos = text.find(from);
+  ASSERT_NE(pos, std::string::npos) << "manifest lacks '" << from << "'";
+  text.replace(pos, from.size(), to);
+  spit(mpath, text);
+}
+
+}  // namespace
+
+// A manifest cut off mid-file (power cut before the atomic rename existed,
+// or plain disk damage) must fail decode with a clean, counted error — the
+// old loader zero-filled every unread field and checksum, silently treating
+// most of the store as torn.
+TEST(ManifestHardening, TruncatedManifestFailsCleanly) {
+  const StoreCase c = fault_cases()[0];
+  TempDir dir("mtrunc");
+  encode_store(dir, c, 48 * 1000, 30);
+
+  const fs::path mpath = dir.path / "store" / "manifest.txt";
+  const std::string text = slurp(mpath);
+  spit(mpath, text.substr(0, text.size() / 2));
+
+  const auto st = decode_store(dir, c);
+  EXPECT_FALSE(st.ok);
+  EXPECT_NE(st.error.find("manifest"), std::string::npos) << st.error;
+  EXPECT_EQ(st.manifest_errors, 1u);
+  EXPECT_EQ(st.bytes_written, 0u);
+
+  Codec codec(c.cfg);
+  IoPipeline pipeline(codec, {.symbol_bytes = c.symbol});
+  std::vector<std::uint8_t> out(512);
+  const auto rr = pipeline.read_range((dir.path / "store").string(), 0, out);
+  EXPECT_FALSE(rr.ok);
+  EXPECT_EQ(rr.manifest_errors, 1u);
+}
+
+// An adversarial stripe count must be stopped before it sizes the checksum
+// table — the old loader computed stripes * n * r in size_t and happily
+// indexed the wrapped-around allocation.
+TEST(ManifestHardening, ImplausibleGeometryRejectedBeforeAllocation) {
+  const StoreCase c = fault_cases()[0];
+  TempDir dir("mgeom");
+  encode_store(dir, c, 24 * 1000, 31);
+
+  patch_manifest(dir, "stripes ", "stripes 4294967296 ignored_");
+  const auto st = decode_store(dir, c);
+  EXPECT_FALSE(st.ok);
+  EXPECT_NE(st.error.find("manifest"), std::string::npos) << st.error;
+  EXPECT_EQ(st.manifest_errors, 1u);
+}
+
+// A chunk line pointing outside the declared geometry is an indexing attack
+// on sector_checksums; it must be a parse error, not an OOB write.
+TEST(ManifestHardening, OutOfRangeChunkLineRejected) {
+  const StoreCase c = fault_cases()[0];
+  TempDir dir("mchunk");
+  encode_store(dir, c, 24 * 1000, 32);
+
+  patch_manifest(dir, "chunk 0 0", "chunk 999999 0");
+  const auto st = decode_store(dir, c);
+  EXPECT_FALSE(st.ok);
+  EXPECT_NE(st.error.find("manifest"), std::string::npos) << st.error;
+  EXPECT_EQ(st.manifest_errors, 1u);
+}
+
+// Garbage where a checksum should be (non-numeric token) must fail the parse
+// instead of istream writing a zero and the loop resynchronizing mid-line.
+TEST(ManifestHardening, GarbledChecksumTokenRejected) {
+  const StoreCase c = fault_cases()[0];
+  TempDir dir("mgarble");
+  encode_store(dir, c, 24 * 1000, 33);
+
+  patch_manifest(dir, "chunk 0 1", "chunk 0 garble");
+  const auto st = decode_store(dir, c);
+  EXPECT_FALSE(st.ok);
+  EXPECT_NE(st.error.find("manifest"), std::string::npos) << st.error;
+  EXPECT_EQ(st.manifest_errors, 1u);
+}
+
+// --- ranged reads -----------------------------------------------------------
+
+// read_range serves exact byte windows, sector-granular: offsets that are
+// unaligned, cross stripe boundaries, or graze the padded tail all come back
+// byte-identical to the original file without reading the whole store.
+TEST(IoPipelineRangedRead, ByteExactAcrossOffsetsAndBoundaries) {
+  const StoreCase c = fault_cases()[0];
+  TempDir dir("range");
+  const std::size_t bytes = 48 * 1000;
+  const auto data = encode_store(dir, c, bytes, 34);
+
+  Codec codec(c.cfg);
+  IoPipeline pipeline(codec, {.symbol_bytes = c.symbol});
+  const auto store = StripeStore::load((dir.path / "store").string());
+  const std::size_t stripe_data =
+      codec.code().layout().data_ids().size() * c.symbol;
+
+  const struct {
+    std::uint64_t offset;
+    std::size_t len;
+  } windows[] = {
+      {0, 1},                                  // first byte
+      {0, 4096},                               // head block
+      {c.symbol - 7, 100},                     // straddles a sector boundary
+      {stripe_data - 13, 37},                  // straddles a stripe boundary
+      {bytes - 1, 1},                          // last byte
+      {bytes - 900, 900},                      // padded tail stripe
+      {stripe_data / 2, 2 * stripe_data + 5},  // three stripes
+      {17, 0},                                 // empty range
+  };
+  for (const auto& w : windows) {
+    SCOPED_TRACE("offset=" + std::to_string(w.offset) + " len=" + std::to_string(w.len));
+    std::vector<std::uint8_t> out(w.len, 0xEE);
+    const auto st = pipeline.read_range(store, (dir.path / "store").string(),
+                                        w.offset, out);
+    ASSERT_TRUE(st.ok) << st.error;
+    EXPECT_EQ(st.degraded_stripes, 0u);
+    EXPECT_TRUE(std::equal(out.begin(), out.end(), data.begin() + w.offset));
+  }
+
+  // Sector-granular promise: a one-byte read costs one sector, not a stripe.
+  std::vector<std::uint8_t> one(1);
+  const auto st = pipeline.read_range(store, (dir.path / "store").string(), 0, one);
+  ASSERT_TRUE(st.ok) << st.error;
+  EXPECT_EQ(st.bytes_read, c.symbol);
+}
+
+TEST(IoPipelineRangedRead, OutOfBoundsRangeFailsCleanly) {
+  const StoreCase c = fault_cases()[0];
+  TempDir dir("rangeoob");
+  const std::size_t bytes = 24 * 1000;
+  encode_store(dir, c, bytes, 35);
+
+  Codec codec(c.cfg);
+  IoPipeline pipeline(codec, {.symbol_bytes = c.symbol});
+  std::vector<std::uint8_t> out(256);
+  EXPECT_FALSE(pipeline.read_range((dir.path / "store").string(), bytes, out).ok);
+  EXPECT_FALSE(
+      pipeline.read_range((dir.path / "store").string(), bytes - 100, out).ok);
+  // A range that ends exactly at EOF is fine.
+  EXPECT_TRUE(
+      pipeline.read_range((dir.path / "store").string(), bytes - 256, out).ok);
+}
+
+// The rebuild-serving path: with a device gone and a sector torn elsewhere,
+// ranged reads escalate per-stripe to build_degraded_read_schedule and still
+// return exact bytes — verified against the manifest before they're copied.
+TEST(IoPipelineRangedRead, DegradedRangesServedByteExact) {
+  for (const auto& c : fault_cases()) {
+    SCOPED_TRACE(c.cfg.to_string());
+    for (io::Backend iob : io_backends()) {
+      SCOPED_TRACE(io::backend_name(iob));
+      TempDir dir("rangedeg");
+      const std::size_t bytes = 48 * 1000;
+      const auto data = encode_store(dir, c, bytes, 36);
+      ASSERT_TRUE(fs::remove(dev_path(dir, 1)));     // whole device out
+      flip_bytes(dev_path(dir, 3), 2 * c.symbol, 32);  // torn sector, stripe 0
+
+      Codec codec(c.cfg);
+      IoPipeline pipeline(codec, {.symbol_bytes = c.symbol, .backend = iob});
+      for (const std::uint64_t offset : {std::uint64_t{0}, std::uint64_t{bytes / 3}}) {
+        std::vector<std::uint8_t> out(8192);
+        const auto st = pipeline.read_range((dir.path / "store").string(), offset, out);
+        ASSERT_TRUE(st.ok) << st.error;
+        EXPECT_GE(st.degraded_stripes, 1u);
+        EXPECT_TRUE(std::equal(out.begin(), out.end(), data.begin() + offset));
       }
     }
   }

@@ -170,5 +170,40 @@ TEST(Scrubber, LatentErrorProbabilityLimits) {
   EXPECT_LT(scrubbed_p_sec(1e-6, 24.0), scrubbed_p_sec(1e-6, 24.0 * 30));
 }
 
+TEST(Scrubber, LatentErrorProbabilityBoundaries) {
+  // Degenerate policies are exactly zero exposure, never NaN.
+  EXPECT_DOUBLE_EQ(latent_error_probability({0.0, 1e-3}), 0.0);   // period 0
+  EXPECT_DOUBLE_EQ(latent_error_probability({24.0, 0.0}), 0.0);   // rate 0
+  EXPECT_DOUBLE_EQ(latent_error_probability({0.0, 0.0}), 0.0);
+
+  // rate*t underflows to 0 while both factors are positive: the naive
+  // expm1(-x)/x form evaluates 0/0 here.
+  const double tiny = latent_error_probability({1e-200, 1e-200});
+  EXPECT_FALSE(std::isnan(tiny));
+  EXPECT_DOUBLE_EQ(tiny, 0.0);
+
+  // Small-x precision: p = x/2 - x^2/6 + ... — the 1-(expm1 ratio) form
+  // loses ~1e-16 absolute to cancellation, swamping the answer at x=1e-12.
+  const double x = 1e-12;
+  EXPECT_NEAR(latent_error_probability({1.0, x}), x / 2.0, x * 1e-6);
+
+  // Continuity across the series/closed-form switch at x = 1e-4.
+  const double below = latent_error_probability({1.0, 0.99e-4});
+  const double above = latent_error_probability({1.0, 1.01e-4});
+  EXPECT_LT(below, above);
+  EXPECT_NEAR(above - below, (1.01e-4 - 0.99e-4) / 2.0, 1e-10);
+}
+
+TEST(Scrubber, PassRateMbpsSizesTheScrubTokenBucket) {
+  // A 1 GiB store scanned once per hour: 1 GiB / 3600 s in MiB/s.
+  const double bytes = 1024.0 * 1024.0 * 1024.0;
+  EXPECT_NEAR(pass_rate_mbps(bytes, 1.0), 1024.0 / 3600.0, 1e-9);
+  // Halving the period doubles the required rate.
+  EXPECT_NEAR(pass_rate_mbps(bytes, 0.5), 2.0 * 1024.0 / 3600.0, 1e-9);
+  // Degenerate inputs are 0, not inf/NaN.
+  EXPECT_DOUBLE_EQ(pass_rate_mbps(0.0, 24.0), 0.0);
+  EXPECT_DOUBLE_EQ(pass_rate_mbps(bytes, 0.0), 0.0);
+}
+
 }  // namespace
 }  // namespace stair::sim
