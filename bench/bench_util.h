@@ -5,6 +5,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cctype>
 #include <cstdlib>
 #include <functional>
 #include <iostream>
@@ -37,9 +38,29 @@ struct BenchEnv {
 
 inline BenchEnv parse_env(int argc, char** argv) {
   BenchEnv env;
-  env.smoke = std::getenv("STAIR_BENCH_SMOKE") != nullptr;
-  for (int i = 1; i < argc; ++i)
-    if (std::string(argv[i]) == "--smoke") env.smoke = true;
+  // Loud parsing, both knobs: a typo'd flag or STAIR_BENCH_SMOKE=ture
+  // silently running the wrong configuration poisons the perf trajectory;
+  // exit(2) is cheaper than a misfiled bench JSON.
+  if (const char* s = std::getenv("STAIR_BENCH_SMOKE")) {
+    std::string v(s);
+    for (char& c : v) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (v == "1" || v == "true" || v == "yes" || v == "on") {
+      env.smoke = true;
+    } else if (!(v.empty() || v == "0" || v == "false" || v == "no" || v == "off")) {
+      std::cerr << "STAIR_BENCH_SMOKE: unknown value '" << s
+                << "' (want 1/true/yes/on or 0/false/no/off)\n";
+      std::exit(2);
+    }
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    if (arg == "--smoke") {
+      env.smoke = true;
+    } else {
+      std::cerr << "unknown bench flag '" << arg << "' (supported: --smoke)\n";
+      std::exit(2);
+    }
+  }
   env.hardware_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   return env;
 }

@@ -92,8 +92,9 @@ void StripeStore::save(const std::string& dir) const {
       << "n " << cfg.n << "\nr " << cfg.r << "\nm " << cfg.m << "\ne ";
   for (std::size_t i = 0; i < cfg.e.size(); ++i) out << (i ? "," : "") << cfg.e[i];
   if (cfg.e.empty()) out << "-";
-  out << "\nw " << cfg.w << "\nsymbol " << symbol_bytes << "\nfile_size " << file_size
-      << "\nstripes " << stripes << "\ndata_checksum " << data_checksum << "\n";
+  out << "\nw " << cfg.w << "\nsymbol " << symbol_bytes << "\nblock " << block_bytes
+      << "\nfile_size " << file_size << "\nstripes " << stripes << "\ndata_checksum "
+      << data_checksum << "\n";
   // One line per (stripe, device) chunk: its r sector checksums in row order.
   for (std::size_t s = 0; s < stripes; ++s)
     for (std::size_t j = 0; j < cfg.n; ++j) {
@@ -160,6 +161,12 @@ StripeStore StripeStore::load(const std::string& dir) {
       store.cfg.w = manifest_read<int>(in, "w");
     } else if (key == "symbol") {
       store.symbol_bytes = manifest_read<std::size_t>(in, "symbol");
+    } else if (key == "block") {
+      // Layout block (padding stride). Absent in pre-raw-IO manifests, whose
+      // stores are unpadded: block_bytes keeps its default of 1.
+      store.block_bytes = manifest_read<std::size_t>(in, "block");
+      if (store.block_bytes == 0) manifest_fail("block size zero");
+      if (store.block_bytes > (std::size_t{1} << 24)) manifest_fail("block size implausible");
     } else if (key == "file_size") {
       store.file_size = manifest_read<std::size_t>(in, "file_size");
     } else if (key == "stripes") {
@@ -216,11 +223,15 @@ StripeStore StripeStore::load(const std::string& dir) {
 /// staging the IO side reads into / writes from. Reused warm via the pool.
 struct IoPipeline::Slot {
   std::optional<StripeBuffer> buf;
-  std::vector<std::uint8_t> data;                 // flat stripe data staging
-  std::vector<std::vector<std::uint8_t>> chunks;  // per-device chunk staging
-  std::vector<io::Result> results;                // decode: per-chunk outcome
-  std::vector<bool> mask;                         // decode: erased symbols
-  std::atomic<std::size_t> pending{0};            // countdown to stage change
+  std::vector<std::uint8_t> data;  // flat stripe data staging (user file side)
+  // Per-device chunk staging: aligned leases from the pipeline's buffer
+  // pool, so chunk transfers satisfy O_DIRECT alignment and (when the pool
+  // is registered) ride the fixed-buffer path. A reused slot keeps its
+  // leases warm; prepare_slot re-leases only on geometry change.
+  std::vector<IoBufferPool::Lease> chunks;
+  std::vector<io::Result> results;      // decode: per-chunk outcome
+  std::vector<bool> mask;               // decode: erased symbols
+  std::atomic<std::size_t> pending{0};  // countdown to stage change
 };
 
 /// Per-operation shared state. Lives on the encode_file/decode_file stack;
@@ -232,6 +243,9 @@ struct IoPipeline::Run {
   std::size_t symbol_bytes = 0;
   std::size_t stripe_data = 0;  // data bytes per stripe
   std::size_t chunk_bytes = 0;
+  std::size_t padded_chunk = 0;  // on-disk chunk stride (chunk_bytes rounded up)
+  bool use_fixed = false;        // chunk transfers take the *_fixed path
+  bool files_registered = false; // dev fds registered with the engine
   // Data-symbol positions in data order: canonical ids from the layout,
   // decomposed to (row, device) once so the hash fold below needs no layout.
   std::vector<std::pair<std::size_t, std::size_t>> data_positions;
@@ -286,7 +300,33 @@ IoPipeline::IoPipeline(Codec& codec, Options options)
   }
 }
 
-IoPipeline::~IoPipeline() = default;
+IoPipeline::~IoPipeline() {
+  // The staging pool outlives every run but not the engine registration:
+  // unpin before the pool (and, for owned engines, the ring) goes away.
+  if (fixed_active_) engine_->unregister_buffers();
+}
+
+void IoPipeline::ensure_buffers(std::size_t bytes, std::size_t alignment,
+                                std::size_t capacity) {
+  const std::size_t target = (bytes + alignment - 1) / alignment * alignment;
+  if (!buffers_ || buffers_->buffer_bytes() != target ||
+      buffers_->alignment() != alignment) {
+    if (fixed_active_) {
+      engine_->unregister_buffers();
+      fixed_active_ = false;
+    }
+    // Old leases (held by warm slots) keep the old pool's backing store
+    // alive until prepare_slot swaps them for right-sized ones.
+    buffers_ = std::make_unique<IoBufferPool>(bytes, alignment, capacity);
+  }
+  if (options_.fixed_buffers && !fixed_active_) {
+    const auto regions = buffers_->regions();
+    // ENOTSUP (thread backend) or EBUSY/ENOMEM just mean the plain path:
+    // the buffers stay aligned and valid either way.
+    fixed_active_ =
+        engine_->register_buffers({regions.data(), regions.size()}) == 0;
+  }
+}
 
 IoPipeline::SlotLease IoPipeline::acquire_slot(Run& run) {
   {
@@ -329,7 +369,8 @@ void IoPipeline::prepare_slot(Slot& slot, const StairCode& code, const Run& run,
     slot.buf.emplace(code, run.symbol_bytes);
   slot.data.resize(run.stripe_data);
   slot.chunks.resize(devices);
-  for (auto& c : slot.chunks) c.resize(run.chunk_bytes);
+  for (auto& lease : slot.chunks)
+    if (!lease || lease->bytes < run.padded_chunk) lease = buffers_->acquire();
   slot.results.resize(devices);
 }
 
@@ -358,9 +399,20 @@ IoPipeline::Stats IoPipeline::encode_file(const std::string& input_path,
       file_size ? static_cast<std::size_t>((file_size + run.stripe_data - 1) / run.stripe_data)
                 : 0;
 
+  // Raw-device mode decides the layout, not just the open flags: chunk rows
+  // are padded to the block so every transfer is aligned, and the geometry
+  // goes in the manifest. The layout is chosen by the *request*, never by
+  // whether O_DIRECT actually engaged, so a store encoded on tmpfs (where
+  // direct falls back to buffered) is byte-identical to one from a real fs.
+  const std::size_t block =
+      options_.direct && options_.block_bytes > 1 ? options_.block_bytes : 1;
+  const io::OpenMode dev_mode =
+      block > 1 ? io::OpenMode::kDirect : io::OpenMode::kBuffered;
+
   StripeStore store;
   store.cfg = cfg;
   store.symbol_bytes = run.symbol_bytes;
+  store.block_bytes = block;
   store.file_size = static_cast<std::size_t>(file_size);
   store.stripes = stripes;
   store.sector_checksums.assign(stripes * cfg.n * cfg.r, 0);
@@ -368,13 +420,21 @@ IoPipeline::Stats IoPipeline::encode_file(const std::string& input_path,
   run.sector_checksums = &store.sector_checksums;
   run.stripe_hashes.assign(stripes, 0);
   run.file_fd = in_fd;
+  run.padded_chunk = store.padded_chunk_bytes();
+  ensure_buffers(run.padded_chunk, std::max<std::size_t>(block, 64),
+                 options_.queue_depth * cfg.n);
+  run.use_fixed = fixed_active_;
 
   run.dev_fds.assign(cfg.n, -1);
   for (std::size_t j = 0; j < cfg.n; ++j) {
-    run.dev_fds[j] = engine_->open_write(StripeStore::device_path(store_dir, j));
+    run.dev_fds[j] = engine_->open_write(StripeStore::device_path(store_dir, j), dev_mode);
     if (run.dev_fds[j] < 0)
       fatal(run, "cannot create " + StripeStore::device_path(store_dir, j));
   }
+  // Long-lived chunk fds: register so uring submissions skip the per-IO fd
+  // lookup/refcount (IOSQE_FIXED_FILE). Optional like everything else here.
+  if (options_.fixed_buffers && !run.has_fatal())
+    run.files_registered = engine_->register_files(run.dev_fds) == 0;
 
   if (!run.has_fatal()) {
     for (std::size_t s = 0; s < stripes; ++s) {
@@ -399,6 +459,7 @@ IoPipeline::Stats IoPipeline::encode_file(const std::string& input_path,
   }
   drain(run);
   engine_->flush();
+  if (run.files_registered) engine_->unregister_files();
   engine_->close(in_fd);
   for (int fd : run.dev_fds) engine_->close(fd);
 
@@ -457,12 +518,17 @@ void IoPipeline::encode_on_encoded(Run& run, SlotLease slot, std::size_t stripe,
     // Gather each device's chunk (its r symbols, stripe-contiguous on disk)
     // and fingerprint every sector; the manifest rows are disjoint per stripe.
     for (std::size_t j = 0; j < cfg.n; ++j) {
-      auto& chunk = sl.chunks[j];
+      IoBuffer& chunk = *sl.chunks[j];
       for (std::size_t i = 0; i < cfg.r; ++i) {
         const auto symbol = sl.buf->symbol(i, j);
-        std::memcpy(chunk.data() + i * run.symbol_bytes, symbol.data(), run.symbol_bytes);
+        std::memcpy(chunk.data + i * run.symbol_bytes, symbol.data(), run.symbol_bytes);
         (*run.sector_checksums)[(stripe * cfg.n + j) * cfg.r + i] = content_hash64(symbol);
       }
+      // Pad bytes are written (zeroed) rather than skipped: the whole padded
+      // row transfers in one aligned write, and the files stay identical
+      // whether or not O_DIRECT engaged.
+      if (run.padded_chunk > run.chunk_bytes)
+        std::memset(chunk.data + run.chunk_bytes, 0, run.padded_chunk - run.chunk_bytes);
     }
     // The stripe's data hash folds the data sectors' hashes just computed —
     // no second pass over the bytes.
@@ -472,16 +538,22 @@ void IoPipeline::encode_on_encoded(Run& run, SlotLease slot, std::size_t stripe,
     sl.pending.store(cfg.n, std::memory_order_relaxed);
     for (std::size_t j = 0; j < cfg.n; ++j) {
       Slot* raw = slot.get();
-      engine_->write(run.dev_fds[j], stripe * run.chunk_bytes, raw->chunks[j],
-                     [this, &run, slot](const io::Result& r) mutable {
-                       run.bytes_written.fetch_add(r.bytes, std::memory_order_relaxed);
-                       if (r.error || r.bytes < run.chunk_bytes)
-                         fatal(run, "device write failed: " + errno_text(r.error));
-                       if (slot->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-                         slot.reset();
-                         retire_slot(run);
-                       }
-                     });
+      const IoBuffer& chunk = *raw->chunks[j];
+      const std::span<const std::uint8_t> out(chunk.data, run.padded_chunk);
+      auto done = [this, &run, slot](const io::Result& r) mutable {
+        run.bytes_written.fetch_add(r.bytes, std::memory_order_relaxed);
+        if (r.error || r.bytes < run.padded_chunk)
+          fatal(run, "device write failed: " + errno_text(r.error));
+        if (slot->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          slot.reset();
+          retire_slot(run);
+        }
+      };
+      if (run.use_fixed)
+        engine_->write_fixed(run.dev_fds[j], stripe * run.padded_chunk, out,
+                             chunk.index, std::move(done));
+      else
+        engine_->write(run.dev_fds[j], stripe * run.padded_chunk, out, std::move(done));
     }
   } catch (const std::exception& e) {
     fatal(run, std::string("encode completion failed: ") + e.what());
@@ -514,15 +586,34 @@ IoPipeline::Stats IoPipeline::decode_file(const std::string& store_dir,
   run.symbol_bytes = store.symbol_bytes;
   run.stripe_data = code.data_symbol_count() * store.symbol_bytes;
   run.chunk_bytes = store.chunk_bytes();
+  run.padded_chunk = store.padded_chunk_bytes();
   run.set_data_positions(code.layout());
   run.stripe_hashes.assign(store.stripes, 0);
+  ensure_buffers(run.padded_chunk, std::max<std::size_t>(store.block_bytes, 64),
+                 options_.queue_depth * store.cfg.n);
+  run.use_fixed = fixed_active_;
 
+  // O_DIRECT needs the padded layout; a legacy (block 1) store is read
+  // buffered even when direct mode is requested, since its rows and offsets
+  // have no alignment to offer.
+  const io::OpenMode dev_mode = options_.direct && store.block_bytes > 1
+                                    ? io::OpenMode::kDirect
+                                    : io::OpenMode::kBuffered;
   run.dev_fds.assign(store.cfg.n, -1);
-  for (std::size_t j = 0; j < store.cfg.n; ++j)
-    run.dev_fds[j] = engine_->open_read(StripeStore::device_path(store_dir, j));
+  bool all_devs_open = true;
+  for (std::size_t j = 0; j < store.cfg.n; ++j) {
+    run.dev_fds[j] = engine_->open_read(StripeStore::device_path(store_dir, j), dev_mode);
+    all_devs_open = all_devs_open && run.dev_fds[j] >= 0;
+  }
+  // Fixed files only when every device opened: sparse registrations (-1
+  // entries) predate some kernels this runs on, and a degraded decode is
+  // not the case to optimize anyway.
+  if (options_.fixed_buffers && all_devs_open)
+    run.files_registered = engine_->register_files(run.dev_fds) == 0;
 
   run.file_fd = engine_->open_write(output_path);
   if (run.file_fd < 0) {
+    if (run.files_registered) engine_->unregister_files();
     for (int fd : run.dev_fds) engine_->close(fd);
     st.error = "cannot create output " + output_path;
     return st;
@@ -538,17 +629,24 @@ IoPipeline::Stats IoPipeline::decode_file(const std::string& store_dir,
     for (std::size_t j = 0; j < store.cfg.n; ++j) {
       if (run.dev_fds[j] < 0) {
         decode_on_chunk_read(run, slot, s, j, io::Result{ENOENT, 0});
-      } else {
-        engine_->read(run.dev_fds[j], s * run.chunk_bytes, raw->chunks[j],
-                      [this, &run, slot, s, j](const io::Result& r) mutable {
-                        decode_on_chunk_read(run, std::move(slot), s, j, r);
-                      });
+        continue;
       }
+      const IoBuffer& chunk = *raw->chunks[j];
+      const std::span<std::uint8_t> in(chunk.data, run.padded_chunk);
+      auto done = [this, &run, slot, s, j](const io::Result& r) mutable {
+        decode_on_chunk_read(run, std::move(slot), s, j, r);
+      };
+      if (run.use_fixed)
+        engine_->read_fixed(run.dev_fds[j], s * run.padded_chunk, in, chunk.index,
+                            std::move(done));
+      else
+        engine_->read(run.dev_fds[j], s * run.padded_chunk, in, std::move(done));
     }
     slot.reset();  // stages own their copies now
   }
   drain(run);
   engine_->flush();
+  if (run.files_registered) engine_->unregister_files();
   // Failed trailing stripes must not shorten the file silently; recoverable
   // content has been written at its exact offsets either way.
   if (engine_->truncate(run.file_fd, store.file_size) != 0)
@@ -637,6 +735,16 @@ IoPipeline::Stats IoPipeline::read_range(const StripeStore& store,
 
   const std::size_t symbol = store.symbol_bytes;
   const std::size_t chunk_bytes = store.chunk_bytes();
+  const std::size_t padded = store.padded_chunk_bytes();
+  const std::size_t block = store.block_bytes;
+  // Aligned mode: O_DIRECT chunk fds accept only block-aligned transfers,
+  // so sector reads widen to the enclosing block window inside the padded
+  // chunk (read into an aligned lease, copy out the wanted span). A legacy
+  // unpadded store, or direct mode off, keeps exact positioned reads.
+  const bool aligned = options_.direct && block > 1;
+  const io::OpenMode dev_mode = aligned ? io::OpenMode::kDirect : io::OpenMode::kBuffered;
+  ensure_buffers(padded, std::max<std::size_t>(block, 64),
+                 options_.queue_depth * store.cfg.n);
   const std::size_t stripe_data = code.data_symbol_count() * symbol;
   const StairLayout& layout = code.layout();
   // (row, device) of each data symbol, in data order — the same order
@@ -650,12 +758,12 @@ IoPipeline::Stats IoPipeline::read_range(const StripeStore& store,
   // Devices are opened lazily: a short range touches few of them.
   std::vector<int> fds(store.cfg.n, -2);
   auto dev_fd = [&](std::size_t j) {
-    if (fds[j] == -2) fds[j] = engine_->open_read(StripeStore::device_path(store_dir, j));
+    if (fds[j] == -2)
+      fds[j] = engine_->open_read(StripeStore::device_path(store_dir, j), dev_mode);
     return fds[j];
   };
 
-  std::vector<std::uint8_t> sectors;      // wanted-sector staging, happy path
-  std::vector<std::uint8_t> chunk_stage;  // whole-stripe staging, degraded path
+  std::vector<std::uint8_t> sectors;  // wanted-sector staging, happy path
   const std::size_t first_stripe = offset / stripe_data;
   const std::size_t last_stripe = (offset + out.size() - 1) / stripe_data;
   for (std::size_t s = first_stripe; s <= last_stripe && st.error.empty(); ++s) {
@@ -668,10 +776,17 @@ IoPipeline::Stats IoPipeline::read_range(const StripeStore& store,
     const std::size_t d_hi = (hi - 1) / symbol;
     const std::size_t count = d_hi - d_lo + 1;
 
-    // Happy path: positioned reads of exactly the sectors the range needs,
-    // each verified against the manifest before a byte is copied out.
+    // Happy path: positioned reads of exactly the sectors the range needs
+    // (widened to block windows in aligned mode), each verified against the
+    // manifest before a byte is copied out.
     sectors.assign(count * symbol, 0);
     std::vector<io::Result> results(count);
+    std::vector<IoBufferPool::Lease> window_leases;
+    std::vector<std::pair<std::size_t, std::size_t>> windows;  // {start, len} per k
+    if (aligned) {
+      window_leases.resize(count);
+      windows.resize(count);
+    }
     {
       CompletionLatch latch(count);
       for (std::size_t k = 0; k < count; ++k) {
@@ -682,12 +797,23 @@ IoPipeline::Stats IoPipeline::read_range(const StripeStore& store,
           latch.done();
           continue;
         }
-        engine_->read(fd, std::uint64_t{s} * chunk_bytes + row * symbol,
-                      std::span(sectors.data() + k * symbol, symbol),
-                      [&results, &latch, k](const io::Result& r) {
-                        results[k] = r;
-                        latch.done();
-                      });
+        const std::size_t sec_off = row * symbol;
+        auto done = [&results, &latch, k](const io::Result& r) {
+          results[k] = r;
+          latch.done();
+        };
+        if (aligned) {
+          const std::size_t wlo = sec_off / block * block;
+          const std::size_t whi =
+              std::min(padded, (sec_off + symbol + block - 1) / block * block);
+          windows[k] = {wlo, whi - wlo};
+          window_leases[k] = buffers_->acquire();
+          engine_->read(fd, std::uint64_t{s} * padded + wlo,
+                        std::span(window_leases[k]->data, whi - wlo), std::move(done));
+        } else {
+          engine_->read(fd, std::uint64_t{s} * padded + sec_off,
+                        std::span(sectors.data() + k * symbol, symbol), std::move(done));
+        }
       }
       latch.wait();
     }
@@ -695,7 +821,12 @@ IoPipeline::Stats IoPipeline::read_range(const StripeStore& store,
     for (std::size_t k = 0; k < count; ++k) {
       const auto [row, dev] = pos[d_lo + k];
       st.bytes_read += results[k].bytes;
-      clean = clean && results[k].ok() && results[k].bytes == symbol &&
+      const std::size_t expected = aligned ? windows[k].second : symbol;
+      const bool got = results[k].ok() && results[k].bytes == expected;
+      if (got && aligned)
+        std::memcpy(sectors.data() + k * symbol,
+                    window_leases[k]->data + (row * symbol - windows[k].first), symbol);
+      clean = clean && got &&
               content_hash64(std::span<const std::uint8_t>(sectors.data() + k * symbol,
                                                            symbol)) ==
                   store.sector_checksum(s, dev, row);
@@ -711,7 +842,7 @@ IoPipeline::Stats IoPipeline::read_range(const StripeStore& store,
     // and decode only the wanted symbols — the backward slice that
     // build_degraded_read_schedule cuts from the full decode plan.
     ++st.degraded_stripes;
-    chunk_stage.assign(store.cfg.n * chunk_bytes, 0);
+    std::vector<IoBufferPool::Lease> chunk_leases(store.cfg.n);
     std::vector<io::Result> chunk_results(store.cfg.n);
     {
       CompletionLatch latch(store.cfg.n);
@@ -722,8 +853,9 @@ IoPipeline::Stats IoPipeline::read_range(const StripeStore& store,
           latch.done();
           continue;
         }
-        engine_->read(fd, std::uint64_t{s} * chunk_bytes,
-                      std::span(chunk_stage.data() + j * chunk_bytes, chunk_bytes),
+        chunk_leases[j] = buffers_->acquire();
+        engine_->read(fd, std::uint64_t{s} * padded,
+                      std::span(chunk_leases[j]->data, padded),
                       [&chunk_results, &latch, j](const io::Result& r) {
                         chunk_results[j] = r;
                         latch.done();
@@ -736,14 +868,15 @@ IoPipeline::Stats IoPipeline::read_range(const StripeStore& store,
       std::vector<bool> mask(store.cfg.r * store.cfg.n, false);
       for (std::size_t j = 0; j < store.cfg.n; ++j) {
         st.bytes_read += chunk_results[j].bytes;
-        if (!chunk_results[j].ok() || chunk_results[j].bytes != chunk_bytes) {
+        if (!chunk_leases[j] || !chunk_results[j].ok() ||
+            chunk_results[j].bytes != padded) {
           ++st.chunks_missing;
           for (std::size_t i = 0; i < store.cfg.r; ++i) mask[i * store.cfg.n + j] = true;
           continue;
         }
         for (std::size_t i = 0; i < store.cfg.r; ++i) {
           auto dst = buf.symbol(i, j);
-          std::memcpy(dst.data(), chunk_stage.data() + j * chunk_bytes + i * symbol, symbol);
+          std::memcpy(dst.data(), chunk_leases[j]->data + i * symbol, symbol);
           if (content_hash64(std::span<const std::uint8_t>(dst)) !=
               store.sector_checksum(s, j, i)) {
             ++st.sectors_corrupt;
@@ -816,7 +949,7 @@ void IoPipeline::decode_assemble(Run& run, SlotLease slot, std::size_t stripe) {
     bool degraded = false;
     for (std::size_t j = 0; j < cfg.n; ++j) {
       const io::Result& r = sl.results[j];
-      if (r.error != 0 || r.bytes != run.chunk_bytes) {
+      if (r.error != 0 || r.bytes != run.padded_chunk) {
         // The transfer itself failed (missing device, EIO, short chunk):
         // nothing in this chunk can be trusted — erase the whole column.
         run.missing.fetch_add(1, std::memory_order_relaxed);
@@ -829,7 +962,7 @@ void IoPipeline::decode_assemble(Run& run, SlotLease slot, std::size_t stripe) {
       // a scribbled-on chunk into a *sector* failure pattern for the code's
       // e coverage instead of burning one of its m device credits.
       for (std::size_t i = 0; i < cfg.r; ++i) {
-        std::memcpy(sl.buf->symbol(i, j).data(), sl.chunks[j].data() + i * run.symbol_bytes,
+        std::memcpy(sl.buf->symbol(i, j).data(), sl.chunks[j]->data + i * run.symbol_bytes,
                     run.symbol_bytes);
         if (content_hash64(sl.buf->symbol(i, j)) != run.store->sector_checksum(stripe, j, i)) {
           run.corrupt.fetch_add(1, std::memory_order_relaxed);

@@ -67,6 +67,12 @@ struct StripeStore {
   std::size_t symbol_bytes = 0;
   std::size_t file_size = 0;   // original file bytes (tail stripe is padded)
   std::size_t stripes = 0;
+  /// Layout block size: each stripe's chunk row is padded to a multiple of
+  /// this, so every chunk transfer is block-aligned in offset and length —
+  /// the alignment O_DIRECT demands, solved once in the layout instead of
+  /// per-IO. 1 = the legacy unpadded layout (manifests without a `block`
+  /// line load as 1, so old stores keep working byte-for-byte).
+  std::size_t block_bytes = 1;
   /// FNV over the per-stripe data checksums (8-byte LE each, stripe order) —
   /// order-independent to compute with stripes completing out of order.
   std::uint64_t data_checksum = 0;
@@ -78,6 +84,15 @@ struct StripeStore {
   std::vector<std::uint64_t> sector_checksums;
 
   std::size_t chunk_bytes() const { return cfg.r * symbol_bytes; }
+  /// chunk_bytes rounded up to the layout block — the on-disk stride and
+  /// transfer length for one stripe's chunk (pad bytes are written as zero).
+  std::size_t padded_chunk_bytes() const {
+    return (chunk_bytes() + block_bytes - 1) / block_bytes * block_bytes;
+  }
+  /// Byte offset of stripe `stripe`'s chunk within each device file.
+  std::uint64_t chunk_offset(std::size_t stripe) const {
+    return std::uint64_t{stripe} * padded_chunk_bytes();
+  }
   std::uint64_t sector_checksum(std::size_t stripe, std::size_t device,
                                 std::size_t row) const {
     return sector_checksums[(stripe * cfg.n + device) * cfg.r + row];
@@ -108,6 +123,21 @@ class IoPipeline {
     std::size_t symbol_bytes = 4096;
     /// Encoding method for encode_file.
     EncodingMethod method = EncodingMethod::kAuto;
+    /// Raw-device mode (STAIR_IO_DIRECT): encode pads the store layout to
+    /// `block_bytes` and chunk files are opened O_DIRECT; decode/read_range
+    /// open O_DIRECT whenever the store is padded. Filesystems that refuse
+    /// O_DIRECT fall back to buffered opens transparently (the padded
+    /// layout and aligned transfers are valid either way, so the store is
+    /// byte-identical across modes).
+    bool direct = io::direct_from_env();
+    /// Layout block for newly encoded stores when `direct` is set (the
+    /// device's logical block size; 4096 covers 512e/4Kn disks).
+    std::size_t block_bytes = 4096;
+    /// Lease chunk staging from a registered buffer pool and issue
+    /// READ_FIXED/WRITE_FIXED on engines that support registration (uring).
+    /// Engines that don't (or a failed registration) degrade to plain
+    /// transfers on the same aligned buffers.
+    bool fixed_buffers = true;
     /// IO engine to run on (borrowed; fault-injection tests pass a wrapped
     /// one). nullptr: the pipeline creates and owns one per `backend`.
     io::Engine* engine = nullptr;
@@ -170,6 +200,12 @@ class IoPipeline {
   /// Slot-pool high-water mark (== stripes concurrently in flight, settles
   /// at queue_depth).
   std::size_t slots_created() const { return slots_.created(); }
+  /// The aligned chunk-staging pool (nullptr until the first operation) —
+  /// exposed for tests asserting registration/overflow behavior.
+  const IoBufferPool* buffer_pool() const { return buffers_.get(); }
+  /// True while the staging pool is registered with the engine (fixed-path
+  /// transfers engaged).
+  bool fixed_buffers_active() const { return fixed_active_; }
 
  private:
   struct Slot;
@@ -177,8 +213,11 @@ class IoPipeline {
 
   using SlotLease = WorkspacePool<Slot>::Lease;
 
-  static void prepare_slot(Slot& slot, const StairCode& code, const Run& run,
-                           std::size_t devices);
+  /// (Re)builds the aligned staging pool for the given chunk geometry and
+  /// registers it with the engine when fixed_buffers is on.
+  void ensure_buffers(std::size_t bytes, std::size_t alignment, std::size_t capacity);
+  void prepare_slot(Slot& slot, const StairCode& code, const Run& run,
+                    std::size_t devices);
   SlotLease acquire_slot(Run& run);
   void retire_slot(Run& run);
   void fatal(Run& run, std::string message);
@@ -198,6 +237,8 @@ class IoPipeline {
   std::unique_ptr<io::Engine> owned_engine_;
   io::Engine* engine_;
   WorkspacePool<Slot> slots_;
+  std::unique_ptr<IoBufferPool> buffers_;  // chunk staging, see ensure_buffers
+  bool fixed_active_ = false;  // staging pool currently registered with engine_
 };
 
 }  // namespace stair

@@ -29,12 +29,19 @@ void ScrubReport::accumulate(const ScrubReport& p) {
 }
 
 /// One leased stripe slot: the StripeBuffer reconstruction happens in, plus
-/// chunk staging for reads and whole-chunk repair writes. Reused warm.
+/// aligned chunk staging leases for reads and whole-chunk repair writes.
+/// Reused warm — leases stick to the slot across stripes (prepare re-leases
+/// only on geometry change).
 struct Scrubber::Slot {
   std::optional<StripeBuffer> buf;
-  std::vector<std::vector<std::uint8_t>> chunks;
+  std::vector<IoBufferPool::Lease> chunks;
   std::vector<io::Result> results;
   std::vector<bool> mask;
+  /// Per-sector verdicts written by verify_chunk, one byte per sector at
+  /// [i * n + j] (bytes, not vector<bool>: concurrent verifiers write
+  /// disjoint columns, which packed bits cannot do safely). Published to the
+  /// assembling thread by the `pending` acq_rel countdown.
+  std::vector<std::uint8_t> sector_bad;
   std::atomic<std::size_t> pending{0};
 };
 
@@ -48,6 +55,10 @@ struct Scrubber::Pass {
   io::IoPhase read_phase = io::IoPhase::kScrub;
   std::size_t symbol_bytes = 0;
   std::size_t chunk_bytes = 0;
+  std::size_t padded_chunk = 0;  // on-disk stride/transfer length per chunk
+  /// Open mode for chunk reads and the rebuild target (whole aligned
+  /// transfers only). Sector-patch open_update fds stay buffered.
+  io::OpenMode dev_mode = io::OpenMode::kBuffered;
 
   std::vector<int> read_fds;   // -1: missing/skip (rebuild target)
   std::vector<int> write_fds;  // -2: not opened yet; guarded by fd_mu
@@ -176,24 +187,39 @@ ScrubReport Scrubber::run_pass(const std::string& store_dir,
   pass.read_phase = rebuild ? io::IoPhase::kRebuild : io::IoPhase::kScrub;
   pass.symbol_bytes = store.symbol_bytes;
   pass.chunk_bytes = store.chunk_bytes();
+  pass.padded_chunk = store.padded_chunk_bytes();
+  // Direct only engages on padded stores: a legacy (block 1) layout has no
+  // alignment to offer, so it always reads buffered regardless of the knob.
+  pass.dev_mode = options_.direct && store.block_bytes > 1 ? io::OpenMode::kDirect
+                                                          : io::OpenMode::kBuffered;
+  // One pass runs at a time per Scrubber, so swapping the staging pool at
+  // pass start is safe (outstanding leases pin the old backing store).
+  const std::size_t align = std::max<std::size_t>(store.block_bytes, 64);
+  if (!buffers_ || buffers_->buffer_bytes() < pass.padded_chunk ||
+      buffers_->alignment() != align)
+    buffers_ = std::make_unique<IoBufferPool>(
+        pass.padded_chunk, align, options_.stripes_in_flight * store.cfg.n);
   pass.read_fds.assign(store.cfg.n, -1);
   pass.write_fds.assign(store.cfg.n, -2);
   for (std::size_t j = 0; j < store.cfg.n; ++j) {
     if (rebuild && *rebuild == j) continue;  // target column is re-derived
-    pass.read_fds[j] = engine_->open_read(StripeStore::device_path(store_dir, j));
+    pass.read_fds[j] =
+        engine_->open_read(StripeStore::device_path(store_dir, j), pass.dev_mode);
   }
   if (rebuild) {
     // The target file is recreated from scratch (truncate): every chunk is
-    // about to be reconstructed and written back in stripe order.
-    pass.write_fds[*rebuild] =
-        engine_->open_write(StripeStore::device_path(store_dir, *rebuild));
+    // about to be reconstructed and written back in stripe order. It only
+    // ever takes whole padded-chunk writes from aligned staging, so it is
+    // direct-capable like the read side.
+    pass.write_fds[*rebuild] = engine_->open_write(
+        StripeStore::device_path(store_dir, *rebuild), pass.dev_mode);
     if (pass.write_fds[*rebuild] < 0)
       pass.fatal("cannot recreate " + StripeStore::device_path(store_dir, *rebuild));
   }
 
   for (std::size_t s = 0; s < store.stripes; ++s) {
     if (stop_.load(std::memory_order_relaxed) || pass.has_fatal()) break;
-    pace(pass, store.cfg.n * pass.chunk_bytes);
+    pace(pass, store.cfg.n * pass.padded_chunk);
     if (stop_.load(std::memory_order_relaxed)) break;
     scan_stripe(pass, s);
   }
@@ -248,8 +274,10 @@ void Scrubber::scan_stripe(Pass& pass, std::size_t stripe) {
   if (!slot->buf || slot->buf->symbol_size() != pass.symbol_bytes)
     slot->buf.emplace(codec_.code(), pass.symbol_bytes);
   slot->chunks.resize(cfg.n);
-  for (auto& c : slot->chunks) c.resize(pass.chunk_bytes);
+  for (auto& lease : slot->chunks)
+    if (!lease || lease->bytes < pass.padded_chunk) lease = buffers_->acquire();
   slot->results.assign(cfg.n, io::Result{});
+  slot->sector_bad.assign(cfg.r * cfg.n, 0);
   slot->pending.store(cfg.n, std::memory_order_relaxed);
   pass.scanned.fetch_add(1, std::memory_order_relaxed);
 
@@ -258,25 +286,50 @@ void Scrubber::scan_stripe(Pass& pass, std::size_t stripe) {
   for (std::size_t j = 0; j < cfg.n; ++j) {
     auto complete = [this, &pass, slot, stripe, j](const io::Result& r) mutable {
       slot->results[j] = r;  // devices are disjoint; countdown publishes
-      if (slot->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        // Verify (n*r checksum passes) is real work: bounce it onto the
-        // codec pool so engine completion threads keep completing IO.
-        codec_.pool().submit([this, &pass, slot = std::move(slot), stripe]() mutable {
-          verify_stripe(pass, std::move(slot), stripe);
-        });
-      }
+      // Verify (r checksum passes) is real work: bounce it onto the codec
+      // pool so engine completion threads keep completing IO. Per chunk, not
+      // per stripe — the bytes are hashed while they are still warm.
+      codec_.pool().submit([this, &pass, slot = std::move(slot), stripe, j]() mutable {
+        verify_chunk(pass, std::move(slot), stripe, j);
+      });
     };
     if (pass.read_fds[j] < 0) {
       complete(io::Result{ENOENT, 0});
     } else {
-      engine_->read(pass.read_fds[j], std::uint64_t{stripe} * pass.chunk_bytes,
-                    std::span(raw->chunks[j].data(), pass.chunk_bytes), complete);
+      engine_->read(pass.read_fds[j], pass.store->chunk_offset(stripe),
+                    std::span(raw->chunks[j]->data, pass.padded_chunk), complete);
     }
   }
 }
 
-void Scrubber::verify_stripe(Pass& pass, WorkspacePool<Slot>::Lease slot,
-                             std::size_t stripe) {
+void Scrubber::verify_chunk(Pass& pass, WorkspacePool<Slot>::Lease slot,
+                            std::size_t stripe, std::size_t device) {
+  Slot& sl = *slot;
+  const StairConfig& cfg = pass.store->cfg;
+  const std::size_t j = device;
+  const bool is_target = pass.rebuild && *pass.rebuild == j;
+  const io::Result& r = sl.results[j];
+  if (!is_target && r.error == 0 && r.bytes == pass.padded_chunk) {
+    const std::uint8_t* data = sl.chunks[j]->data;
+    for (std::size_t i = 0; i < cfg.r; ++i) {
+      std::span<const std::uint8_t> sec(data + i * pass.symbol_bytes, pass.symbol_bytes);
+      const bool bad =
+          content_hash64(sec) != pass.store->sector_checksum(stripe, j, i);
+      sl.sector_bad[i * cfg.n + j] = bad ? 1 : 0;
+      // When decode cannot run zero-copy over the staging (odd symbol
+      // size), rebuild stages surviving sectors into the stripe buffer
+      // here, warm — every rebuild stripe decodes. Scrub passes defer the
+      // copy to assemble_stripe, paying it only on the rare damaged stripe.
+      if (pass.rebuild && !bad && pass.symbol_bytes % 64 != 0)
+        std::memcpy(sl.buf->symbol(i, j).data(), sec.data(), pass.symbol_bytes);
+    }
+  }
+  if (sl.pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    assemble_stripe(pass, std::move(slot), stripe);
+}
+
+void Scrubber::assemble_stripe(Pass& pass, WorkspacePool<Slot>::Lease slot,
+                               std::size_t stripe) {
   try {
     const StairConfig& cfg = pass.store->cfg;
     Slot& sl = *slot;
@@ -286,7 +339,7 @@ void Scrubber::verify_stripe(Pass& pass, WorkspacePool<Slot>::Lease slot,
       const bool is_target = pass.rebuild && *pass.rebuild == j;
       const io::Result& r = sl.results[j];
       if (!is_target) pass.bytes_read.fetch_add(r.bytes, std::memory_order_relaxed);
-      if (is_target || r.error != 0 || r.bytes != pass.chunk_bytes) {
+      if (is_target || r.error != 0 || r.bytes != pass.padded_chunk) {
         for (std::size_t i = 0; i < cfg.r; ++i) sl.mask[i * cfg.n + j] = true;
         if (!is_target) {
           pass.missing.fetch_add(1, std::memory_order_relaxed);
@@ -295,10 +348,7 @@ void Scrubber::verify_stripe(Pass& pass, WorkspacePool<Slot>::Lease slot,
         continue;
       }
       for (std::size_t i = 0; i < cfg.r; ++i) {
-        std::memcpy(sl.buf->symbol(i, j).data(), sl.chunks[j].data() + i * pass.symbol_bytes,
-                    pass.symbol_bytes);
-        if (content_hash64(sl.buf->symbol(i, j)) !=
-            pass.store->sector_checksum(stripe, j, i)) {
+        if (sl.sector_bad[i * cfg.n + j]) {
           pass.corrupt.fetch_add(1, std::memory_order_relaxed);
           sl.mask[i * cfg.n + j] = true;
           damage = true;
@@ -317,11 +367,32 @@ void Scrubber::verify_stripe(Pass& pass, WorkspacePool<Slot>::Lease slot,
       pass.retire();
       return;
     }
-    Slot* raw = slot.get();
+    // Decode zero-copy where the layout allows it: surviving symbols are
+    // read straight out of the aligned staging leases (still warm from the
+    // hash pass) and only the reconstructed symbols land in the stripe
+    // buffer. The 64-byte guard keeps kernel and altmap regions on the
+    // alignment every other call site gives them; odd symbol sizes take the
+    // staging copy instead.
+    StripeView view = sl.buf->view();
+    const bool zero_copy = pass.symbol_bytes % 64 == 0;
+    for (std::size_t j = 0; j < cfg.n; ++j) {
+      const io::Result& r = sl.results[j];
+      if (r.error != 0 || r.bytes != pass.padded_chunk) continue;
+      if (pass.rebuild && *pass.rebuild == j) continue;
+      for (std::size_t i = 0; i < cfg.r; ++i) {
+        if (sl.mask[i * cfg.n + j]) continue;
+        if (zero_copy)
+          view.stored[i * cfg.n + j] =
+              std::span(sl.chunks[j]->data + i * pass.symbol_bytes, pass.symbol_bytes);
+        else if (!pass.rebuild)  // rebuild staged these warm in verify_chunk
+          std::memcpy(sl.buf->symbol(i, j).data(),
+                      sl.chunks[j]->data + i * pass.symbol_bytes, pass.symbol_bytes);
+      }
+    }
     own_jobs_.fetch_add(1, std::memory_order_relaxed);
     // The degraded read resolves through the session plan cache: a rebuild
     // (or a recurring corruption shape) pays one inversion for the epoch.
-    codec_.submit_decode(raw->buf->view(), sl.mask,
+    codec_.submit_decode(view, sl.mask,
                          [this, &pass, slot = std::move(slot), stripe](bool ok) mutable {
                            own_jobs_.fetch_sub(1, std::memory_order_relaxed);
                            if (!ok) {
@@ -385,17 +456,24 @@ void Scrubber::repair_stripe(Pass& pass, WorkspacePool<Slot>::Lease slot,
         continue;
       }
       if (masked == cfg.r) {
-        auto& chunk = sl.chunks[j];
+        // Whole chunk in one padded transfer from the aligned staging (pad
+        // tail zeroed — the store is byte-identical across modes), which is
+        // also what keeps the rebuild target's O_DIRECT fd happy.
+        IoBuffer& chunk = *sl.chunks[j];
         for (std::size_t i = 0; i < cfg.r; ++i)
-          std::memcpy(chunk.data() + i * pass.symbol_bytes, sl.buf->symbol(i, j).data(),
+          std::memcpy(chunk.data + i * pass.symbol_bytes, sl.buf->symbol(i, j).data(),
                       pass.symbol_bytes);
-        writes.push_back({fd, std::uint64_t{stripe} * pass.chunk_bytes,
-                          std::span<const std::uint8_t>(chunk), cfg.r});
+        if (pass.padded_chunk > pass.chunk_bytes)
+          std::memset(chunk.data + pass.chunk_bytes, 0,
+                      pass.padded_chunk - pass.chunk_bytes);
+        writes.push_back({fd, pass.store->chunk_offset(stripe),
+                          std::span<const std::uint8_t>(chunk.data, pass.padded_chunk),
+                          cfg.r});
       } else {
         for (std::size_t i = 0; i < cfg.r; ++i)
           if (sl.mask[i * cfg.n + j])
             writes.push_back({fd,
-                              std::uint64_t{stripe} * pass.chunk_bytes + i * pass.symbol_bytes,
+                              pass.store->chunk_offset(stripe) + i * pass.symbol_bytes,
                               std::span<const std::uint8_t>(sl.buf->symbol(i, j)), 1});
       }
     }

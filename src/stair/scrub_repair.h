@@ -79,6 +79,12 @@ struct ScrubOptions {
   std::function<bool()> hold;
   /// When false, scrub only detects and counts — no repair writes.
   bool repair = true;
+  /// Raw-device mode (STAIR_IO_DIRECT): chunk reads — and the rebuild
+  /// target's whole-chunk writes — go through O_DIRECT fds with aligned
+  /// leased staging whenever the store layout is padded (block > 1).
+  /// Sector-granular repair patches stay buffered: they are sub-block by
+  /// nature. Filesystems that refuse O_DIRECT fall back to buffered opens.
+  bool direct = io::direct_from_env();
   /// IO engine (borrowed — share the pipeline's to test phase-scoped fault
   /// plans); nullptr: the Scrubber creates and owns one per `backend`.
   io::Engine* engine = nullptr;
@@ -155,7 +161,15 @@ class Scrubber {
   ScrubReport run_pass(const std::string& store_dir,
                        std::optional<std::size_t> rebuild_device);
   void scan_stripe(Pass& pass, std::size_t stripe);
-  void verify_stripe(Pass& pass, WorkspacePool<Slot>::Lease slot, std::size_t stripe);
+  /// Hashes chunk `device` of `stripe` right after its read completes —
+  /// while the bytes are still warm in cache — recording per-sector verdicts
+  /// into the slot. The last chunk to finish runs assemble_stripe. (One
+  /// whole-stripe verify task after all n reads re-touches ~n chunks cold;
+  /// at depth > 1 those re-touches thrash and rebuild throughput *drops* as
+  /// stripes_in_flight rises. Per-chunk verify is the fix.)
+  void verify_chunk(Pass& pass, WorkspacePool<Slot>::Lease slot,
+                    std::size_t stripe, std::size_t device);
+  void assemble_stripe(Pass& pass, WorkspacePool<Slot>::Lease slot, std::size_t stripe);
   void repair_stripe(Pass& pass, WorkspacePool<Slot>::Lease slot, std::size_t stripe);
   void pace(Pass& pass, std::size_t bytes);
 
@@ -164,6 +178,11 @@ class Scrubber {
   std::unique_ptr<io::Engine> owned_engine_;
   io::Engine* engine_;
   WorkspacePool<Slot> slots_;
+  /// Aligned chunk staging (sized per pass). Deliberately NOT registered
+  /// with the engine: the engine holds one registered set and it belongs to
+  /// the foreground pipeline; scrub is a guest and takes plain transfers on
+  /// aligned buffers (O_DIRECT still works — alignment is what it needs).
+  std::unique_ptr<IoBufferPool> buffers_;
   /// This Scrubber's own decode jobs in flight — what the idle-slot gate
   /// subtracts from Codec::jobs_in_flight() to see *foreground* pressure.
   std::atomic<std::size_t> own_jobs_{0};

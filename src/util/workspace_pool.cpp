@@ -1,5 +1,8 @@
 #include "util/workspace_pool.h"
 
+#include <cstdlib>
+#include <new>
+
 namespace stair::detail {
 
 std::size_t PoolCore::acquire_locked() {
@@ -29,3 +32,77 @@ std::size_t PoolCore::in_use() const {
 }
 
 }  // namespace stair::detail
+
+namespace stair {
+
+namespace {
+
+std::size_t round_up(std::size_t v, std::size_t a) { return (v + a - 1) / a * a; }
+
+}  // namespace
+
+IoBufferPool::State::~State() {
+  for (auto& slot : slots) std::free(slot->data);
+}
+
+std::unique_ptr<IoBuffer> IoBufferPool::make_slot(int index) const {
+  // aligned_alloc requires size to be a multiple of alignment; bytes_ was
+  // rounded up in the constructor.
+  void* mem = std::aligned_alloc(alignment_, bytes_);
+  if (!mem) throw std::bad_alloc();
+  auto slot = std::make_unique<IoBuffer>();
+  slot->data = static_cast<std::uint8_t*>(mem);
+  slot->bytes = bytes_;
+  slot->index = index;
+  return slot;
+}
+
+IoBufferPool::IoBufferPool(std::size_t buffer_bytes, std::size_t alignment,
+                                     std::size_t registered_capacity)
+    : alignment_(alignment ? alignment : 1),
+      bytes_(round_up(buffer_bytes ? buffer_bytes : 1, alignment ? alignment : 1)),
+      capacity_(registered_capacity),
+      state_(std::make_shared<State>()) {
+  // Pre-create the registrable set so regions() is stable for the engine's
+  // one-shot IORING_REGISTER_BUFFERS call, then park every slot on the
+  // free-list.
+  {
+    auto lock = state_->core.lock();
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      state_->slots.push_back(make_slot(static_cast<int>(i)));
+      state_->core.register_locked();
+    }
+  }
+  for (std::size_t i = 0; i < capacity_; ++i) state_->core.release(i);
+}
+
+IoBufferPool::Lease IoBufferPool::acquire() {
+  std::shared_ptr<State> state = state_;
+  IoBuffer* buf = nullptr;
+  std::size_t slot;
+  {
+    auto lock = state->core.lock();
+    slot = state->core.acquire_locked();
+    if (slot == detail::PoolCore::kGrow) {
+      // Registered set exhausted: overflow buffers are still aligned (so
+      // O_DIRECT keeps working) but carry index -1, downgrading their
+      // transfers to the unregistered path — counted, never an error.
+      state->slots.push_back(make_slot(-1));
+      slot = state->core.register_locked();
+      overflow_.fetch_add(1, std::memory_order_relaxed);
+    }
+    buf = state->slots[slot].get();
+  }
+  // The deleter keeps the whole backing store alive (see WorkspacePool).
+  return Lease(buf, [state, slot](IoBuffer*) { state->core.release(slot); });
+}
+
+std::vector<std::span<std::uint8_t>> IoBufferPool::regions() const {
+  std::vector<std::span<std::uint8_t>> out;
+  out.reserve(capacity_);
+  auto lock = state_->core.lock();  // slots may grow concurrently (overflow)
+  for (std::size_t i = 0; i < capacity_; ++i) out.push_back(state_->slots[i]->span());
+  return out;
+}
+
+}  // namespace stair

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
 namespace stair {
@@ -114,6 +115,77 @@ class WorkspacePool {
     std::vector<std::unique_ptr<T>> slots;
   };
 
+  std::shared_ptr<State> state_;
+};
+
+/// One fixed-size buffer leased from an IoBufferPool. `index` is the
+/// buffer's position in the pool's registrable set — the value to pass as
+/// buf_index to io::Engine::read_fixed/write_fixed — or -1 for overflow
+/// buffers allocated past the registered capacity (still aligned, so
+/// O_DIRECT transfers keep working; they just take the unregistered path).
+struct IoBuffer {
+  std::uint8_t* data = nullptr;
+  std::size_t bytes = 0;
+  int index = -1;
+
+  std::span<std::uint8_t> span() { return {data, bytes}; }
+  std::span<std::uint8_t> span(std::size_t n) { return {data, n}; }
+};
+
+/// WorkspacePool specialized for raw-device IO staging: every buffer is
+/// allocated at a caller-chosen alignment (the device's logical block size,
+/// so O_DIRECT accepts it) and the first `registered_capacity` buffers form
+/// a stable set the IO engine can pin once via register_buffers(regions()).
+/// acquire() never blocks: past the registered capacity it hands out aligned
+/// overflow buffers with index -1 (counted in overflow_allocs()), which
+/// degrade to unregistered transfers — backpressure stays the pipeline's
+/// job, registration stays an optimization.
+class IoBufferPool {
+ public:
+  using Lease = std::shared_ptr<IoBuffer>;
+
+  /// Buffers are `buffer_bytes` rounded up to `alignment`; the registrable
+  /// set is allocated eagerly so regions() is stable from construction.
+  IoBufferPool(std::size_t buffer_bytes, std::size_t alignment,
+                    std::size_t registered_capacity);
+
+  /// Leases a buffer (warmest first). Contents are NOT cleared between
+  /// leases, like WorkspacePool.
+  Lease acquire();
+
+  /// The registrable set, in index order — the argument for
+  /// io::Engine::register_buffers. Stable for the pool's lifetime.
+  std::vector<std::span<std::uint8_t>> regions() const;
+
+  std::size_t buffer_bytes() const { return bytes_; }
+  std::size_t alignment() const { return alignment_; }
+  std::size_t registered_capacity() const { return capacity_; }
+  /// Acquires that outran the registered set and allocated an index -1 slot.
+  std::uint64_t overflow_allocs() const {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t created() const { return state_->core.created(); }
+  std::uint64_t acquired() const { return state_->core.acquired(); }
+  std::uint64_t reused() const { return state_->core.reused(); }
+  std::size_t in_use() const { return state_->core.in_use(); }
+
+ private:
+  struct State {
+    detail::PoolCore core;
+    // unique_ptr targets keep IoBuffer addresses stable while the
+    // vector grows under the core lock; `data` allocations are owned here
+    // and freed when the last lease releases the State.
+    std::vector<std::unique_ptr<IoBuffer>> slots;
+    ~State();
+  };
+
+  std::unique_ptr<IoBuffer> make_slot(int index) const;
+
+  std::size_t alignment_ = 1;
+  std::size_t bytes_ = 0;
+  std::size_t capacity_ = 0;
+  std::atomic<std::uint64_t> overflow_{0};
   std::shared_ptr<State> state_;
 };
 

@@ -202,12 +202,14 @@ TEST(IoPipelineFaults, SectorOnlyPatterns) {
     const auto data = encode_store(dir, c, 120 * 1000, 12);
     // Per stripe 0 and 1: chunk of device k+1 gets exactly e[k] corrupt
     // sectors — the maximal sector-only pattern the coverage vector admits.
-    const std::size_t chunk_bytes = c.cfg.r * c.symbol;
+    // Offsets come from the manifest: the chunk stride is padded when the
+    // store was encoded in direct mode.
+    const auto store = StripeStore::load((dir.path / "store").string());
     std::size_t expect_corrupt = 0;
     for (std::size_t s = 0; s < 2; ++s)
       for (std::size_t k = 0; k < c.cfg.e.size(); ++k)
         for (std::size_t i = 0; i < c.cfg.e[k]; ++i) {
-          flip_bytes(dev_path(dir, k + 1), s * chunk_bytes + i * c.symbol, 64);
+          flip_bytes(dev_path(dir, k + 1), store.chunk_offset(s) + i * c.symbol, 64);
           ++expect_corrupt;
         }
     const auto dec = decode_store(dir, c);
@@ -227,11 +229,11 @@ TEST(IoPipelineFaults, MixedDeviceAndSectorPatterns) {
     // devices — the exact worst case the STAIR construction guarantees.
     for (std::size_t j = 0; j < c.cfg.m; ++j)
       ASSERT_TRUE(fs::remove(dev_path(dir, j)));
-    const std::size_t chunk_bytes = c.cfg.r * c.symbol;
+    const auto store = StripeStore::load((dir.path / "store").string());
     for (std::size_t s = 0; s < 2; ++s)
       for (std::size_t k = 0; k < c.cfg.e.size(); ++k)
         for (std::size_t i = 0; i < c.cfg.e[k]; ++i)
-          flip_bytes(dev_path(dir, c.cfg.m + k), s * chunk_bytes + i * c.symbol, 32);
+          flip_bytes(dev_path(dir, c.cfg.m + k), store.chunk_offset(s) + i * c.symbol, 32);
     const auto dec = decode_store(dir, c);
     EXPECT_TRUE(dec.ok) << dec.error;
     EXPECT_EQ(dec.degraded_stripes, dec.stripes);
@@ -246,15 +248,15 @@ TEST(IoPipelineFaults, EioChunkReadActsAsDeviceLossForItsStripe) {
   const StoreCase c = fault_cases()[1];
   TempDir dir("eio");
   const auto data = encode_store(dir, c, 100 * 1000, 14);
-  const std::size_t chunk_bytes = c.cfg.r * c.symbol;
+  const auto store = StripeStore::load((dir.path / "store").string());
 
   auto injected = std::make_unique<io::FaultInjectingEngine>(
       io::Engine::create(io::Backend::kThreads));
   // Chunk (stripe 1, device 3) dies with EIO; stripe 0/2... stay clean.
   injected->add_fault({.kind = io::Fault::Kind::kReadError,
                        .file = "dev_03.bin",
-                       .offset = 1 * chunk_bytes,
-                       .length = chunk_bytes});
+                       .offset = store.chunk_offset(1),
+                       .length = store.padded_chunk_bytes()});
   const auto dec = decode_store(dir, c, {.engine = injected.get()});
   EXPECT_TRUE(dec.ok) << dec.error;
   EXPECT_EQ(dec.degraded_stripes, 1u);
@@ -267,15 +269,15 @@ TEST(IoPipelineFaults, ShortChunkReadActsAsDeviceLossForItsStripe) {
   const StoreCase c = fault_cases()[0];
   TempDir dir("short");
   const auto data = encode_store(dir, c, 90 * 1000, 15);
-  const std::size_t chunk_bytes = c.cfg.r * c.symbol;
+  const auto store = StripeStore::load((dir.path / "store").string());
 
   auto injected = std::make_unique<io::FaultInjectingEngine>(
       io::Engine::create(io::Backend::kThreads));
   injected->add_fault({.kind = io::Fault::Kind::kShortRead,
                        .file = "dev_02.bin",
                        .offset = 0,
-                       .length = chunk_bytes,
-                       .keep_bytes = chunk_bytes / 2});
+                       .length = store.padded_chunk_bytes(),
+                       .keep_bytes = store.padded_chunk_bytes() / 2});
   const auto dec = decode_store(dir, c, {.engine = injected.get()});
   EXPECT_TRUE(dec.ok) << dec.error;
   EXPECT_EQ(dec.degraded_stripes, 1u);
@@ -351,14 +353,14 @@ TEST(IoPipelineFaults, UnrecoverableSectorPatternFailsOnlyItsStripe) {
   const StoreCase c = fault_cases()[0];  // m=1, e={1,2}
   TempDir dir("unrec_sector");
   const auto data = encode_store(dir, c, 100 * 1000, 19);
-  const std::size_t chunk_bytes = c.cfg.r * c.symbol;
+  const auto store = StripeStore::load((dir.path / "store").string());
   // Stripe 1: corrupt the SAME row in m + m' + 1 = 4 distinct chunks — one
   // row with 4 erasures exceeds the row code's m + m' budget, and as chunk
   // errors {1,1,1,1} it cannot fit m plus e = {1,2} either. Self-check the
   // pattern is really outside the guarantee before asserting on the stats.
   std::vector<bool> stripe_mask(c.cfg.r * c.cfg.n, false);
   for (std::size_t j = 0; j < 4; ++j) {
-    flip_bytes(dev_path(dir, j), 1 * chunk_bytes + 0 * c.symbol, 16);
+    flip_bytes(dev_path(dir, j), store.chunk_offset(1) + 0 * c.symbol, 16);
     stripe_mask[0 * c.cfg.n + j] = true;
   }
   ASSERT_FALSE(StairCode(c.cfg).is_recoverable(stripe_mask));
@@ -636,11 +638,17 @@ TEST(IoPipelineRangedRead, ByteExactAcrossOffsetsAndBoundaries) {
     EXPECT_TRUE(std::equal(out.begin(), out.end(), data.begin() + w.offset));
   }
 
-  // Sector-granular promise: a one-byte read costs one sector, not a stripe.
+  // Sector-granular promise: a one-byte read costs one sector, not a stripe
+  // — in aligned (direct) mode, the sector's block-rounded window.
   std::vector<std::uint8_t> one(1);
   const auto st = pipeline.read_range(store, (dir.path / "store").string(), 0, one);
   ASSERT_TRUE(st.ok) << st.error;
-  EXPECT_EQ(st.bytes_read, c.symbol);
+  std::size_t expect_read = c.symbol;
+  if (io::direct_from_env() && store.block_bytes > 1)
+    expect_read = std::min(store.padded_chunk_bytes(),
+                           (c.symbol + store.block_bytes - 1) / store.block_bytes *
+                               store.block_bytes);
+  EXPECT_EQ(st.bytes_read, expect_read);
 }
 
 TEST(IoPipelineRangedRead, OutOfBoundsRangeFailsCleanly) {
@@ -684,6 +692,144 @@ TEST(IoPipelineRangedRead, DegradedRangesServedByteExact) {
         EXPECT_TRUE(std::equal(out.begin(), out.end(), data.begin() + offset));
       }
     }
+  }
+}
+
+// --- raw-device layout edge cases -------------------------------------------
+
+// Symbol sizes with no alignment to speak of (1000 = 8·125, not sector-sized)
+// force the padded layout to earn its keep: chunk rows of 4000 bytes pad to
+// 4096, every transfer is still block-aligned, and the tail sectors of a
+// non-multiple input survive the round trip. Also the odd-symbol fallback for
+// the zero-copy scrub path, so both pipelines see this shape.
+TEST(RawDeviceLayout, OddSymbolSizesAndTailSectorsRoundTrip) {
+  const StoreCase c{{.n = 6, .r = 4, .m = 1, .e = {1, 2}, .w = 8}, 1000};
+  const std::size_t bytes = 37 * 1000 + 123;  // ragged tail in the last stripe
+  for (io::Backend iob : io_backends()) {
+    SCOPED_TRACE(io::backend_name(iob));
+    TempDir dir("oddsym");
+    const auto data = encode_store(dir, c, bytes, 41,
+                                   {.direct = true, .backend = iob});
+
+    const auto store = StripeStore::load((dir.path / "store").string());
+    EXPECT_EQ(store.block_bytes, 4096u);
+    EXPECT_EQ(store.chunk_bytes(), 4000u);
+    EXPECT_EQ(store.padded_chunk_bytes(), 4096u);
+    // Device files are padded-stride long, not chunk-stride long.
+    EXPECT_EQ(fs::file_size(dev_path(dir, 0)),
+              store.stripes * store.padded_chunk_bytes());
+
+    const auto dec = decode_store(dir, c, {.direct = true, .backend = iob});
+    ASSERT_TRUE(dec.ok) << dec.error;
+    EXPECT_EQ(read_all(dir.path / "output.bin"), data);
+
+    // Tail sectors through the ranged path: the last 100 bytes live in a
+    // partially-filled final stripe whose aligned read window is clamped to
+    // the padded chunk.
+    Codec codec(c.cfg);
+    IoPipeline pipeline(codec, {.symbol_bytes = c.symbol, .direct = true,
+                                .backend = iob});
+    std::vector<std::uint8_t> out(100);
+    const auto st =
+        pipeline.read_range((dir.path / "store").string(), bytes - 100, out);
+    ASSERT_TRUE(st.ok) << st.error;
+    EXPECT_TRUE(std::equal(out.begin(), out.end(), data.end() - 100));
+  }
+}
+
+// Stores written before the layout carried a block size have no `block`
+// manifest line; they must load as block 1 (unpadded) and decode byte-exact.
+TEST(RawDeviceLayout, LegacyManifestWithoutBlockLineLoadsUnpadded) {
+  const StoreCase c = fault_cases()[0];
+  TempDir dir("legacy");
+  const auto data = encode_store(dir, c, 30 * 1000, 42, {.direct = false});
+
+  // A buffered-mode store is unpadded, so dropping the line leaves a valid
+  // pre-raw-IO manifest rather than a lying one.
+  patch_manifest(dir, "\nblock 1", "");
+  const auto store = StripeStore::load((dir.path / "store").string());
+  EXPECT_EQ(store.block_bytes, 1u);
+  EXPECT_EQ(store.padded_chunk_bytes(), store.chunk_bytes());
+
+  // Decoding with direct *requested* must not try to impose the padded
+  // layout on a legacy store — block 1 keeps every open buffered.
+  const auto dec = decode_store(dir, c, {.direct = true});
+  ASSERT_TRUE(dec.ok) << dec.error;
+  EXPECT_EQ(read_all(dir.path / "output.bin"), data);
+}
+
+// A filesystem that refuses O_DIRECT must not change a single stored byte:
+// the layout follows the *request*, the opens quietly fall back to buffered.
+// FaultInjectingEngine::set_reject_direct is the deterministic stand-in for
+// such a filesystem (tmpfs on modern kernels accepts O_DIRECT).
+TEST(RawDeviceLayout, RejectedDirectFallsBackToBufferedByteIdentically) {
+  const StoreCase c = fault_cases()[1];
+  for (io::Backend iob : io_backends()) {
+    SCOPED_TRACE(io::backend_name(iob));
+    TempDir dir_direct("rejdir_a");
+    TempDir dir_reject("rejdir_b");
+
+    encode_store(dir_direct, c, 60 * 1000, 43, {.direct = true, .backend = iob});
+
+    auto injected = std::make_unique<io::FaultInjectingEngine>(
+        io::Engine::create(iob, {}));
+    injected->set_reject_direct(true);
+    encode_store(dir_reject, c, 60 * 1000, 43,
+                 {.direct = true, .engine = injected.get()});
+    EXPECT_EQ(injected->stats().direct_opens, 0u)
+        << "reject_direct must keep O_DIRECT away from the inner engine";
+
+    for (std::size_t j = 0; j < c.cfg.n; ++j)
+      EXPECT_EQ(read_all(dev_path(dir_reject, j)), read_all(dev_path(dir_direct, j)))
+          << "device " << j;
+    EXPECT_EQ(read_all(dir_reject.path / "store" / "manifest.txt"),
+              read_all(dir_direct.path / "store" / "manifest.txt"));
+
+    // And the fallback store decodes like any other.
+    const auto dec = decode_store(dir_reject, c, {.engine = injected.get()});
+    ASSERT_TRUE(dec.ok) << dec.error;
+  }
+}
+
+// fixed_buffers off vs on is a pure transport switch: same bytes on disk,
+// different submission path. On uring the fixed path must actually engage
+// (fixed ops counted, zero fallbacks) when the registered pool covers the
+// ring; with registration disabled every transfer is a counted fallback.
+TEST(RawDeviceLayout, FixedBufferSwitchIsByteIdenticalAndObservable) {
+  const StoreCase c = fault_cases()[0];
+  for (io::Backend iob : io_backends()) {
+    SCOPED_TRACE(io::backend_name(iob));
+    TempDir dir_fixed("fixed_a");
+    TempDir dir_plain("fixed_b");
+
+    Codec codec(c.cfg);
+    IoPipeline fixed_pipe(codec, {.symbol_bytes = c.symbol, .direct = true,
+                                  .fixed_buffers = true, .backend = iob});
+    IoPipeline plain_pipe(codec, {.symbol_bytes = c.symbol, .direct = true,
+                                  .fixed_buffers = false, .backend = iob});
+
+    const auto input_a = write_random_file(dir_fixed.path / "input.bin", 50 * 1000, 44);
+    const auto input_b = write_random_file(dir_plain.path / "input.bin", 50 * 1000, 44);
+    ASSERT_EQ(input_a, input_b);
+    ASSERT_TRUE(fixed_pipe.encode_file((dir_fixed.path / "input.bin").string(),
+                                       (dir_fixed.path / "store").string()).ok);
+    ASSERT_TRUE(plain_pipe.encode_file((dir_plain.path / "input.bin").string(),
+                                       (dir_plain.path / "store").string()).ok);
+
+    for (std::size_t j = 0; j < c.cfg.n; ++j)
+      EXPECT_EQ(read_all(StripeStore::device_path((dir_fixed.path / "store").string(), j)),
+                read_all(StripeStore::device_path((dir_plain.path / "store").string(), j)))
+          << "device " << j;
+
+    const auto fixed_stats = fixed_pipe.engine().stats();
+    const auto plain_stats = plain_pipe.engine().stats();
+    if (iob == io::Backend::kUring) {
+      EXPECT_TRUE(fixed_pipe.fixed_buffers_active());
+      EXPECT_GT(fixed_stats.fixed_writes, 0u);
+      EXPECT_EQ(fixed_stats.fixed_fallbacks, 0u);
+    }
+    EXPECT_FALSE(plain_pipe.fixed_buffers_active());
+    EXPECT_EQ(plain_stats.fixed_writes, 0u);
   }
 }
 

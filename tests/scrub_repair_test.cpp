@@ -173,9 +173,10 @@ TEST(ScrubRepairTest, RepairsFlippedSectorsByteIdentically) {
 
         // In-coverage damage: one sector on one device, two on another
         // stripe's other device (every case has e_max >= 2 and m >= 1).
-        const std::size_t chunk = c.cfg.r * c.symbol;
-        flip_bytes(dev_path(dir, 1), 0 * chunk + 0 * c.symbol, c.symbol);
-        flip_bytes(dev_path(dir, 3), 1 * chunk + 2 * c.symbol, 32);
+        // Stride from the manifest: padded when the store is direct-mode.
+        const auto store = StripeStore::load(store_dir(dir));
+        flip_bytes(dev_path(dir, 1), store.chunk_offset(0) + 0 * c.symbol, c.symbol);
+        flip_bytes(dev_path(dir, 3), store.chunk_offset(1) + 2 * c.symbol, 32);
 
         Codec codec(c.cfg);
         Scrubber scrubber(codec, {.backend = backend});
@@ -247,11 +248,11 @@ TEST(ScrubRepairTest, DamageBeyondCoverageCountedNotRepaired) {
 
   // Stripe 0: damage on 4 devices — beyond m=1 devices + m'=2 sector
   // columns. Stripe 1: one in-coverage sector, which must still be fixed.
-  const std::size_t chunk = c.cfg.r * c.symbol;
+  const auto store = StripeStore::load(store_dir(dir));
   for (std::size_t j = 0; j < 4; ++j)
     for (std::size_t i = 0; i < c.cfg.r; ++i)
       flip_bytes(dev_path(dir, j), i * c.symbol, 16);
-  flip_bytes(dev_path(dir, 5), chunk, c.symbol);
+  flip_bytes(dev_path(dir, 5), store.chunk_offset(1), c.symbol);
 
   Codec codec(c.cfg);
   Scrubber scrubber(codec, {});
@@ -602,9 +603,9 @@ TEST(ScrubRepairTest, RepairRacesScrubOnTheSameStore) {
   TempDir dir("race_repair");
   encode_store(dir, c, 64 * 1024, 60);
   const auto clean = device_contents(dir, c.cfg.n);
-  const std::size_t chunk = c.cfg.r * c.symbol;
+  const auto store = StripeStore::load(store_dir(dir));
   flip_bytes(dev_path(dir, 2), 0, c.symbol);
-  flip_bytes(dev_path(dir, 5), chunk + c.symbol, 48);
+  flip_bytes(dev_path(dir, 5), store.chunk_offset(1) + c.symbol, 48);
 
   // Two scrubbers, one repairing and one scanning, race over the same
   // store. Repair writes are manifest-proven bytes, so the worst the

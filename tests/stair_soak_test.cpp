@@ -240,8 +240,10 @@ TEST(StairSoak, ScrubRepairSweep) {
 
     // Per-stripe random in-coverage damage, applied straight to the device
     // files (mask index row * n + device == the stored sector at that row).
+    // Offsets come from the loaded manifest, not r * symbol arithmetic:
+    // under STAIR_IO_DIRECT=1 the chunk rows are block-padded.
     std::size_t damaged = 0;
-    const std::size_t chunk_bytes = cfg.r * symbol;
+    const auto store = StripeStore::load((dir / "store").string());
     for (std::size_t s = 0; s < stripes; ++s) {
       const auto mask = random_recoverable_mask(cfg, rng);
       ASSERT_TRUE(code.is_recoverable(mask));
@@ -252,7 +254,7 @@ TEST(StairSoak, ScrubRepairSweep) {
           std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
           ASSERT_TRUE(f) << path;
           const std::streamoff at =
-              static_cast<std::streamoff>(s * chunk_bytes + i * symbol);
+              static_cast<std::streamoff>(store.chunk_offset(s) + i * symbol);
           char buf[16];
           f.seekg(at).read(buf, sizeof buf);
           for (char& ch : buf) ch = static_cast<char>(ch ^ 0xA5);

@@ -1,14 +1,18 @@
 // Utility tests: RNG determinism and distribution sanity, aligned buffers,
-// and the table printer the benchmark binaries rely on.
+// the IO buffer pool's registered/overflow lease discipline, and the table
+// printer the benchmark binaries rely on.
 
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "util/buffer.h"
 #include "util/rng.h"
 #include "util/table.h"
+#include "util/workspace_pool.h"
 
 namespace stair {
 namespace {
@@ -122,6 +126,55 @@ TEST(TablePrinterTest, CsvOutput) {
   std::ostringstream os;
   t.print_csv(os);
   EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(IoBufferPoolTest, RegisteredSetIsAlignedStableAndIndexed) {
+  IoBufferPool pool(1000, 4096, 3);  // bytes round up to the alignment
+  EXPECT_EQ(pool.buffer_bytes(), 4096u);
+  EXPECT_EQ(pool.registered_capacity(), 3u);
+
+  const auto regions = pool.regions();
+  ASSERT_EQ(regions.size(), 3u);
+  for (const auto& r : regions) {
+    EXPECT_EQ(r.size(), 4096u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(r.data()) % 4096, 0u);
+  }
+
+  // Leases drain the registered set first; each carries its stable index and
+  // points into the region registered under that index.
+  std::vector<IoBufferPool::Lease> leases;
+  std::vector<bool> seen(3, false);
+  for (int i = 0; i < 3; ++i) {
+    auto l = pool.acquire();
+    ASSERT_GE(l->index, 0);
+    ASSERT_LT(l->index, 3);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(l->index)]) << "index handed out twice";
+    seen[static_cast<std::size_t>(l->index)] = true;
+    EXPECT_EQ(l->data, regions[static_cast<std::size_t>(l->index)].data());
+    leases.push_back(std::move(l));
+  }
+  // regions() must not move while leases are live (the engine pinned them).
+  const auto again = pool.regions();
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(again[i].data(), regions[i].data());
+  EXPECT_EQ(pool.overflow_allocs(), 0u);
+}
+
+TEST(IoBufferPoolTest, ExhaustionOverflowsToUnregisteredLeases) {
+  IoBufferPool pool(512, 512, 2);
+  auto a = pool.acquire();
+  auto b = pool.acquire();
+  auto c = pool.acquire();  // outran the registered set
+  EXPECT_EQ(c->index, -1);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c->data) % 512, 0u);
+  EXPECT_EQ(pool.overflow_allocs(), 1u);
+  EXPECT_EQ(pool.in_use(), 3u);
+
+  // Released registered slots come back before new overflow is minted.
+  const int freed = a->index;
+  a.reset();
+  auto d = pool.acquire();
+  EXPECT_EQ(d->index, freed);
+  EXPECT_EQ(pool.overflow_allocs(), 1u);
 }
 
 TEST(FormatSigTest, Formats) {
