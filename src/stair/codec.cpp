@@ -203,7 +203,9 @@ Codec::Handle Codec::launch(const std::shared_ptr<CodecJob>& job, std::size_t su
       // the jobs_open_ decrement: wait_all() returning implies every
       // continuation has finished.
       if (job->then) job->then(job->ok && !job->error);
-      jobs_completed_.fetch_add(1, std::memory_order_relaxed);
+      // Release pairs with the acquire load in jobs_in_flight(): observers
+      // that see this completion also see the submission it retires.
+      jobs_completed_.fetch_add(1, std::memory_order_release);
       {
         // Notify under the lock: once jobs_open_ hits 0 a waiter may return
         // from wait_all and destroy the Codec, so the cv access must be
@@ -254,7 +256,7 @@ Codec::Handle Codec::submit_decode(const StripeView& stripe, const std::vector<b
     job->ok = false;
     job->done.store(true, std::memory_order_release);
     jobs_submitted_.fetch_add(1, std::memory_order_relaxed);
-    jobs_completed_.fetch_add(1, std::memory_order_relaxed);
+    jobs_completed_.fetch_add(1, std::memory_order_release);
     if (then) then(false);
     return Handle(job);
   }
@@ -331,8 +333,16 @@ void Codec::wait_all() {
 }
 
 std::size_t Codec::jobs_in_flight() const {
-  return static_cast<std::size_t>(jobs_submitted_.load(std::memory_order_relaxed) -
-                                  jobs_completed_.load(std::memory_order_relaxed));
+  // Load order matters: every completed increment (release) is preceded —
+  // through the pool-queue handoff — by its job's submitted increment, so an
+  // acquire load of `completed` guarantees the subsequent `submitted` read
+  // covers at least those jobs. Reading submitted first (or both relaxed)
+  // lets a racing observer see a completion before its submission and the
+  // difference transiently underflow to a huge value — which the scrubber's
+  // idle-slot gate would misread as unbounded foreground pressure.
+  const std::uint64_t completed = jobs_completed_.load(std::memory_order_acquire);
+  const std::uint64_t submitted = jobs_submitted_.load(std::memory_order_relaxed);
+  return static_cast<std::size_t>(submitted - completed);
 }
 
 // --- Handle -----------------------------------------------------------------

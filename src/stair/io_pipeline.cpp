@@ -46,12 +46,8 @@ std::uint64_t content_hash64(std::span<const std::uint8_t> bytes) {
   return h ^ (h >> 29);
 }
 
-namespace {
-
-/// Hash over a sequence of 64-bit hashes (8-byte LE each, in order): the
-/// per-stripe data hash folds its data sectors' hashes, the whole-file check
-/// folds the per-stripe hashes. Stripes retire out of order; this stays
-/// deterministic and never rereads content bytes.
+// Stripes retire out of order; folding their already-computed hashes in
+// index order stays deterministic and never rereads content bytes.
 std::uint64_t combine_hashes(std::span<const std::uint64_t> hashes) {
   std::vector<std::uint8_t> bytes;
   bytes.reserve(hashes.size() * 8);
@@ -59,8 +55,6 @@ std::uint64_t combine_hashes(std::span<const std::uint64_t> hashes) {
     for (int i = 0; i < 8; ++i) bytes.push_back(static_cast<std::uint8_t>(h >> (8 * i)));
   return content_hash64(bytes);
 }
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // StripeStore

@@ -60,6 +60,14 @@ std::vector<std::size_t> parse_coverage_list(const std::string& text);
 /// torn-write/bit-rot detection, not a cryptographic integrity layer.
 std::uint64_t content_hash64(std::span<const std::uint8_t> bytes);
 
+/// Fold of a sequence of 64-bit hashes (hashed as 8-byte LE words in
+/// sequence order): the per-stripe data hash folds its data sectors' hashes,
+/// the manifest's data_checksum folds the per-stripe hashes. Exposed so a
+/// layer that rewrites stripes in place (the StorageNode write path) can
+/// refresh the whole-file fold from the manifest's sector checksums without
+/// re-reading content bytes.
+std::uint64_t combine_hashes(std::span<const std::uint64_t> hashes);
+
 /// The on-disk stripe store: per-device chunk files plus the manifest that
 /// decode needs (config, geometry, per-sector checksums, whole-file check).
 struct StripeStore {

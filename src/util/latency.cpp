@@ -1,0 +1,147 @@
+#include "util/latency.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <thread>
+
+namespace stair {
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t nanos) {
+  if ((nanos >> kSubBits) == 0) return static_cast<std::size_t>(nanos);
+  const int exp = std::bit_width(nanos) - 1 - kSubBits;
+  return (static_cast<std::size_t>(exp) + 1) * kSubBuckets +
+         static_cast<std::size_t>((nanos >> exp) - kSubBuckets);
+}
+
+std::uint64_t LatencyHistogram::bucket_lower(std::size_t index) {
+  const std::size_t octave = index / kSubBuckets;
+  const std::uint64_t sub = index % kSubBuckets;
+  if (octave == 0) return sub;
+  return (sub + kSubBuckets) << (octave - 1);
+}
+
+std::uint64_t LatencyHistogram::bucket_upper(std::size_t index) {
+  const std::size_t octave = index / kSubBuckets;
+  if (octave == 0) return index;
+  return bucket_lower(index) + ((std::uint64_t{1} << (octave - 1)) - 1);
+}
+
+void LatencyHistogram::record(std::uint64_t nanos) {
+  ++counts_[bucket_index(nanos)];
+  ++count_;
+  sum_ += nanos;
+}
+
+void LatencyHistogram::record_seconds(double seconds) {
+  if (seconds <= 0) {
+    record(0);
+    return;
+  }
+  record(static_cast<std::uint64_t>(std::llround(seconds * 1e9)));
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBucketCount; ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LatencyHistogram::clear() {
+  counts_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+}
+
+double LatencyHistogram::mean_nanos() const {
+  return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+}
+
+std::uint64_t LatencyHistogram::min_nanos() const {
+  for (std::size_t i = 0; i < kBucketCount; ++i)
+    if (counts_[i]) return bucket_lower(i);
+  return 0;
+}
+
+std::uint64_t LatencyHistogram::max_nanos() const {
+  for (std::size_t i = kBucketCount; i-- > 0;)
+    if (counts_[i]) return bucket_upper(i);
+  return 0;
+}
+
+std::uint64_t LatencyHistogram::percentile_nanos(double pct) const {
+  if (count_ == 0) return 0;
+  pct = std::clamp(pct, 0.0, 100.0);
+  // The ceil(pct% * count)-th smallest sample, at least the 1st.
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(pct / 100.0 * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= target) return bucket_upper(i);
+  }
+  return max_nanos();
+}
+
+// ---------------------------------------------------------------------------
+// ConcurrentHistogram
+// ---------------------------------------------------------------------------
+
+ConcurrentHistogram::ConcurrentHistogram(std::size_t shards) {
+  if (shards == 0) {
+    shards = std::min<std::size_t>(
+        16, std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+  }
+  shard_count_ = std::bit_ceil(shards);
+  mask_ = shard_count_ - 1;
+  shards_ = std::make_unique<Shard[]>(shard_count_);
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    for (auto& c : shards_[s].counts) c.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::size_t ConcurrentHistogram::thread_slot() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+void ConcurrentHistogram::record(std::uint64_t nanos) {
+  Shard& shard = shards_[thread_slot() & mask_];
+  shard.counts[LatencyHistogram::bucket_index(nanos)].fetch_add(
+      1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(nanos, std::memory_order_relaxed);
+}
+
+void ConcurrentHistogram::record_seconds(double seconds) {
+  record(seconds <= 0 ? 0
+                      : static_cast<std::uint64_t>(std::llround(seconds * 1e9)));
+}
+
+LatencyHistogram ConcurrentHistogram::snapshot() const {
+  LatencyHistogram merged;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    const Shard& shard = shards_[s];
+    std::uint64_t shard_total = 0;
+    for (std::size_t i = 0; i < LatencyHistogram::kBucketCount; ++i) {
+      const std::uint64_t c = shard.counts[i].load(std::memory_order_relaxed);
+      merged.counts_[i] += c;
+      shard_total += c;
+    }
+    // Count from the buckets actually read, so count() == sum of buckets
+    // even when records race the snapshot.
+    merged.count_ += shard_total;
+    merged.sum_ += shard.sum.load(std::memory_order_relaxed);
+  }
+  return merged;
+}
+
+std::uint64_t ConcurrentHistogram::count() const {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < shard_count_; ++s)
+    total += shards_[s].count.load(std::memory_order_relaxed);
+  return total;
+}
+
+}  // namespace stair

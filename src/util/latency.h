@@ -1,0 +1,123 @@
+// Log-bucketed latency histograms — the measurement discipline of the
+// serving tier.
+//
+// A served system is judged by its tail, and a tail needs a distribution,
+// not an average: the bench and metrics layers sweep offered load and report
+// p50/p99/p999 per tier (the cluster-tuning methodology of sweeping load and
+// reading the full latency distribution), which a sorted sample vector does
+// badly — 300 samples put p99 on 3 observations and p999 on none, and the
+// previous scrub bench's fg_p99 wandered 4x from exactly that sampling
+// noise. The HDR-histogram idea fixes it at constant memory: bucket bounds
+// grow geometrically (a power-of-two "octave" split into 2^kSubBits linear
+// sub-buckets), so every recorded value lands in a bucket within 1/2^kSubBits
+// (~3%) of its true value, any number of samples fit, and percentile
+// extraction is one cumulative scan.
+//
+// Two types:
+//   * LatencyHistogram — plain counters, single writer (or externally
+//     synchronized). Mergeable: per-thread recording + merge at the end is
+//     the zero-contention pattern the benches use.
+//   * ConcurrentHistogram — sharded atomic counters for recording from many
+//     threads without coordination (the StorageNode metrics surface): each
+//     thread increments its own shard (relaxed, lock-free), snapshot()
+//     merges shards into a LatencyHistogram.
+//
+// Units are nanoseconds on the way in; extraction helpers convert.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace stair {
+
+class LatencyHistogram {
+ public:
+  /// Sub-bucket resolution: each power-of-two range splits into 2^kSubBits
+  /// linear buckets, bounding relative bucket error at 2^-kSubBits (~3.1%).
+  static constexpr int kSubBits = 5;
+  static constexpr std::size_t kSubBuckets = std::size_t{1} << kSubBits;
+  /// Covers the full uint64 nanosecond range (584 years) in ~1900 buckets.
+  static constexpr std::size_t kBucketCount = (64 - kSubBits + 1) * kSubBuckets;
+
+  /// Bucket index for a nanosecond value (monotone non-decreasing in nanos).
+  static std::size_t bucket_index(std::uint64_t nanos);
+  /// Smallest / largest nanosecond value mapping to bucket `index`.
+  static std::uint64_t bucket_lower(std::size_t index);
+  static std::uint64_t bucket_upper(std::size_t index);
+
+  void record(std::uint64_t nanos);
+  void record_seconds(double seconds);
+
+  /// Folds `other` into this histogram (bucket-wise add).
+  void merge(const LatencyHistogram& other);
+  void clear();
+
+  std::uint64_t count() const { return count_; }
+  /// Sum of recorded values (exact, not bucketized).
+  std::uint64_t total_nanos() const { return sum_; }
+  double mean_nanos() const;
+  /// Lower bound of the lowest / upper bound of the highest occupied bucket
+  /// (0 when empty) — min/max to bucket resolution, which keeps them
+  /// mergeable and snapshot-consistent.
+  std::uint64_t min_nanos() const;
+  std::uint64_t max_nanos() const;
+
+  /// Value at percentile `pct` in (0, 100]: the upper bound of the bucket
+  /// holding the ceil(pct/100 * count)-th smallest sample — conservative
+  /// (never under-reports a tail) and exact to bucket resolution. 0 when
+  /// empty.
+  std::uint64_t percentile_nanos(double pct) const;
+  double percentile_ms(double pct) const {
+    return static_cast<double>(percentile_nanos(pct)) / 1e6;
+  }
+
+  const std::array<std::uint64_t, kBucketCount>& buckets() const { return counts_; }
+
+ private:
+  friend class ConcurrentHistogram;
+
+  std::array<std::uint64_t, kBucketCount> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+/// Multi-writer recorder: record() is lock-free (one relaxed fetch_add on
+/// the calling thread's shard), snapshot() merges the shards. Threads map to
+/// shards by a process-wide registration counter, so up to `shards` threads
+/// record with zero sharing and more than that degrade to sharing a cache
+/// line, never to a lock.
+class ConcurrentHistogram {
+ public:
+  /// `shards` rounds up to a power of two; 0 picks a default from
+  /// hardware_concurrency (capped at 16).
+  explicit ConcurrentHistogram(std::size_t shards = 0);
+
+  void record(std::uint64_t nanos);
+  void record_seconds(double seconds);
+
+  /// Merged view of every shard. Relaxed reads: records racing the snapshot
+  /// may or may not be included, but bucket counts and the total are always
+  /// of actually-recorded values.
+  LatencyHistogram snapshot() const;
+
+  std::uint64_t count() const;
+  std::size_t shard_count() const { return shard_count_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, LatencyHistogram::kBucketCount> counts;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+  };
+
+  static std::size_t thread_slot();
+
+  std::unique_ptr<Shard[]> shards_;
+  std::size_t shard_count_;
+  std::size_t mask_;
+};
+
+}  // namespace stair

@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <thread>
 #include <optional>
 #include <vector>
 
@@ -454,6 +456,84 @@ TEST(CodecPipeline, WorkspacePoolLeaseLifecycle) {
   EXPECT_EQ(pool.in_use(), 1u);
   d.reset();
   EXPECT_EQ(pool.in_use(), 0u);
+}
+
+
+// jobs_in_flight() is the scrubber's idle-slot gate and the service layer's
+// pressure signal, read from arbitrary threads while submits and completions
+// race. A relaxed-ordering bug here once let an observer see a completion
+// before its submission, underflowing submitted - completed to ~2^64 — which
+// reads as "codec saturated" and would wedge every gate built on it. Hammer
+// the counter from concurrent submitters + observers: it must never exceed
+// what was actually submitted, never underflow, and must return to zero.
+TEST(CodecPipeline, JobsInFlightNeverUnderflowsUnderConcurrency) {
+  const StairConfig cfg{.n = 6, .r = 4, .m = 1, .e = {1, 2}};
+  Codec codec(cfg);
+  constexpr std::size_t kSubmitters = 4;
+  constexpr std::size_t kJobsEach = 200;
+  constexpr std::size_t kTotal = kSubmitters * kJobsEach;
+
+  std::atomic<bool> go{false}, done{false};
+  std::atomic<std::uint64_t> underflows{0}, observations{0};
+
+  // Observers: spin on the gate exactly like the scrubber does.
+  std::vector<std::thread> observers;
+  for (int o = 0; o < 3; ++o) {
+    observers.emplace_back([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        const std::size_t in_flight = codec.jobs_in_flight();
+        observations.fetch_add(1, std::memory_order_relaxed);
+        // An underflow shows up as a number vastly beyond anything
+        // submittable; a correct reading is bounded by the total workload.
+        if (in_flight > kTotal) underflows.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::vector<std::thread> submitters;
+  for (std::size_t t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      // A ring of stripes, each slot's previous job waited before the buffer
+      // is resubmitted: many jobs in flight per submitter, but never two
+      // writing the same parity bytes.
+      constexpr std::size_t kSlots = 8;
+      std::vector<StripeBuffer> stripes;
+      std::vector<Codec::Handle> pending(kSlots);
+      Rng rng(1000 + t);
+      for (std::size_t s = 0; s < kSlots; ++s) {
+        stripes.emplace_back(codec.code(), 64);
+        std::vector<std::uint8_t> data(stripes[s].data_size());
+        rng.fill(data);
+        stripes[s].set_data(data);
+      }
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (std::size_t i = 0; i < kJobsEach; ++i) {
+        // Mix eagerly-waited and ring-deferred submissions so completions
+        // land both on pool workers and via the helping wait path.
+        const std::size_t slot = i % kSlots;
+        if (pending[slot].valid()) pending[slot].wait();
+        Codec::Handle h = codec.submit_encode(stripes[slot].view());
+        if (i % 3 == 0) {
+          h.wait();
+        } else {
+          pending[slot] = std::move(h);
+        }
+      }
+      codec.wait_all();
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& t : submitters) t.join();
+  codec.wait_all();
+  done.store(true, std::memory_order_relaxed);
+  for (auto& t : observers) t.join();
+
+  EXPECT_EQ(underflows.load(), 0u);
+  EXPECT_GT(observations.load(), 0u);
+  EXPECT_EQ(codec.jobs_in_flight(), 0u);
+  EXPECT_EQ(codec.jobs_submitted(), kTotal);
+  EXPECT_EQ(codec.jobs_completed(), kTotal);
 }
 
 }  // namespace

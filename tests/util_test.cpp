@@ -1,15 +1,20 @@
 // Utility tests: RNG determinism and distribution sanity, aligned buffers,
-// the IO buffer pool's registered/overflow lease discipline, and the table
-// printer the benchmark binaries rely on.
+// the IO buffer pool's registered/overflow lease discipline, the log-bucketed
+// latency histogram (bucket math, exact small-set percentiles, bounded
+// relative error, merge/concurrent-shard equivalence), and the table printer
+// the benchmark binaries rely on.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <sstream>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "util/buffer.h"
+#include "util/latency.h"
 #include "util/rng.h"
 #include "util/table.h"
 #include "util/workspace_pool.h"
@@ -182,6 +187,118 @@ TEST(FormatSigTest, Formats) {
   EXPECT_EQ(format_sig(1234.5678, 4), "1235");
   EXPECT_EQ(format_sig(0.00012345, 3), "0.000123");
   EXPECT_EQ(format_sig(1e300 * 1e300), "inf");
+}
+
+
+// --- latency histogram -------------------------------------------------------
+
+TEST(LatencyHistogramTest, BucketIndexIsMonotoneAndSelfConsistent) {
+  // Every value must land in a bucket whose [lower, upper] contains it, and
+  // bucket boundaries must be contiguous: upper(i) + 1 == lower(i + 1).
+  std::size_t prev = 0;
+  for (std::uint64_t v :
+       {0ull, 1ull, 31ull, 32ull, 33ull, 63ull, 64ull, 65ull, 100ull, 1023ull,
+        1024ull, 4095ull, 1ull << 20, (1ull << 32) - 1, 1ull << 32, 1ull << 62,
+        ~0ull}) {
+    const std::size_t i = LatencyHistogram::bucket_index(v);
+    ASSERT_LT(i, LatencyHistogram::kBucketCount);
+    EXPECT_LE(LatencyHistogram::bucket_lower(i), v);
+    EXPECT_GE(LatencyHistogram::bucket_upper(i), v);
+    EXPECT_GE(i, prev) << "non-monotone at v=" << v;
+    prev = i;
+  }
+  for (std::size_t i = 0; i + 1 < 512; ++i)
+    EXPECT_EQ(LatencyHistogram::bucket_upper(i) + 1, LatencyHistogram::bucket_lower(i + 1));
+}
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  // The first two octaves (v < 64) are bucket-per-value: percentiles of
+  // small sets come back exactly.
+  LatencyHistogram h;
+  for (std::uint64_t v : {5ull, 10ull, 20ull, 30ull, 40ull, 50ull, 60ull}) h.record(v);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.min_nanos(), 5u);
+  EXPECT_EQ(h.max_nanos(), 60u);
+  EXPECT_EQ(h.percentile_nanos(0), 5u);
+  EXPECT_EQ(h.percentile_nanos(50), 30u);
+  EXPECT_EQ(h.percentile_nanos(100), 60u);
+}
+
+TEST(LatencyHistogramTest, PercentileErrorIsBounded) {
+  // 32 sub-buckets per octave bound the relative error at ~3.2%; the
+  // reported percentile is a bucket upper bound, so it never under-reports.
+  LatencyHistogram h;
+  Rng rng(77);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = 100 + rng.next_below(50'000'000);  // 100ns..50ms
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double pct : {50.0, 99.0, 99.9}) {
+    const auto exact =
+        values[std::min(values.size() - 1,
+                        static_cast<std::size_t>(pct / 100.0 * values.size()))];
+    const auto approx = h.percentile_nanos(pct);
+    EXPECT_GE(approx, exact * 96 / 100) << "pct " << pct;
+    EXPECT_LE(approx, exact * 104 / 100 + 1) << "pct " << pct;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeMatchesCombinedRecording) {
+  LatencyHistogram a, b, combined;
+  Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t v = rng.next_below(1'000'000);
+    (i % 2 ? a : b).record(v);
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.total_nanos(), combined.total_nanos());
+  for (double pct : {1.0, 50.0, 99.0, 99.9})
+    EXPECT_EQ(a.percentile_nanos(pct), combined.percentile_nanos(pct));
+  a.clear();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.percentile_nanos(99), 0u);
+}
+
+TEST(LatencyHistogramTest, RecordSecondsRoundsToNanos) {
+  LatencyHistogram h;
+  h.record_seconds(0.001);  // 1ms
+  h.record_seconds(-1.0);   // clamps to 0
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min_nanos(), 0u);
+  const std::size_t ms = LatencyHistogram::bucket_index(1'000'000);
+  EXPECT_LE(LatencyHistogram::bucket_lower(ms), 1'000'000u);
+}
+
+TEST(ConcurrentHistogramTest, ShardedRecordingMergesToTheSameAnswer) {
+  ConcurrentHistogram ch(4);
+  LatencyHistogram expect;
+  constexpr int kThreads = 4, kPer = 5000;
+  std::vector<std::vector<std::uint64_t>> values(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    Rng rng(200 + t);
+    for (int i = 0; i < kPer; ++i) values[t].push_back(rng.next_below(10'000'000));
+  }
+  for (const auto& vs : values)
+    for (auto v : vs) expect.record(v);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      for (auto v : values[t]) ch.record(v);
+    });
+  for (auto& th : threads) th.join();
+
+  const LatencyHistogram merged = ch.snapshot();
+  EXPECT_EQ(merged.count(), expect.count());
+  EXPECT_EQ(merged.total_nanos(), expect.total_nanos());
+  for (double pct : {50.0, 99.0, 99.9})
+    EXPECT_EQ(merged.percentile_nanos(pct), expect.percentile_nanos(pct));
+  EXPECT_EQ(ch.count(), expect.count());
 }
 
 }  // namespace
