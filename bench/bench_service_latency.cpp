@@ -61,6 +61,7 @@ struct StepResult {
   std::uint64_t degraded_reads = 0, batched_reads = 0;
   std::array<TierResult, kRequestClasses> tiers;  // indexed by RequestType
   std::vector<StorageNode::TenantStats> per_tenant;
+  io::Engine::Stats io;  // the node's engine counters (direct/fixed engagement)
 };
 
 constexpr std::size_t kTenants = 2;
@@ -177,6 +178,7 @@ StepResult run_step(Codec& codec, const std::string& store, const std::string& m
   step.failed = stats.failed_requests;
   step.degraded_reads = stats.degraded_reads;
   step.batched_reads = stats.batched_reads;
+  step.io = stats.io;
   step.per_tenant = stats.tenants;
   step.achieved_rps = elapsed > 0 ? static_cast<double>(step.completed) / elapsed : 0.0;
   return step;
@@ -285,6 +287,12 @@ int main(int argc, char** argv) {
   std::printf("\nread p99 at %zu clients/tenant: plain %.3f ms, scrub %.3f ms (ratio %.2fx)\n",
               moderate, p99_plain, p99_scrub, ratio);
 
+  // Engine counters from the final step (cumulative over the node's life):
+  // the direct-io CI leg keys its p99 gate on direct_opens > 0 &&
+  // direct_fallbacks == 0 — i.e. O_DIRECT genuinely engaged, never silently
+  // degraded to buffered.
+  const io::Engine::Stats last_io = steps.empty() ? io::Engine::Stats{} : steps.back().io;
+
   const std::string path = json_output_path("BENCH_service_latency.json", env.smoke);
   {
     std::ofstream out(path);
@@ -303,6 +311,11 @@ int main(int argc, char** argv) {
         << "  \"read_p99_plain_ms\": " << p99_plain << ",\n"
         << "  \"read_p99_scrub_ms\": " << p99_scrub << ",\n"
         << "  \"read_p99_scrub_ratio\": " << ratio << ",\n"
+        << "  \"direct_opens\": " << last_io.direct_opens << ",\n"
+        << "  \"direct_fallbacks\": " << last_io.direct_fallbacks << ",\n"
+        << "  \"fixed_reads\": " << last_io.fixed_reads << ",\n"
+        << "  \"fixed_writes\": " << last_io.fixed_writes << ",\n"
+        << "  \"fixed_fallbacks\": " << last_io.fixed_fallbacks << ",\n"
         << "  \"steps\": [\n";
     for (std::size_t i = 0; i < steps.size(); ++i) {
       const auto& s = steps[i];

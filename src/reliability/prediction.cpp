@@ -1,0 +1,77 @@
+#include "reliability/prediction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "reliability/pstr.h"
+
+namespace stair::reliability {
+
+ReliabilityPrediction predict_reliability(const PredictionQuery& query) {
+  const SystemParams& p = query.system;
+  if (p.m != 1)
+    throw std::invalid_argument("predict_reliability: the §7 model covers m = 1 only");
+  if (!(query.p_sec >= 0.0) || query.p_sec > 1.0)
+    throw std::invalid_argument("predict_reliability: p_sec must be in [0, 1]");
+  if (!std::is_sorted(query.e.begin(), query.e.end()))
+    throw std::invalid_argument("predict_reliability: e must be ascending");
+
+  ReliabilityPrediction out;
+  out.pchk = query.correlated
+                 ? correlated_chunk_pmf(query.p_sec,
+                                        BurstDistribution(query.b1, query.alpha), p.r)
+                 : independent_chunk_pmf(query.p_sec, p.r);
+  const std::size_t chunks = p.n - p.m;  // surviving chunks in critical mode
+  out.pstr = query.e.empty() ? pstr_rs(out.pchk, chunks)
+                             : pstr_stair(out.pchk, chunks, query.e);
+  out.p_arr = p_arr(p, out.pstr);
+  out.mttdl_hours = mttdl_array(p, out.p_arr);
+
+  // Renewal form: episodes start at rate n*lambda; in critical mode a second
+  // failure (rate rho = (n-1)*lambda) races a deterministic rebuild of
+  // duration T. Loss per episode = P(race lost) + P(race won) * P_arr; the
+  // MTTDL is the mean cycle length over the loss probability.
+  const double lambda = 1.0 / p.mttf_hours;
+  const double n = static_cast<double>(p.n);
+  const double rho = (n - 1.0) * lambda;
+  const double T = p.rebuild_hours;
+  const double q_dev = -std::expm1(-rho * T);
+  out.loss_per_episode = q_dev + (1.0 - q_dev) * out.p_arr;
+  out.episode_rate_per_hour = n * lambda;
+  // E[time in critical mode] = E[min(T, Exp(rho))] = (1 - e^(-rho T)) / rho.
+  const double critical_hours = rho > 0.0 ? q_dev / rho : T;
+  const double cycle_hours = 1.0 / out.episode_rate_per_hour + critical_hours;
+  out.mttdl_renewal_hours = out.loss_per_episode > 0.0
+                                ? cycle_hours / out.loss_per_episode
+                                : std::numeric_limits<double>::infinity();
+
+  std::size_t s = 0;
+  for (std::size_t ei : query.e) s += ei;
+  const double efficiency = storage_efficiency(p.n, p.r, p.m, s);
+  out.user_bytes_per_array = efficiency * n * p.device_bytes;
+  const double pb = out.user_bytes_per_array / 1125899906842624.0;  // 2^50
+  out.loss_per_pb_year = pb > 0.0 && std::isfinite(out.mttdl_renewal_hours)
+                             ? 8766.0 / out.mttdl_renewal_hours / pb
+                             : 0.0;
+  return out;
+}
+
+AgreementBand poisson_band(double expected_events, double z) {
+  AgreementBand band;
+  band.expected = expected_events;
+  band.z = z;
+  const double sigma = std::sqrt(std::max(expected_events, 0.0));
+  // The +z floor keeps the band non-degenerate for tiny expectations: with
+  // E ~ 0.1 expected events, observing 1 is unremarkable, not a divergence.
+  band.lo = std::max(0.0, expected_events - z * sigma - z);
+  band.hi = expected_events + z * sigma + z;
+  return band;
+}
+
+bool within_band(const AgreementBand& band, double observed_events) {
+  return observed_events >= band.lo && observed_events <= band.hi;
+}
+
+}  // namespace stair::reliability

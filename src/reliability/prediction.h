@@ -1,0 +1,88 @@
+// Prediction — the analytic reliability pipeline (§7) packaged as one call,
+// so a consumer that *measures* durability (sim/cluster_sim, bench_cluster_sim,
+// the config advisor) can ask "what does the model say this cluster should
+// do?" without re-plumbing pchk -> P_str -> P_arr -> MTTDL by hand.
+//
+// Two MTTDL forms come back:
+//  * mttdl_hours — Eq. 10's Markov chain, which assumes exponentially
+//    distributed rebuild times (the paper's published number).
+//  * mttdl_renewal_hours — the same failure processes with a *deterministic*
+//    rebuild of fixed duration (device_bytes / repair bandwidth), solved as a
+//    renewal process. This is what a trace-driven simulator with
+//    bandwidth-capped rebuilds actually implements, so it is the fair
+//    yardstick for simulated-vs-analytic agreement; the gap between the two
+//    forms is itself a finding (the Markov model's exponential-repair
+//    assumption, measurable at inflated failure rates).
+//
+// poisson_band turns an expected event count into an explicit agreement band
+// on the observed count — the acceptance criterion the simulator tests and
+// the CI divergence gate both quote.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "reliability/mttdl.h"
+#include "reliability/sector_models.h"
+
+namespace stair::reliability {
+
+/// What the analytic pipeline needs to predict one array population.
+struct PredictionQuery {
+  /// Array shape and rates. rebuild_hours must be the *actual* expected
+  /// rebuild duration (device_bytes / repair bandwidth share), not Table 4's
+  /// default. The m = 1 restriction of the §7 Markov model applies.
+  SystemParams system;
+  /// Coverage vector e (ascending). Empty = Reed-Solomon (no critical-mode
+  /// sector tolerance).
+  std::vector<std::size_t> e;
+  /// Effective per-sector failure probability in critical mode — p_sec fed
+  /// straight to the §7.1.2 chunk pmf. For a rate-based latent-error process
+  /// under scrubbing, pass sim::scrubbed_p_sec(rate, period).
+  double p_sec = 0.0;
+  /// Sector-failure model: independent (Eq. 13) or correlated bursts
+  /// (Eqs. 15-17) with the (b1, alpha) Pareto shape.
+  bool correlated = false;
+  double b1 = 0.98;
+  double alpha = 1.79;
+};
+
+/// Every intermediate of the §7 pipeline plus the roll-ups a measuring
+/// consumer compares against.
+struct ReliabilityPrediction {
+  std::vector<double> pchk;       ///< chunk failure-count pmf, size r + 1
+  double pstr = 0.0;              ///< critical-mode stripe failure probability
+  double p_arr = 0.0;             ///< any-stripe-in-array loss prob (Eq. 11)
+  double mttdl_hours = 0.0;       ///< per-array MTTDL, Eq. 10 (exponential repair)
+  double mttdl_renewal_hours = 0.0;  ///< per-array MTTDL, deterministic repair
+  /// Device-failure episode rate per array: n / mttf.
+  double episode_rate_per_hour = 0.0;
+  /// Probability one critical episode ends in loss (deterministic repair):
+  /// second-failure race + sector check at rebuild completion.
+  double loss_per_episode = 0.0;
+  /// User bytes one array carries: E * n * C (storage efficiency applied).
+  double user_bytes_per_array = 0.0;
+  /// Loss events per user petabyte-year (1 PB = 2^50 bytes, 1 y = 8766 h)
+  /// under the renewal MTTDL — the headline durability unit.
+  double loss_per_pb_year = 0.0;
+};
+
+/// Runs the full analytic pipeline. Throws std::invalid_argument on a
+/// malformed query (m != 1, e not ascending, p_sec outside [0, 1]).
+ReliabilityPrediction predict_reliability(const PredictionQuery& query);
+
+/// Agreement band on an observed Poisson event count: [lo, hi] covers
+/// `z` standard deviations around the expected count (normal approximation
+/// with sqrt(expected) sigma, floored at 0 and widened by +z so tiny
+/// expectations keep a non-degenerate band).
+struct AgreementBand {
+  double expected = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  double z = 0.0;
+};
+
+AgreementBand poisson_band(double expected_events, double z = 4.0);
+bool within_band(const AgreementBand& band, double observed_events);
+
+}  // namespace stair::reliability

@@ -1,0 +1,252 @@
+// ClusterSim — discrete-event, trace-driven cluster simulator that closes
+// the loop between the §7 analytic reliability pipeline and the real data
+// path.
+//
+// A cluster is `arrays` identical STAIR arrays. Each array runs the renewal
+// process the analytic model describes — exponential device failures at
+// 1/mttf per device, a critical-mode race between a bandwidth-capped rebuild
+// and a second failure, and a latent-sector check when the rebuild lands —
+// except nothing here is a closed form: failures are *drawn*, rebuilds take
+// device_bytes / (their current share of the cluster repair cap), latent
+// sector errors age since the array's last scrub pass (per-array phase
+// offsets, period from sim::effective_scrub_period) and are sampled per
+// stripe through the same FailureInjector the §7.1.2 models parameterize,
+// with loss decided by StairCode::is_recoverable on the drawn mask. The
+// simulator therefore measures what the model predicts:
+//
+//   * delivered durability — loss events per user-PB-year, compared against
+//     predict_reliability's renewal MTTDL with an explicit poisson_band;
+//   * repair-traffic amplification — bytes moved per byte re-protected,
+//     under a cluster-wide repair-bandwidth cap shared by every concurrently
+//     rebuilding array (processor sharing: k rebuilds each get cap / k);
+//   * foreground tail latency during failure storms — measured on the real
+//     IoPipeline::read_range path while a real Scrubber rebuild runs
+//     (ValidationMode::kDataPath), calm vs storm.
+//
+// Determinism and replay: every stochastic draw flows from the config seed
+// through one master Rng in event order, so a run is bit-reproducible — the
+// formatted event trace of two runs with the same seed compares equal. Each
+// rebuild completion additionally draws a child seed for its sector
+// sampling and records it in any LossEvent it produces, so a single loss
+// can be replayed in isolation (replay_loss) and reproduces the exact
+// stripe and erasure mask without re-running the cluster.
+//
+// Trace-driven: injected_failures merges deterministic device failures into
+// the event stream at fixed times — the tool for repair-cap tests (three
+// simultaneous failures must finish in ~3x the solo rebuild time under fair
+// sharing) and storm reproductions.
+//
+// Data-path validation (kDataPath): the first max_validated_events loss
+// events are replayed onto a real on-disk StripeStore — encode_file, sector
+// corruption at the manifest's exact on-disk offsets, device-file deletion,
+// a real Scrubber rebuild paced by SharedBandwidth — checking that coverage
+// verdicts and the production repair path agree end to end (a mask
+// is_recoverable called lost must fail there too, and its recoverable
+// sibling must repair byte-exactly).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "reliability/prediction.h"
+#include "sim/failure_injector.h"
+#include "stair/stair_code.h"
+
+namespace stair::sim {
+
+inline constexpr std::size_t kNoDevice = static_cast<std::size_t>(-1);
+
+/// A deterministic device failure merged into the event stream at a fixed
+/// time. device = kNoDevice draws the device from the master Rng.
+struct InjectedFailure {
+  double time_hours = 0.0;
+  std::size_t array = 0;
+  std::size_t device = kNoDevice;
+};
+
+/// How loss events are validated against the real data path.
+enum class ValidationMode {
+  kCoverage,  ///< coverage-check only (pure DES; fast)
+  kDataPath,  ///< replay bounded loss events onto a real on-disk StripeStore
+};
+
+struct ClusterConfig {
+  /// Arrays in the cluster; all share the code and the repair cap.
+  std::size_t arrays = 32;
+  /// The code under study. The analytic comparison needs m = 1 (§7's Markov
+  /// restriction); the simulator itself runs any valid config.
+  StairConfig code;
+  /// Stripes per array — with `code`, fixes the (simulated) sector size:
+  /// device_bytes / (stripes_per_array * r).
+  std::size_t stripes_per_array = 128;
+  /// Bytes per device (small values inflate nothing — they just shrink
+  /// rebuild time; what matters for the analytics is rebuild_hours).
+  double device_bytes = 64.0 * 1024 * 1024;
+  double mttf_hours = 500000.0;  ///< per-device MTTF (1 / lambda)
+
+  /// Solo rebuild speed of one array (MB/s of rebuilt device bytes).
+  double repair_mbps_per_array = 64.0;
+  /// Cluster-wide repair-bandwidth cap shared by all concurrently
+  /// rebuilding arrays (processor sharing). <= 0 = uncapped.
+  double repair_cap_mbps = 0.0;
+
+  /// Requested scrub period; run through effective_scrub_period with
+  /// scrub_scan_mbps before use, so "0 = continuous" and "shorter than one
+  /// pass" both behave. < 0 disables scrubbing entirely.
+  double scrub_period_hours = 7.0 * 24.0;
+  /// Per-array scrub scan bandwidth (MB/s over n * device_bytes). <= 0 =
+  /// unbounded (a pass is instantaneous).
+  double scrub_scan_mbps = 0.0;
+
+  /// Latent-sector-error model. Rate mode: errors arrive per sector at
+  /// latent_error_rate_per_hour and age since the array's last scrub pass or
+  /// rebuild; the analytic counterpart is scrubbed_p_sec(rate, period).
+  /// Fixed mode (fixed_p_sec >= 0): every rebuild completion sees exactly
+  /// this per-sector probability — the models' direct input, for tight
+  /// agreement tests.
+  double latent_error_rate_per_hour = 0.0;
+  double fixed_p_sec = -1.0;
+  /// Sector-failure shape (§7.1.2): independent or correlated bursts.
+  SectorModel sector_model = SectorModel::kIndependent;
+  double b1 = 0.98;
+  double alpha = 1.79;
+
+  double sim_hours = 24.0 * 365.0;
+  std::uint64_t seed = 1;
+  std::vector<InjectedFailure> injected_failures;
+
+  ValidationMode validation = ValidationMode::kCoverage;
+  /// Loss events replayed on the real data path in kDataPath mode.
+  std::size_t max_validated_events = 2;
+  /// Geometry of the validation store (kept small: validation replays the
+  /// *mask*, not the simulated array size).
+  std::size_t validation_stripes = 4;
+  std::size_t validation_symbol_bytes = 4096;
+
+  /// Record the formatted event trace (the bit-identical replay artifact).
+  bool record_trace = true;
+  std::size_t trace_limit = 65536;
+};
+
+enum class LossKind {
+  kDeviceOverflow,  ///< second device failure mid-rebuild (m = 1 exceeded)
+  kSectorLoss,      ///< latent sectors outside the coverage at rebuild end
+};
+
+/// One data-loss event, carrying everything needed to replay it.
+struct LossEvent {
+  double time_hours = 0.0;
+  std::size_t array = 0;
+  LossKind kind = LossKind::kDeviceOverflow;
+  std::vector<std::size_t> failed_devices;  ///< 1 entry (sector) or 2 (overflow)
+  std::uint64_t episode_seed = 0;  ///< child seed of the sector draw
+  double p_latent = 0.0;           ///< effective p_sec at the draw
+  std::size_t stripe = kNoDevice;  ///< first unrecoverable stripe (sector loss)
+  std::vector<bool> mask;          ///< its stored mask (row * n + col)
+};
+
+/// A drawn critical-mode loss: the first unrecoverable stripe and its mask.
+struct CriticalLoss {
+  std::size_t stripe = 0;
+  std::vector<bool> mask;
+};
+
+/// Aggregates of the real-data-path validation pass (kDataPath only).
+struct ValidationStats {
+  std::size_t events_checked = 0;
+  /// Real-path verdict disagreed with the coverage verdict: the production
+  /// Scrubber recovered a mask is_recoverable called lost, failed one it
+  /// called recoverable, or the recoverable sibling decode was not
+  /// byte-exact. 0 is the pass criterion.
+  std::size_t mismatches = 0;
+  std::size_t sectors_repaired = 0;  ///< across the recoverable replays
+  double rebuild_mbps = 0.0;         ///< measured real-rebuild throughput
+  /// read_range latency percentiles, quiet store vs during a real rebuild.
+  double calm_p50_ms = 0.0, calm_p99_ms = 0.0;
+  double storm_p50_ms = 0.0, storm_p99_ms = 0.0;
+  std::size_t calm_samples = 0, storm_samples = 0;
+  std::string error;  ///< first validation-harness failure (empty when clean)
+
+  /// Raw probe samples (validate_on_data_path appends; finalize() collapses
+  /// them into the percentile fields above).
+  std::vector<double> calm_ms, storm_ms;
+  void finalize();
+};
+
+struct ClusterReport {
+  // Measured.
+  double sim_hours = 0.0;
+  std::size_t device_failures = 0;
+  std::size_t rebuilds_completed = 0;
+  std::size_t loss_events = 0;
+  std::size_t device_overflow_losses = 0;
+  std::size_t sector_losses = 0;
+  double user_pb_years = 0.0;       ///< exposure: arrays * user PB * years
+  double losses_per_pb_year = 0.0;  ///< headline delivered durability
+  double repair_traffic_bytes = 0.0;
+  double rebuilt_bytes = 0.0;
+  double repair_amplification = 0.0;  ///< traffic / re-protected bytes (~n)
+  double scrub_bytes = 0.0;
+  double scrub_passes = 0.0;
+  std::size_t max_concurrent_rebuilds = 0;
+  double max_aggregate_repair_mbps = 0.0;
+  double effective_scrub_period_hours = 0.0;
+
+  // Analytic comparison.
+  reliability::ReliabilityPrediction prediction;
+  reliability::AgreementBand band;  ///< on the loss-event count
+  bool within_band = false;
+
+  // Validation (kDataPath).
+  ValidationStats validation;
+
+  // Replay artifacts.
+  std::uint64_t seed = 0;
+  std::vector<LossEvent> losses;
+  std::vector<std::string> trace;
+};
+
+class ClusterSim {
+ public:
+  explicit ClusterSim(ClusterConfig config);
+
+  /// Runs the full simulation (and, in kDataPath mode, the bounded
+  /// validation replays). Deterministic for a given config.
+  ClusterReport run();
+
+  const ClusterConfig& config() const { return config_; }
+
+  /// The analytic query this cluster corresponds to: rebuild_hours from the
+  /// solo repair bandwidth, sector_bytes from the stripe geometry, p_sec
+  /// from the scrub policy (rate mode) or fixed_p_sec.
+  reliability::PredictionQuery prediction_query() const;
+
+  /// The critical-mode sector draw shared by run() and replay: walks
+  /// `stripes` stripes of masks from a FailureInjector seeded with `seed`
+  /// (p_sec = p_latent), returning the first stripe whose mask falls outside
+  /// `code`'s coverage, or nullopt when the array survives. Bit-exact for a
+  /// given (code, stripes, params, failed, seed).
+  static std::optional<CriticalLoss> sample_critical_loss(
+      const StairCode& code, std::size_t stripes, InjectorParams sector,
+      const std::vector<std::size_t>& failed_devices, std::uint64_t seed);
+
+  /// Replays one recorded loss event from its child seed alone; the result
+  /// reproduces event.stripe / event.mask exactly (the seeded-replay
+  /// regression contract). Overflow events return nullopt (no mask).
+  std::optional<CriticalLoss> replay_loss(const LossEvent& event) const;
+
+  /// Replays `event` onto a real on-disk StripeStore and checks the
+  /// production repair path against the coverage verdict; folds latency and
+  /// mismatch counts into `stats`. Exposed so tests can validate crafted
+  /// events without a full run. `scratch_dir` empty = std::filesystem's
+  /// temp directory.
+  void validate_on_data_path(const LossEvent& event, ValidationStats& stats,
+                             const std::string& scratch_dir = "") const;
+
+ private:
+  ClusterConfig config_;
+};
+
+}  // namespace stair::sim

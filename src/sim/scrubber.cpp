@@ -31,4 +31,12 @@ double pass_rate_mbps(double store_bytes, double period_hours) {
   return store_bytes / (period_hours * 3600.0) / (1024.0 * 1024.0);
 }
 
+double effective_scrub_period(double period_hours, double store_bytes,
+                              double scan_mbps) {
+  const double requested = period_hours > 0.0 ? period_hours : 0.0;
+  if (!(store_bytes > 0.0) || !(scan_mbps > 0.0)) return requested;
+  const double pass_hours = store_bytes / (scan_mbps * 1024.0 * 1024.0) / 3600.0;
+  return std::max(requested, pass_hours);
+}
+
 }  // namespace stair::sim

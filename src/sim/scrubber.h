@@ -34,4 +34,17 @@ double scrubbed_p_sec(double error_rate_per_hour, double period_hours);
 /// degenerate (read as "unpaced").
 double pass_rate_mbps(double store_bytes, double period_hours);
 
+/// The scrub period the hardware can actually deliver: a pass over
+/// `store_bytes` at `scan_mbps` takes store_bytes / rate hours, and no policy
+/// can recheck a sector more often than back-to-back passes. Boundary
+/// semantics (the cases a naive `period_hours` plumb-through gets wrong):
+///  * period <= 0 ("scrub continuously") -> one pass time, i.e. back-to-back
+///    passes; 0 when the scan rate is unbounded (scan_mbps <= 0).
+///  * period shorter than one pass -> clamped up to the pass time.
+///  * scan_mbps <= 0 (unbounded) or store_bytes <= 0 -> the requested period
+///    (floored at 0).
+/// Feed the result, not the request, to scrubbed_p_sec and to simulators.
+double effective_scrub_period(double period_hours, double store_bytes,
+                              double scan_mbps);
+
 }  // namespace stair::sim

@@ -11,6 +11,37 @@
 
 namespace stair {
 
+SharedBandwidth::SharedBandwidth(double rate_mbps, double burst_bytes)
+    : rate_mbps_(rate_mbps), burst_bytes_(burst_bytes) {}
+
+bool SharedBandwidth::acquire(std::size_t bytes, const std::function<bool()>& cancel) {
+  granted_.fetch_add(bytes, std::memory_order_relaxed);
+  if (!(rate_mbps_ > 0.0)) return false;
+  using clock = std::chrono::steady_clock;
+  const double rate = rate_mbps_ * 1024.0 * 1024.0;
+  const double burst = std::max(burst_bytes_, static_cast<double>(bytes));
+  bool waited = false;
+  while (!(cancel && cancel())) {
+    double deficit_s = 0.0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto now = clock::now();
+      if (refill_ == clock::time_point{}) refill_ = now;
+      tokens_ = std::min(
+          burst, tokens_ + std::chrono::duration<double>(now - refill_).count() * rate);
+      refill_ = now;
+      if (tokens_ >= static_cast<double>(bytes)) {
+        tokens_ -= static_cast<double>(bytes);
+        return waited;
+      }
+      deficit_s = (static_cast<double>(bytes) - tokens_) / rate;
+    }
+    waited = true;
+    std::this_thread::sleep_for(std::chrono::duration<double>(std::min(deficit_s, 0.01)));
+  }
+  return waited;
+}
+
 void ScrubReport::accumulate(const ScrubReport& p) {
   ok = ok && p.ok;
   completed = completed && p.completed;
@@ -155,6 +186,12 @@ void Scrubber::pace(Pass& pass, std::size_t bytes) {
       std::this_thread::sleep_for(std::chrono::duration<double>(std::min(deficit_s, 0.01)));
     }
   }
+  // Cluster-wide cap last: an array throttled by its own bucket should not
+  // hold shared tokens it cannot spend yet.
+  if (options_.shared_bandwidth &&
+      options_.shared_bandwidth->acquire(
+          bytes, [this] { return stop_.load(std::memory_order_relaxed); }))
+    stalled = true;
   if (stalled) pass.stalls.fetch_add(1, std::memory_order_relaxed);
 }
 

@@ -61,6 +61,38 @@
 
 namespace stair {
 
+/// Cluster-wide repair-bandwidth governor: one token bucket shared by many
+/// Scrubbers (one per array / store), so N concurrently-rebuilding arrays
+/// split one cap instead of each running at full tilt — the knob the cluster
+/// simulator's repair-bandwidth model corresponds to on the real data path.
+/// acquire() is called from the scrub/rebuild walk before each stripe's
+/// reads; it blocks until the bytes are covered or `cancel` returns true.
+class SharedBandwidth {
+ public:
+  explicit SharedBandwidth(double rate_mbps, double burst_bytes = 8.0 * 1024 * 1024);
+
+  /// Draws `bytes` tokens, sleeping off any deficit in short slices so a
+  /// stopping Scrubber stays responsive. Returns true when the caller had to
+  /// wait (a throttle stall), false when tokens were immediately available
+  /// or the rate is unpaced. `cancel` (optional) aborts the wait.
+  bool acquire(std::size_t bytes, const std::function<bool()>& cancel = {});
+
+  double rate_mbps() const { return rate_mbps_; }
+  /// Total bytes granted — what a test divides by wall time to prove the
+  /// aggregate across all sharing Scrubbers stayed under the cap.
+  std::uint64_t bytes_granted() const {
+    return granted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const double rate_mbps_;
+  const double burst_bytes_;
+  std::mutex mu_;
+  double tokens_ = 0.0;
+  std::chrono::steady_clock::time_point refill_{};
+  std::atomic<std::uint64_t> granted_{0};
+};
+
 struct ScrubOptions {
   /// Stripes in flight at once (the bounded ring; same meaning as
   /// IoPipeline::Options::queue_depth). Also the rebuild concurrency bound.
@@ -77,6 +109,11 @@ struct ScrubOptions {
   /// Custom gate (wins over yield_to_foreground when set): scrub holds
   /// while it returns true. Wire it to an admission queue's depth.
   std::function<bool()> hold;
+  /// Cluster-wide repair-bandwidth cap (borrowed, may be shared by many
+  /// Scrubbers; must outlive them). Drawn *in addition to* this Scrubber's
+  /// own token bucket: rate_mbps bounds one array's scan, the shared
+  /// governor bounds the fleet's aggregate repair traffic.
+  SharedBandwidth* shared_bandwidth = nullptr;
   /// When false, scrub only detects and counts — no repair writes.
   bool repair = true;
   /// Raw-device mode (STAIR_IO_DIRECT): chunk reads — and the rebuild

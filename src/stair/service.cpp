@@ -679,6 +679,7 @@ StorageNode::Stats StorageNode::stats() const {
   s.batched_reads = batched_reads_.load(std::memory_order_relaxed);
   s.scrub = scrubber_ ? scrubber_->background_report() : ScrubReport{};
   s.scrub.accumulate(scrub_final_);
+  if (engine_) s.io = engine_->stats();
   s.read_latency = read_latency_.snapshot();
   s.write_latency = write_latency_.snapshot();
   s.scan_latency = scan_latency_.snapshot();

@@ -160,6 +160,11 @@ class StorageNode {
     std::size_t in_service = 0;         // popped, not yet completed
     /// Aggregate of background scrub passes (zero-valued when scrub is off).
     ScrubReport scrub;
+    /// The node's IO engine counters (transfers, fixed/direct fallbacks,
+    /// ring high-water marks) — the per-node surface a cluster harness
+    /// aggregates, and what the direct-IO CI leg gates on
+    /// (direct_fallbacks == 0 proves O_DIRECT actually engaged).
+    io::Engine::Stats io;
     /// End-to-end (admission -> completion) latency per request class.
     LatencyHistogram read_latency, write_latency, scan_latency;
   };
